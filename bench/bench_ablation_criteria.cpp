@@ -1,0 +1,46 @@
+// Ablation of the §3.4 edge-selection heuristics: full criteria versus
+// dropping the delay tiers (C_d, Gl, LD) or the density tiers, measured on
+// the constrained flow. Justifies the design choice of combining both.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Ablation: edge-selection criteria (constrained mode)");
+  bench::print_substitution_note();
+
+  struct Variant {
+    const char* name;
+    bool delay;
+    bool density;
+  };
+  const Variant variants[] = {
+      {"full criteria", true, true},
+      {"no delay tiers", false, true},
+      {"no density tiers", true, false},
+      {"length only", false, false},
+  };
+
+  for (const std::string& name : {std::string("C1P1"), std::string("C2P1")}) {
+    const Dataset ds = make_dataset(name);
+    std::cout << "\ndataset " << name << ":\n";
+    TextTable table({"variant", "delay (ps)", "area (mm2)", "length (mm)",
+                     "violations", "cpu (s)"});
+    for (const Variant& v : variants) {
+      RouterOptions options;
+      options.use_delay_criteria = v.delay;
+      options.use_density_criteria = v.density;
+      const RunResult r = run_flow(ds, /*constrained=*/true, options);
+      table.add_row({v.name, TextTable::fmt(r.delay_ps, 1),
+                     TextTable::fmt(r.area_mm2, 3),
+                     TextTable::fmt(r.length_mm, 1),
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         r.violated_constraints)),
+                     TextTable::fmt(r.cpu_s, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation of the §3.5 improvement loops: the initial routing alone versus
+// adding violation recovery, delay improvement and area improvement.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Ablation: improvement phases (constrained mode)");
+  bench::print_substitution_note();
+
+  struct Variant {
+    const char* name;
+    bool recover;
+    bool delay;
+    bool area;
+  };
+  const Variant variants[] = {
+      {"initial only", false, false, false},
+      {"+ recover_violate", true, false, false},
+      {"+ improve_delay", true, true, false},
+      {"+ improve_area (full)", true, true, true},
+  };
+
+  for (const std::string& name : {std::string("C1P1"), std::string("C2P1")}) {
+    const Dataset ds = make_dataset(name);
+    std::cout << "\ndataset " << name << ":\n";
+    TextTable table({"variant", "delay (ps)", "area (mm2)", "violations",
+                     "worst margin (ps)", "cpu (s)"});
+    for (const Variant& v : variants) {
+      RouterOptions options;
+      options.enable_violation_recovery = v.recover;
+      options.enable_delay_improvement = v.delay;
+      options.enable_area_improvement = v.area;
+      const RunResult r = run_flow(ds, /*constrained=*/true, options);
+      table.add_row({v.name, TextTable::fmt(r.delay_ps, 1),
+                     TextTable::fmt(r.area_mm2, 3),
+                     TextTable::fmt(static_cast<std::int64_t>(
+                         r.violated_constraints)),
+                     TextTable::fmt(r.worst_margin_ps, 1),
+                     TextTable::fmt(r.cpu_s, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Channel-stage ablation: plain left-edge track assignment (free doglegs,
+// density-optimal) versus the vertical-constraint-aware variant (tracks
+// may exceed density; remaining cycles are counted as required doglegs).
+// Quantifies how much the final area and delay depend on the detailed
+// router's freedom.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Channel stage: left-edge vs VCG-constrained left-edge");
+  bench::print_substitution_note();
+
+  TextTable table({"Data Name", "algorithm", "delay (ps)", "area (mm2)",
+                   "sum tracks", "sum density", "doglegs"});
+  for (const std::string& name : {std::string("C1P1"), std::string("C2P1")}) {
+    Dataset ds = make_dataset(name);
+    GlobalRouter router(ds.netlist, std::move(ds.placement), ds.tech,
+                        ds.constraints, RouterOptions{});
+    (void)router.run();
+    for (const auto algo :
+         {TrackAlgorithm::kLeftEdge, TrackAlgorithm::kConstrainedLeftEdge,
+          TrackAlgorithm::kDoglegLeftEdge}) {
+      ChannelOptions options;
+      options.algorithm = algo;
+      ChannelStage stage(router, options);
+      stage.run();
+      std::int64_t tracks = 0;
+      std::int64_t density = 0;
+      std::int64_t doglegs = 0;
+      for (std::int32_t c = 0; c < stage.channel_count(); ++c) {
+        tracks += stage.plan(c).tracks;
+        density += stage.plan(c).density;
+        doglegs += stage.plan(c).vcg_violations;
+      }
+      const double delay = stage.apply_and_critical_delay_ps(
+          router.delay_graph());
+      table.add_row({name,
+                     algo == TrackAlgorithm::kLeftEdge ? "left-edge"
+                     : algo == TrackAlgorithm::kConstrainedLeftEdge
+                         ? "VCG-constrained"
+                         : "dogleg",
+                     TextTable::fmt(delay, 1),
+                     TextTable::fmt(stage.chip_area_mm2(), 3),
+                     TextTable::fmt(tracks), TextTable::fmt(density),
+                     TextTable::fmt(doglegs)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

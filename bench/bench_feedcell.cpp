@@ -1,0 +1,36 @@
+// Reproduces the P1-vs-P2 experiment of §5 (the even-spacing effect of
+// feed-cell insertion, §4.3): the same circuits routed from the designers'
+// even placement (P1) and from placements with the feed cells swept aside
+// (P2), reporting feed-cell insertion work and final quality.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Feed-cell insertion: P1 (even) vs P2 (swept aside)");
+  bench::print_substitution_note();
+
+  TextTable table({"Data Name", "inserted feeds", "chip widened (pitches)",
+                   "delay (ps)", "area (mm2)", "length (mm)"});
+  for (const std::string& name :
+       {std::string("C1P1"), std::string("C1P2"), std::string("C2P1"),
+        std::string("C2P2")}) {
+    const Dataset ds = make_dataset(name);
+    const RunResult r = run_flow(ds, /*constrained=*/true);
+    table.add_row({name,
+                   TextTable::fmt(static_cast<std::int64_t>(r.feed_cells_added)),
+                   TextTable::fmt(static_cast<std::int64_t>(r.widen_pitches)),
+                   TextTable::fmt(r.delay_ps, 1),
+                   TextTable::fmt(r.area_mm2, 3),
+                   TextTable::fmt(r.length_mm, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFeed-cell insertion is capacity-driven, so P1 and P2 insert "
+               "the same number of cells; the even-spacing effect shows up as "
+               "longer detours to reach the displaced feedthroughs — compare "
+               "the P2 wire lengths, areas and delays against P1 (the paper's "
+               "motivation for automatic even insertion).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig. 1 of the paper: the capacitance delay model, Eq. (1)
+//   Tpd = T0(ti,to) + (Σ Fin(t)) · Tf(to) + CL(n) · Td(to),
+// traced on a small hand-built circuit, printing every term.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bgr/timing/delay_graph.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Fig. 1: delay model trace");
+
+  Netlist nl{Library::make_ecl_default()};
+  const Library& lib = nl.library();
+  const CellId g0 = nl.add_cell("g0", lib.find("NOR2"));
+  const CellId g1 = nl.add_cell("g1", lib.find("NOR2"));
+  const CellId g2 = nl.add_cell("g2", lib.find("BUF1"));
+  const NetId a = nl.add_net("a");
+  const NetId n0 = nl.add_net("n0");  // fans out to two cells
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  (void)nl.add_pad_input("A", a, 100.0, 220.0);
+  auto pin = [&](CellId c, const char* p) { return nl.cell_type(c).find_pin(p); };
+  (void)nl.connect(a, g0, pin(g0, "I0"));
+  (void)nl.connect(n0, g0, pin(g0, "O"));
+  (void)nl.connect(n0, g1, pin(g1, "I0"));
+  (void)nl.connect(n0, g2, pin(g2, "I0"));
+  (void)nl.connect(n1, g1, pin(g1, "O"));
+  (void)nl.connect(n2, g2, pin(g2, "O"));
+  (void)nl.add_pad_output("Y1", n1, 0.05);
+  (void)nl.add_pad_output("Y2", n2, 0.05);
+  nl.validate();
+
+  DelayGraph dg(nl);
+  // Give net n0 some wiring capacitance: 600 um of 1-pitch wire.
+  TechParams tech;
+  const double cl = tech.wire_cap_pf(600.0);
+  dg.set_net_cap(n0, cl);
+
+  const CellType& nor2 = nl.cell_type(g0);
+  const PinSpec& out = nor2.pin(nor2.find_pin("O"));
+  const double fin_sum = nl.net_fanin_cap_pf(n0);
+  std::printf("net n0 (driver g0.O, fanout g1.I0 + g2.I0):\n");
+  std::printf("  T0(g0.I0 -> g0.O)        = %.2f ps\n",
+              nor2.arcs().front().t0_ps);
+  std::printf("  sum Fin  = %.4f pF, Tf(g0.O) = %.1f ps/pF -> %.2f ps\n",
+              fin_sum, out.tf_ps_per_pf, fin_sum * out.tf_ps_per_pf);
+  std::printf("  CL(n0)   = %.4f pF, Td(g0.O) = %.1f ps/pF -> %.2f ps\n", cl,
+              out.td_ps_per_pf, cl * out.td_ps_per_pf);
+  std::printf("  wiring-arc delay d(n0)   = %.2f ps (same for both sinks)\n",
+              dg.net_arc_delay(n0));
+  const double expected = fin_sum * out.tf_ps_per_pf + cl * out.td_ps_per_pf;
+  std::printf("  check: Eq.(1) wiring part = %.2f ps -> %s\n", expected,
+              std::abs(expected - dg.net_arc_delay(n0)) < 1e-9 ? "OK" : "FAIL");
+  std::printf("chip critical delay (A -> Y1/Y2) = %.2f ps\n",
+              dg.critical_delay_ps());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Fig. 3 of the paper: the routing graph G_r(n) — terminal
+// vertices with their candidate positions (zero-weight correspondence
+// edges), trunk and branch (feedthrough) edges, and the bridge/non-bridge
+// classification that drives the edge-deletion scheme.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/route/routing_graph.hpp"
+#include "bgr/timing/analyzer.hpp"
+#include "bgr/timing/delay_graph.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Fig. 3: routing graph G_r(n) for a sample net");
+
+  Dataset ds = make_dataset("C1P1");
+  Netlist& nl = ds.netlist;
+  Placement pl = ds.placement;
+  DelayGraph dg(nl);
+  TimingAnalyzer an(dg, ds.constraints);
+  const auto pipeline = run_assignment_pipeline(nl, pl, an.net_slacks());
+
+  // Pick a net with several terminals spanning at least two rows.
+  NetId sample = NetId::invalid();
+  for (const NetId n : nl.nets()) {
+    const NetSpan span = net_span(nl, pl, n);
+    if (nl.net(n).terminal_count() >= 3 && !nl.net(n).is_differential() &&
+        span.row_hi() > span.row_lo() && nl.net(n).pitch_width == 1) {
+      sample = n;
+      break;
+    }
+  }
+  BGR_CHECK(sample.valid());
+
+  const RoutingGraph g(nl, pl, ds.tech, pipeline.assignment, sample);
+  std::printf("net %s: %zu terminals, %d vertices, %d edges\n",
+              nl.net(sample).name.c_str(), nl.net(sample).terminal_count(),
+              g.graph().alive_vertex_count(), g.graph().alive_edge_count());
+
+  std::printf("\nvertices:\n");
+  for (std::int32_t v = 0; v < g.graph().vertex_count(); ++v) {
+    if (!g.graph().vertex_alive(v)) continue;
+    const RouteVertexInfo& info = g.vertex_info(v);
+    if (info.kind == RouteVertexKind::kTerminal) {
+      std::printf("  v%-3d terminal  %s%s\n", v,
+                  nl.terminal_name(info.terminal).c_str(),
+                  v == g.driver_vertex() ? " (driver)" : "");
+    } else {
+      std::printf("  v%-3d point     channel %d, column %d\n", v, info.channel,
+                  info.x);
+    }
+  }
+
+  std::printf("\nedges:\n");
+  int bridges = 0;
+  for (std::int32_t e = 0; e < g.graph().edge_count(); ++e) {
+    if (!g.graph().edge_alive(e)) continue;
+    const RouteEdgeInfo& info = g.edge_info(e);
+    const char* kind = info.kind == RouteEdgeKind::kTrunk      ? "trunk "
+                       : info.kind == RouteEdgeKind::kTermLink ? "term  "
+                                                               : "feed  ";
+    if (g.is_bridge(e)) ++bridges;
+    std::printf("  e%-3d %s v%-3d -- v%-3d  chan %d span [%d,%d] len %6.1f um  %s\n",
+                e, kind, g.graph().edge(e).u, g.graph().edge(e).v, info.channel,
+                info.span.lo, info.span.hi, info.length_um,
+                g.is_bridge(e) ? "bridge" : "non-bridge (deletable)");
+  }
+  std::printf("\n%d bridges, %zu deletable edges; tentative tree %.1f um, "
+              "estimate %.1f um\n",
+              bridges, g.non_bridge_edges().size(), g.tentative_length_um(),
+              g.estimated_length_um());
+  return 0;
+}

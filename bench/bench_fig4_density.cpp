@@ -1,0 +1,115 @@
+// Reproduces Fig. 4 of the paper: the channel density parameters. Builds
+// the full set of initial routing graphs for C1P1 (all candidate edges
+// alive, so d_M and d_m genuinely differ), then charts d_M(c,x) and
+// d_m(c,x) for the most congested channel and prints the channel and
+// per-edge parameters C_M, NC_M, C_m, NC_m, D_M, ND_M, D_m, ND_m.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgr/route/density.hpp"
+#include "bgr/route/routing_graph.hpp"
+#include "bgr/timing/analyzer.hpp"
+#include "bgr/timing/delay_graph.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Fig. 4: density parameters");
+
+  Dataset ds = make_dataset("C1P1");
+  Netlist& nl = ds.netlist;
+  Placement pl = ds.placement;
+  DelayGraph dg(nl);
+  TimingAnalyzer an(dg, ds.constraints);
+  const auto pipeline = run_assignment_pipeline(nl, pl, an.net_slacks());
+
+  DensityMap density(pl.channel_count(), pl.width());
+  std::vector<std::unique_ptr<RoutingGraph>> graphs;
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    auto g = net.is_differential() && !net.diff_primary
+                 ? std::make_unique<RoutingGraph>(nl, pl, ds.tech,
+                                                  pipeline.assignment, n,
+                                                  net.diff_partner, 1)
+                 : std::make_unique<RoutingGraph>(nl, pl, ds.tech,
+                                                  pipeline.assignment, n);
+    for (const auto e : g->alive_edges()) {
+      const RouteEdgeInfo& info = g->edge_info(e);
+      if (!info.is_trunk()) continue;
+      density.add_total(info.channel, info.span, net.pitch_width);
+      if (g->is_bridge(e)) {
+        density.add_bridge(info.channel, info.span, net.pitch_width);
+      }
+    }
+    graphs.push_back(std::move(g));
+  }
+
+  // Most congested channel.
+  std::int32_t channel = 0;
+  for (std::int32_t c = 1; c < density.channel_count(); ++c) {
+    if (density.channel_params(c).c_max >
+        density.channel_params(channel).c_max) {
+      channel = c;
+    }
+  }
+  const ChannelDensityParams& cp = density.channel_params(channel);
+  std::printf("channel %d: C_M = %d (NC_M = %d), C_m = %d (NC_m = %d)\n",
+              channel, cp.c_max, cp.nc_max, cp.c_min, cp.nc_min);
+
+  // ASCII chart (d_M as '#', d_m as '+', both scaled to 20 rows); columns
+  // bucketed to fit 100 characters.
+  const std::int32_t buckets = std::min<std::int32_t>(100, pl.width());
+  std::vector<std::int32_t> bm(static_cast<std::size_t>(buckets), 0);
+  std::vector<std::int32_t> bb(static_cast<std::size_t>(buckets), 0);
+  for (std::int32_t x = 0; x < pl.width(); ++x) {
+    const auto b = static_cast<std::size_t>(
+        static_cast<std::int64_t>(x) * buckets / pl.width());
+    bm[b] = std::max(bm[b], density.total_at(channel, x));
+    bb[b] = std::max(bb[b], density.bridge_at(channel, x));
+  }
+  const std::int32_t chart_rows = 18;
+  std::printf("\nd_M ('#') and d_m ('+') across channel %d (x bucketed):\n",
+              channel);
+  for (std::int32_t row = chart_rows; row >= 1; --row) {
+    const double level = static_cast<double>(cp.c_max) * row / chart_rows;
+    std::printf("%5.0f |", level);
+    for (std::int32_t b = 0; b < buckets; ++b) {
+      const bool total = bm[static_cast<std::size_t>(b)] >= level;
+      const bool bridge = bb[static_cast<std::size_t>(b)] >= level;
+      std::putchar(bridge ? '+' : (total ? '#' : ' '));
+    }
+    std::putchar('\n');
+  }
+  std::printf("      +%s\n", std::string(static_cast<std::size_t>(buckets), '-').c_str());
+
+  // Per-edge parameters for a few sample trunk edges in this channel.
+  std::printf("\nsample edge parameters in channel %d:\n", channel);
+  TextTable table({"net", "span", "D_M", "ND_M", "D_m", "ND_m",
+                   "F_m=C_m-D_m", "F_M=C_M-D_M"});
+  int printed = 0;
+  for (const auto& g : graphs) {
+    if (printed >= 8) break;
+    for (const auto e : g->alive_edges()) {
+      const RouteEdgeInfo& info = g->edge_info(e);
+      if (!info.is_trunk() || info.channel != channel) continue;
+      if (info.span.length() < 8) continue;  // pick informative edges
+      const EdgeDensityParams ep = density.edge_params(channel, info.span);
+      table.add_row({nl.net(g->net()).name,
+                     "[" + std::to_string(info.span.lo) + "," +
+                         std::to_string(info.span.hi) + "]",
+                     TextTable::fmt(static_cast<std::int64_t>(ep.d_max)),
+                     TextTable::fmt(static_cast<std::int64_t>(ep.nd_max)),
+                     TextTable::fmt(static_cast<std::int64_t>(ep.d_min)),
+                     TextTable::fmt(static_cast<std::int64_t>(ep.nd_min)),
+                     TextTable::fmt(static_cast<std::int64_t>(cp.c_min - ep.d_min)),
+                     TextTable::fmt(static_cast<std::int64_t>(cp.c_max - ep.d_max))});
+      ++printed;
+      break;
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

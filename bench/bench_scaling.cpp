@@ -1,0 +1,47 @@
+// Runtime scaling of the full flow versus circuit size, in both modes.
+// The paper reports SPARCstation-2 CPU seconds per circuit (Table 2); this
+// sweep shows how the implementation scales on the host.
+#include <benchmark/benchmark.h>
+
+#include "bgr/metrics/experiment.hpp"
+
+namespace {
+
+using namespace bgr;
+
+Dataset scaled_dataset(std::int64_t cells) {
+  CircuitSpec spec;
+  spec.name = "scale" + std::to_string(cells);
+  spec.seed = 1234 + static_cast<std::uint64_t>(cells);
+  spec.target_cells = static_cast<std::int32_t>(cells);
+  spec.rows = std::max<std::int32_t>(4, static_cast<std::int32_t>(cells) / 90);
+  spec.levels = 8;
+  spec.primary_inputs = 10;
+  spec.primary_outputs = 10;
+  spec.diff_pairs = 3;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 16;
+  return generate_circuit(spec);
+}
+
+void BM_FlowScaling(benchmark::State& state) {
+  const Dataset ds = scaled_dataset(state.range(0));
+  const bool constrained = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_flow(ds, constrained));
+  }
+  state.counters["cells"] = static_cast<double>(ds.netlist.cell_count());
+  state.counters["nets"] = static_cast<double>(ds.netlist.net_count());
+}
+BENCHMARK(BM_FlowScaling)
+    ->Args({150, 1})
+    ->Args({300, 1})
+    ->Args({600, 1})
+    ->Args({150, 0})
+    ->Args({300, 0})
+    ->Args({600, 0})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 1 of the paper: the test bipolar circuits. Prints the
+// dataset statistics (circuit, placement, cells, nets, constraints) plus
+// the bipolar-specific counts our generator controls.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Table 1: test bipolar circuits");
+  bench::print_substitution_note();
+
+  TextTable table({"Data Name", "Circuit", "Placement", "cells", "nets",
+                   "consts.", "rows", "diff pairs", "w-pitch nets", "pads"});
+  for (const std::string& name : dataset_names()) {
+    const Dataset ds = make_dataset(name);
+    std::int32_t diff_pairs = 0;
+    std::int32_t multi = 0;
+    for (const NetId n : ds.netlist.nets()) {
+      const Net& net = ds.netlist.net(n);
+      if (net.is_differential() && net.diff_primary) ++diff_pairs;
+      if (net.pitch_width > 1) ++multi;
+    }
+    std::int32_t pads = 0;
+    std::int32_t logic_cells = 0;
+    for (const TerminalId t : ds.netlist.terminals()) {
+      if (ds.netlist.terminal(t).kind != TerminalKind::kCellPin) ++pads;
+    }
+    for (const CellId c : ds.netlist.cells()) {
+      if (!ds.netlist.cell_type(c).is_feed()) ++logic_cells;
+    }
+    table.add_row({name, name.substr(0, 2), name.substr(2, 2),
+                   TextTable::fmt(static_cast<std::int64_t>(logic_cells)),
+                   TextTable::fmt(static_cast<std::int64_t>(ds.netlist.net_count())),
+                   TextTable::fmt(static_cast<std::int64_t>(ds.constraints.size())),
+                   TextTable::fmt(static_cast<std::int64_t>(ds.placement.row_count())),
+                   TextTable::fmt(static_cast<std::int64_t>(diff_pairs)),
+                   TextTable::fmt(static_cast<std::int64_t>(multi)),
+                   TextTable::fmt(static_cast<std::int64_t>(pads))});
+  }
+  table.print(std::cout);
+  return 0;
+}

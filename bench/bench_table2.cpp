@@ -1,0 +1,57 @@
+// Reproduces Table 2 of the paper: routing results with and without
+// constraints — critical-path delay (ps, measured after channel routing),
+// chip area (mm²), total wire length (mm) and CPU time (s).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Table 2: experimental results");
+  bench::print_substitution_note();
+
+  std::vector<RunResult> con_rows;
+  std::vector<RunResult> unc_rows;
+  for (const std::string& name : dataset_names()) {
+    const Dataset ds = make_dataset(name);
+    con_rows.push_back(run_flow(ds, /*constrained=*/true));
+    unc_rows.push_back(run_flow(ds, /*constrained=*/false));
+  }
+
+  auto print_block = [&](const char* title, const std::vector<RunResult>& rows) {
+    std::cout << "\nRouting Results " << title << "\n";
+    TextTable table({"Data Name", "Delay (ps)", "Area (mm2)", "Length (mm)",
+                     "CPU (sec)"});
+    for (const RunResult& r : rows) {
+      table.add_row({r.dataset, TextTable::fmt(r.delay_ps, 1),
+                     TextTable::fmt(r.area_mm2, 3),
+                     TextTable::fmt(r.length_mm, 1),
+                     TextTable::fmt(r.cpu_s, 2)});
+    }
+    table.print(std::cout);
+  };
+  print_block("With Constraints", con_rows);
+  print_block("Without Constraints", unc_rows);
+
+  std::cout << "\nDelay improvement of the constrained mode:\n";
+  TextTable imp({"Data Name", "improvement (%)", "area change (%)"});
+  double worst = 1e9;
+  double best = -1e9;
+  for (std::size_t i = 0; i < con_rows.size(); ++i) {
+    const double gain = (unc_rows[i].delay_ps - con_rows[i].delay_ps) /
+                        unc_rows[i].delay_ps * 100.0;
+    const double area = (con_rows[i].area_mm2 - unc_rows[i].area_mm2) /
+                        unc_rows[i].area_mm2 * 100.0;
+    worst = std::min(worst, gain);
+    best = std::max(best, gain);
+    imp.add_row({con_rows[i].dataset, TextTable::fmt(gain, 2),
+                 TextTable::fmt(area, 2)});
+  }
+  imp.print(std::cout);
+  std::cout << "(paper: improvements 0.56%..23.5%, area almost unchanged; "
+               "this run: "
+            << TextTable::fmt(worst, 2) << "%.." << TextTable::fmt(best, 2)
+            << "%)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Table 3 of the paper: difference of the routed critical-path
+// delay from the half-perimeter lower bound, constrained vs unconstrained,
+// plus the average delay reduction relative to the lower bound (paper:
+// 17.6%).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("Table 3: difference from the lower bound");
+  bench::print_substitution_note();
+
+  TextTable table({"Data Name", "lower bound (ps)", "Constrained (%)",
+                   "Unconstrained (%)"});
+  double total_reduction = 0.0;
+  std::size_t rows = 0;
+  for (const std::string& name : dataset_names()) {
+    const Dataset ds = make_dataset(name);
+    const RunResult con = run_flow(ds, true);
+    const RunResult unc = run_flow(ds, false);
+    table.add_row({name, TextTable::fmt(con.lower_bound_ps, 1),
+                   TextTable::fmt(con.gap_to_lower_bound_percent(), 1),
+                   TextTable::fmt(unc.gap_to_lower_bound_percent(), 1)});
+    total_reduction +=
+        (unc.delay_ps - con.delay_ps) / con.lower_bound_ps * 100.0;
+    ++rows;
+  }
+  table.print(std::cout);
+  std::cout << "\nAverage critical-path-delay reduction: "
+            << TextTable::fmt(total_reduction / static_cast<double>(rows), 1)
+            << "% of the lower bound (paper: 17.6%)\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+#pragma once
+
+// Shared helpers for the benchmark/reproduction binaries.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bgr/gen/generator.hpp"
+#include "bgr/io/table.hpp"
+
+namespace bgr::bench {
+
+inline void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Reminder printed by every experiment binary: the circuits are synthetic
+/// stand-ins (see DESIGN.md §2), so shapes — not absolute numbers — are
+/// the comparison target.
+inline void print_substitution_note() {
+  std::cout << "(synthetic stand-in circuits; compare shapes with the paper, "
+               "not absolute values)\n";
+}
+
+}  // namespace bgr::bench

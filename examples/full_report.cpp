@@ -1,0 +1,68 @@
+// The complete tour: route a built-in dataset and produce every artifact
+// the library can emit — phase log, design statistics, clock-skew report,
+// signoff verification, ASCII chip map, SVG drawing, and the bgr-route
+// result dump.
+#include <cstdio>
+#include <iostream>
+
+#include "bgr/channel/geometry.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/io/ascii_art.hpp"
+#include "bgr/io/route_io.hpp"
+#include "bgr/metrics/report.hpp"
+#include "bgr/metrics/skew.hpp"
+#include "bgr/verify/verifier.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bgr;
+  const std::string name = argc > 1 ? argv[1] : "C1P1";
+  const std::string out_dir = argc > 2 ? argv[2] : "/tmp";
+
+  Dataset design = make_dataset(name);
+  std::printf("routing %s (%d cells, %d nets, %zu constraints)...\n",
+              name.c_str(), design.netlist.cell_count(),
+              design.netlist.net_count(), design.constraints.size());
+
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, RouterOptions{});
+  const RouteOutcome outcome = router.run();
+  ChannelStage channel(router);
+  channel.run();
+  const double delay =
+      channel.apply_and_critical_delay_ps(router.delay_graph());
+
+  std::printf("\nphases:\n");
+  for (const PhaseStats& ph : outcome.phases) {
+    std::printf("  %-16s deletions %5lld reroutes %4lld crit %8.1f ps\n",
+                ph.name.c_str(), static_cast<long long>(ph.deletions),
+                static_cast<long long>(ph.reroutes), ph.critical_delay_ps);
+  }
+  std::printf("\nresult: delay %.1f ps, area %.3f mm2, length %.2f mm\n\n",
+              delay, channel.chip_area_mm2(),
+              channel.total_detailed_length_um() / 1000.0);
+
+  print_stats(std::cout, collect_stats(router, channel));
+
+  std::printf("\nclock skew:\n");
+  for (const ClockNetSkew& entry : clock_skew_report(router)) {
+    std::printf("  %-8s pitch %d fanout %3d skew %6.1f ps (1-pitch: %6.1f)\n",
+                entry.name.c_str(), entry.pitch_width, entry.fanout,
+                entry.skew_ps(), entry.skew_1pitch_ps);
+  }
+
+  const RouteVerifier verifier(router, &channel);
+  const auto issues = verifier.run();
+  std::printf("\nverification: %s (%zu findings)\n",
+              RouteVerifier::has_errors(issues) ? "FAILED" : "clean",
+              issues.size());
+
+  std::printf("\nchip map:\n");
+  render_placement(std::cout, design.netlist, router.placement(), 100);
+
+  const std::string svg = out_dir + "/" + name + ".svg";
+  const std::string dump = out_dir + "/" + name + ".route";
+  write_svg(svg, router, channel);
+  save_route(dump, router, channel);
+  std::printf("\nwrote %s and %s\n", svg.c_str(), dump.c_str());
+  return RouteVerifier::has_errors(issues) ? 1 : 0;
+}

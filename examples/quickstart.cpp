@@ -1,0 +1,116 @@
+// Quickstart: build a small bipolar standard-cell design by hand, route it
+// with and without a timing constraint, and print the resulting delays,
+// densities and wire lengths.
+#include <cstdio>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/metrics/experiment.hpp"
+#include "bgr/route/router.hpp"
+
+namespace {
+
+bgr::Dataset build_tiny_design() {
+  using namespace bgr;
+  Library lib = Library::make_ecl_default();
+  Netlist nl(std::move(lib));
+  const Library& l = nl.library();
+
+  const CellTypeId nor2 = l.find("NOR2");
+  const CellTypeId buf = l.find("BUF1");
+  const CellTypeId dff = l.find("DFF");
+
+  // Three rows; a NOR chain crossing rows plus a register.
+  const CellId g0 = nl.add_cell("g0", nor2);
+  const CellId g1 = nl.add_cell("g1", nor2);
+  const CellId g2 = nl.add_cell("g2", buf);
+  const CellId ff = nl.add_cell("ff0", dff);
+  const CellId fd0 = nl.add_cell("fd0", l.find("FEED"));
+  const CellId fd1 = nl.add_cell("fd1", l.find("FEED"));
+  const CellId fd2 = nl.add_cell("fd2", l.find("FEED"));
+
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId ck = nl.add_net("ck");
+  const NetId n0 = nl.add_net("n0");
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  const NetId q = nl.add_net("q");
+
+  (void)nl.add_pad_input("A", a, 100.0, 220.0);
+  (void)nl.add_pad_input("B", b, 100.0, 220.0);
+  (void)nl.add_pad_input("CK", ck, 60.0, 140.0);
+
+  auto pin = [&](CellId c, const char* name) {
+    return nl.cell_type(c).find_pin(name);
+  };
+  (void)nl.connect(a, g0, pin(g0, "I0"));
+  (void)nl.connect(b, g0, pin(g0, "I1"));
+  (void)nl.connect(n0, g0, pin(g0, "O"));
+  (void)nl.connect(n0, g1, pin(g1, "I0"));
+  (void)nl.connect(b, g1, pin(g1, "I1"));
+  (void)nl.connect(n1, g1, pin(g1, "O"));
+  (void)nl.connect(n1, g2, pin(g2, "I0"));
+  (void)nl.connect(n2, g2, pin(g2, "O"));
+  (void)nl.connect(n2, ff, pin(ff, "D"));
+  (void)nl.connect(ck, ff, pin(ff, "CK"));
+  (void)nl.connect(q, ff, pin(ff, "Q"));
+  (void)nl.add_pad_output("Q", q, 0.05);
+  nl.validate();
+
+  Placement pl(3, 24);
+  pl.place(nl, g0, RowId{0}, 2);
+  pl.place(nl, fd0, RowId{0}, 10);
+  pl.place(nl, g1, RowId{1}, 12);
+  pl.place(nl, fd1, RowId{1}, 4);
+  pl.place(nl, g2, RowId{2}, 4);
+  pl.place(nl, ff, RowId{2}, 12);
+  pl.place(nl, fd2, RowId{2}, 10);
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kCellPin) continue;
+    pl.place_pad(t, term.kind == TerminalKind::kPadIn, IntInterval{0, 23});
+  }
+
+  // One path constraint A → ff0.D.
+  PathConstraint pc;
+  pc.name = "P0";
+  pc.sources.push_back(TerminalId{0});  // pad A (first terminal added)
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kPadIn && term.pad_name == "A") {
+      pc.sources = {t};
+    }
+    if (term.kind == TerminalKind::kCellPin && term.cell == ff &&
+        nl.cell_type(ff).pin(term.pin).name == "D") {
+      pc.sinks = {t};
+    }
+  }
+  pc.limit_ps = 700.0;
+
+  return Dataset{"tiny", CircuitSpec{}, std::move(nl), std::move(pl), {pc},
+                 TechParams{}};
+}
+
+}  // namespace
+
+int main() {
+  const bgr::Dataset design = build_tiny_design();
+
+  for (const bool constrained : {true, false}) {
+    const bgr::RunResult r = bgr::run_flow(design, constrained);
+    std::printf("%s mode: delay %.1f ps, area %.4f mm2, length %.3f mm, "
+                "lower bound %.1f ps, violations %d\n",
+                constrained ? "constrained " : "unconstrained",
+                r.delay_ps, r.area_mm2, r.length_mm, r.lower_bound_ps,
+                r.violated_constraints);
+    for (const bgr::PhaseStats& ph : r.phases) {
+      std::printf("  phase %-16s deletions %4lld reroutes %3lld "
+                  "crit %.1f ps  sumCM %lld\n",
+                  ph.name.c_str(), static_cast<long long>(ph.deletions),
+                  static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
+                  static_cast<long long>(ph.sum_max_density));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Timing-closure study: the same circuit routed under progressively
+// tighter path constraints. Shows the paper's core trade-off — the router
+// spends wiring freedom (and a little area) to pull the critical paths in,
+// until the constraints become physically unachievable.
+#include <cstdio>
+
+#include "bgr/metrics/experiment.hpp"
+
+int main() {
+  using namespace bgr;
+  CircuitSpec spec;
+  spec.name = "closure";
+  spec.seed = 777;
+  spec.rows = 8;
+  spec.target_cells = 400;
+  spec.levels = 9;
+  spec.primary_inputs = 12;
+  spec.primary_outputs = 12;
+  spec.diff_pairs = 4;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 24;
+  const Dataset base = generate_circuit(spec);
+
+  // Unconstrained baseline.
+  const RunResult baseline = run_flow(base, /*constrained=*/false);
+  std::printf("unconstrained baseline: delay %.1f ps, area %.3f mm2\n\n",
+              baseline.delay_ps, baseline.area_mm2);
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "tightness", "delay (ps)",
+              "area (mm2)", "violations", "worst margin");
+  for (const double scale : {1.50, 1.30, 1.15, 1.05, 1.00, 0.92}) {
+    Dataset ds = base;  // constraints re-scaled per run
+    for (PathConstraint& pc : ds.constraints) {
+      pc.limit_ps = pc.limit_ps * scale;
+    }
+    const RunResult r = run_flow(ds, /*constrained=*/true);
+    std::printf("%-10.2f %12.1f %12.3f %12d %12.1f\n", scale, r.delay_ps,
+                r.area_mm2, r.violated_constraints, r.worst_margin_ps);
+  }
+  std::printf("\nLoose constraints reproduce the unconstrained result; "
+              "tightening them drives the delay down at nearly unchanged "
+              "area until the limits drop below what the placement allows.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "bgr/channel/geometry.hpp"
+
+#include <fstream>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+ChipGeometry::ChipGeometry(const Placement& placement, const TechParams& tech,
+                           const std::vector<std::int32_t>& channel_tracks)
+    : grid_pitch_um_(tech.grid_pitch_um), track_pitch_um_(tech.track_pitch_um) {
+  BGR_CHECK(channel_tracks.size() ==
+            static_cast<std::size_t>(placement.channel_count()));
+  width_um_ = placement.chip_width_um(tech);
+  double y = 0.0;
+  for (std::int32_t c = 0; c < placement.channel_count(); ++c) {
+    channel_bottom_.push_back(y);
+    y += (channel_tracks[static_cast<std::size_t>(c)] + 1) *
+         tech.track_pitch_um;
+    if (c < placement.row_count()) {
+      row_bottom_.push_back(y);
+      y += tech.row_height_um;
+    }
+  }
+  height_um_ = y;
+}
+
+double ChipGeometry::track_y_um(std::int32_t channel, std::int32_t track) const {
+  return channel_bottom_um(channel) + static_cast<double>(track) * track_pitch_um_;
+}
+
+double ChipGeometry::column_x_um(std::int32_t column) const {
+  return (static_cast<double>(column) + 0.5) * grid_pitch_um_;
+}
+
+std::vector<WireSegment> extract_wires(const GlobalRouter& router,
+                                       const ChannelStage& channel,
+                                       const ChipGeometry& geometry) {
+  const Netlist& nl = router.analyzer().delay_graph().netlist();
+  std::vector<WireSegment> wires;
+
+  // Horizontal pieces and their tap verticals, channel by channel.
+  for (std::int32_t c = 0; c < channel.channel_count(); ++c) {
+    const ChannelPlan& plan = channel.plan(c);
+    for (const ChannelSegment& seg : plan.segments) {
+      const double y = geometry.track_y_um(c, seg.track);
+      WireSegment horizontal;
+      horizontal.net = seg.net;
+      horizontal.width_pitches = seg.width;
+      horizontal.x1 = geometry.column_x_um(seg.span.lo);
+      horizontal.x2 = geometry.column_x_um(seg.span.hi);
+      horizontal.y1 = horizontal.y2 = y;
+      if (horizontal.x2 > horizontal.x1) wires.push_back(horizontal);
+      for (const ChannelTap& tap : seg.taps) {
+        WireSegment vertical;
+        vertical.net = seg.net;
+        vertical.width_pitches = seg.width;
+        vertical.x1 = vertical.x2 = geometry.column_x_um(tap.column);
+        // The channel's top edge sits tracks+1 pitches above its bottom.
+        const double edge = tap.from_top
+                                ? geometry.track_y_um(c, plan.tracks + 1)
+                                : geometry.channel_bottom_um(c);
+        vertical.y1 = std::min(y, edge);
+        vertical.y2 = std::max(y, edge);
+        if (vertical.y2 > vertical.y1) wires.push_back(vertical);
+      }
+    }
+  }
+
+  // Row crossings: vertical pieces through the cell rows.
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      if (info.kind != RouteEdgeKind::kFeed) continue;
+      WireSegment vertical;
+      vertical.net = n;
+      vertical.width_pitches = nl.net(n).pitch_width;
+      vertical.x1 = vertical.x2 = geometry.column_x_um(info.span.lo);
+      vertical.y1 = geometry.row_bottom_um(info.channel);
+      vertical.y2 = vertical.y1 + (geometry.channel_bottom_um(info.channel + 1) -
+                                   geometry.row_bottom_um(info.channel));
+      wires.push_back(vertical);
+    }
+  }
+  return wires;
+}
+
+void write_svg(const std::string& path, const GlobalRouter& router,
+               const ChannelStage& channel) {
+  const Netlist& nl = router.analyzer().delay_graph().netlist();
+  const Placement& pl = router.placement();
+  const TechParams& tech = router.tech();
+  const ChipGeometry geometry(pl, tech, channel.track_counts());
+
+  std::ofstream os(path);
+  BGR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  const double w = geometry.chip_width_um();
+  const double h = geometry.chip_height_um();
+  os << "<svg xmlns='http://www.w3.org/2000/svg' viewBox='0 0 " << w << " "
+     << h << "' width='" << w << "' height='" << h << "'>\n";
+  os << "<rect x='0' y='0' width='" << w << "' height='" << h
+     << "' fill='#fafafa' stroke='#444'/>\n";
+
+  // Cells (SVG y grows downward: flip).
+  auto flip = [&](double y) { return h - y; };
+  for (const CellId c : nl.cells()) {
+    const PlacedCell& pc = pl.placed(c);
+    const double x = static_cast<double>(pc.x) * tech.grid_pitch_um;
+    const double cw = static_cast<double>(pc.width) * tech.grid_pitch_um;
+    const double y0 = geometry.row_bottom_um(pc.row.value());
+    const bool feed = nl.cell_type(c).is_feed();
+    os << "<rect x='" << x << "' y='" << flip(y0 + tech.row_height_um)
+       << "' width='" << cw << "' height='" << tech.row_height_um
+       << "' fill='" << (feed ? "#d8e8d8" : "#c9d4e8")
+       << "' stroke='#667' stroke-width='0.4'/>\n";
+  }
+
+  // Wires: one colour family per hash of the net id.
+  const std::vector<WireSegment> wires = extract_wires(router, channel, geometry);
+  for (const WireSegment& seg : wires) {
+    const int hue = (seg.net.value() * 47) % 360;
+    os << "<line x1='" << seg.x1 << "' y1='" << flip(seg.y1) << "' x2='"
+       << seg.x2 << "' y2='" << flip(seg.y2) << "' stroke='hsl(" << hue
+       << ",70%,40%)' stroke-width='"
+       << 0.8 * static_cast<double>(seg.width_pitches) << "'/>\n";
+  }
+
+  // Pads.
+  for (const auto& [pad, site] : pl.pad_sites()) {
+    (void)pad;
+    if (!site.assigned()) continue;
+    const double x = geometry.column_x_um(site.assigned_x);
+    const double y = site.top ? 0.0 : h;
+    os << "<circle cx='" << x << "' cy='" << y << "' r='" << 2.0 * tech.grid_pitch_um
+       << "' fill='#b5651d'/>\n";
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace bgr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/channel/channel_router.hpp"
+
+namespace bgr {
+
+/// Vertical floorplan of the routed chip: absolute um coordinates of every
+/// row and channel, derived from the per-channel track counts. Channel c
+/// sits below row c; channel heights are (tracks + 1) · track pitch.
+class ChipGeometry {
+ public:
+  ChipGeometry(const Placement& placement, const TechParams& tech,
+               const std::vector<std::int32_t>& channel_tracks);
+
+  [[nodiscard]] double chip_width_um() const { return width_um_; }
+  [[nodiscard]] double chip_height_um() const { return height_um_; }
+  /// Bottom edge of a channel / row, um from the chip bottom.
+  [[nodiscard]] double channel_bottom_um(std::int32_t channel) const {
+    return channel_bottom_.at(static_cast<std::size_t>(channel));
+  }
+  [[nodiscard]] double row_bottom_um(std::int32_t row) const {
+    return row_bottom_.at(static_cast<std::size_t>(row));
+  }
+  /// Absolute y of a track (1-based, counted from the channel bottom).
+  [[nodiscard]] double track_y_um(std::int32_t channel, std::int32_t track) const;
+  [[nodiscard]] double column_x_um(std::int32_t column) const;
+
+ private:
+  double width_um_ = 0;
+  double height_um_ = 0;
+  double grid_pitch_um_;
+  double track_pitch_um_;
+  std::vector<double> channel_bottom_;
+  std::vector<double> row_bottom_;
+};
+
+/// One physical wire piece of a routed net, in absolute um coordinates.
+/// Horizontal segments have y1 == y2; vertical segments x1 == x2.
+struct WireSegment {
+  NetId net;
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  std::int32_t width_pitches = 1;
+
+  [[nodiscard]] double length_um() const {
+    return (x2 - x1) + (y2 - y1);  // segments are axis-aligned, positive
+  }
+};
+
+/// Expands the routed trees and track assignment into physical wire
+/// segments: one horizontal piece per channel segment, one vertical piece
+/// per tap (channel edge → track) and per row crossing.
+[[nodiscard]] std::vector<WireSegment> extract_wires(
+    const GlobalRouter& router, const ChannelStage& channel,
+    const ChipGeometry& geometry);
+
+/// Writes the chip (cells, feed cells, pads, wires) as an SVG drawing.
+void write_svg(const std::string& path, const GlobalRouter& router,
+               const ChannelStage& channel);
+
+}  // namespace bgr

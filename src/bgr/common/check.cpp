@@ -1,0 +1,17 @@
+#include "bgr/common/check.hpp"
+
+#include <sstream>
+
+namespace bgr {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "BGR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace bgr

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bgr {
+
+/// Thrown when a BGR_CHECK fails: an internal invariant or an API
+/// precondition was violated. The message carries file/line context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace bgr
+
+/// Precondition / invariant check, active in all build types. EDA runs are
+/// long; silently corrupt state costs far more than the branch.
+#define BGR_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::bgr::check_failed(#expr, __FILE__, __LINE__, {});        \
+    }                                                            \
+  } while (false)
+
+#define BGR_CHECK_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream oss_;                                   \
+      oss_ << msg; /* NOLINT */                                  \
+      ::bgr::check_failed(#expr, __FILE__, __LINE__, oss_.str()); \
+    }                                                            \
+  } while (false)

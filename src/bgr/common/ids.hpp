@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace bgr {
+
+/// Strongly typed integer identifier. Each entity family instantiates its
+/// own tag so that, e.g., a NetId can never be passed where a CellId is
+/// expected. An id is either valid (>= 0 index) or the sentinel invalid().
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Index for container access; caller must ensure validity.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  value_type value_ = -1;
+};
+
+struct CellTag {};
+struct CellTypeTag {};
+struct PinTag {};       // pin within a cell type
+struct TerminalTag {};  // pin instance on a placed cell (or external pad)
+struct NetTag {};
+struct RowTag {};
+struct ChannelTag {};
+struct SlotTag {};        // feedthrough slot within a row
+struct ConstraintTag {};  // critical path constraint
+struct TimingVertexTag {};
+struct RouteVertexTag {};
+struct RouteEdgeTag {};
+
+using CellId = StrongId<CellTag>;
+using CellTypeId = StrongId<CellTypeTag>;
+using PinId = StrongId<PinTag>;
+using TerminalId = StrongId<TerminalTag>;
+using NetId = StrongId<NetTag>;
+using RowId = StrongId<RowTag>;
+using ChannelId = StrongId<ChannelTag>;
+using SlotId = StrongId<SlotTag>;
+using ConstraintId = StrongId<ConstraintTag>;
+using TimingVertexId = StrongId<TimingVertexTag>;
+using RouteVertexId = StrongId<RouteVertexTag>;
+using RouteEdgeId = StrongId<RouteEdgeTag>;
+
+/// Vector indexed by a StrongId; bounds are the caller's responsibility
+/// (checked in debug via at()).
+template <typename Id, typename T>
+class IdVector {
+ public:
+  IdVector() = default;
+  explicit IdVector(std::size_t n) : data_(n) {}
+  IdVector(std::size_t n, const T& init) : data_(n, init) {}
+
+  [[nodiscard]] T& operator[](Id id) { return data_[id.index()]; }
+  [[nodiscard]] const T& operator[](Id id) const { return data_[id.index()]; }
+  [[nodiscard]] T& at(Id id) { return data_.at(id.index()); }
+  [[nodiscard]] const T& at(Id id) const { return data_.at(id.index()); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void resize(std::size_t n) { data_.resize(n); }
+  void resize(std::size_t n, const T& init) { data_.resize(n, init); }
+  void assign(std::size_t n, const T& init) { data_.assign(n, init); }
+  void clear() { data_.clear(); }
+
+  Id push_back(T value) {
+    data_.push_back(std::move(value));
+    return Id{static_cast<typename Id::value_type>(data_.size() - 1)};
+  }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  [[nodiscard]] std::vector<T>& raw() { return data_; }
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+/// Iterate over all ids [0, n).
+template <typename Id>
+class IdRange {
+ public:
+  explicit IdRange(std::size_t n) : n_(static_cast<typename Id::value_type>(n)) {}
+
+  class iterator {
+   public:
+    explicit iterator(typename Id::value_type v) : v_(v) {}
+    Id operator*() const { return Id{v_}; }
+    iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    friend bool operator==(iterator a, iterator b) = default;
+
+   private:
+    typename Id::value_type v_;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator{0}; }
+  [[nodiscard]] iterator end() const { return iterator{n_}; }
+
+ private:
+  typename Id::value_type n_;
+};
+
+}  // namespace bgr
+
+template <typename Tag>
+struct std::hash<bgr::StrongId<Tag>> {
+  std::size_t operator()(bgr::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

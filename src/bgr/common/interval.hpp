@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+/// Closed integer interval [lo, hi] over grid columns. Used for trunk-edge
+/// extents and channel density ranges. A single grid column is [x, x].
+struct IntInterval {
+  std::int32_t lo = 0;
+  std::int32_t hi = -1;  // default-constructed interval is empty
+
+  constexpr IntInterval() = default;
+  constexpr IntInterval(std::int32_t lo_, std::int32_t hi_) : lo(lo_), hi(hi_) {}
+
+  [[nodiscard]] static constexpr IntInterval point(std::int32_t x) {
+    return {x, x};
+  }
+  [[nodiscard]] static constexpr IntInterval spanning(std::int32_t a,
+                                                      std::int32_t b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return hi < lo; }
+  /// Number of grid columns covered (0 when empty).
+  [[nodiscard]] constexpr std::int64_t length() const {
+    return empty() ? 0 : static_cast<std::int64_t>(hi) - lo + 1;
+  }
+  [[nodiscard]] constexpr bool contains(std::int32_t x) const {
+    return lo <= x && x <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(IntInterval other) const {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+  [[nodiscard]] constexpr bool overlaps(IntInterval other) const {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+  [[nodiscard]] constexpr IntInterval intersect(IntInterval other) const {
+    if (empty() || other.empty()) return {};
+    IntInterval r{std::max(lo, other.lo), std::min(hi, other.hi)};
+    return r.empty() ? IntInterval{} : r;
+  }
+  /// Smallest interval containing both (hull, not union).
+  [[nodiscard]] constexpr IntInterval merge(IntInterval other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return {std::min(lo, other.lo), std::max(hi, other.hi)};
+  }
+  /// Expand by d columns on both sides, clamped to [min_x, max_x].
+  [[nodiscard]] constexpr IntInterval expanded(std::int32_t d, std::int32_t min_x,
+                                               std::int32_t max_x) const {
+    if (empty()) return {};
+    return {std::max(min_x, lo - d), std::min(max_x, hi + d)};
+  }
+
+  friend constexpr bool operator==(IntInterval a, IntInterval b) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, IntInterval iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ']';
+}
+
+}  // namespace bgr

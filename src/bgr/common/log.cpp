@@ -1,0 +1,38 @@
+#include "bgr/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bgr {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kInfo:
+      return "[info ] ";
+    case LogLevel::kWarn:
+      return "[warn ] ";
+    case LogLevel::kError:
+      return "[error] ";
+    case LogLevel::kOff:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "%s%s\n", prefix(level), message.c_str());
+}
+
+}  // namespace bgr

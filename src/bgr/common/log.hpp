@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+namespace bgr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+}  // namespace bgr

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+/// Deterministic random source for workload generation and tests.
+/// Thin wrapper over a fixed engine so that every dataset is reproducible
+/// from its seed alone, independent of the standard library's distribution
+/// implementations for integers (we implement our own mapping).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    BGR_CHECK(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % range);
+  }
+
+  [[nodiscard]] std::int32_t uniform_i32(std::int32_t lo, std::int32_t hi) {
+    return static_cast<std::int32_t>(uniform(lo, hi));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Geometric-ish fan-out: 1 + floor(log(u)/log(1-p)) capped.
+  [[nodiscard]] std::int32_t geometric(double p, std::int32_t cap) {
+    std::int32_t v = 1;
+    while (v < cap && !bernoulli(p)) ++v;
+    return v;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t next() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bgr

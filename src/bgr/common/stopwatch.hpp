@@ -1,0 +1,23 @@
+#pragma once
+
+#include <chrono>
+
+namespace bgr {
+
+/// Wall-clock stopwatch for CPU-time columns in the result tables.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bgr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace bgr {
+
+/// Technology parameters for an early-1990s bipolar (ECL) standard-cell
+/// process. All delays are picoseconds, capacitances picofarads, geometry
+/// micrometres. Values are representative, not foundry data; the benchmark
+/// harness reports them alongside every table.
+struct TechParams {
+  /// Horizontal routing grid pitch (one feedthrough/track column), um.
+  double grid_pitch_um = 3.0;
+  /// Vertical track pitch inside a channel, um.
+  double track_pitch_um = 3.0;
+  /// Standard cell row height, um.
+  double row_height_um = 60.0;
+  /// Wire capacitance per micrometre of a 1-pitch wire, pF/um. A w-pitch
+  /// wire has w times this capacitance.
+  double wire_cap_pf_per_um = 0.00018;
+  /// Expected vertical run inside a channel from its edge to an assigned
+  /// track, um. Used by the global router's length estimates for pin taps
+  /// (one per terminal) and feedthrough crossings (one per adjacent
+  /// channel); the channel stage later replaces it with exact jogs.
+  double channel_depth_est_um = 45.0;
+  /// Wire sheet resistance per micrometre of a 1-pitch wire, Ω/um. Bipolar
+  /// wires are wide, so this is small — which is exactly the paper's
+  /// argument for the capacitance model; the Elmore extension quantifies
+  /// it. A w-pitch wire has 1/w of this resistance.
+  double wire_res_ohm_per_um = 0.04;
+
+  /// Resistance (Ω) of `um` micrometres of w-pitch wire.
+  [[nodiscard]] double wire_res_ohm(double um, int pitch_width = 1) const {
+    return wire_res_ohm_per_um * um / static_cast<double>(pitch_width);
+  }
+
+  /// Length (um) of one horizontal grid step.
+  [[nodiscard]] double horiz_step_um() const { return grid_pitch_um; }
+  /// Length (um) of a feedthrough crossing one cell row.
+  [[nodiscard]] double row_cross_um() const { return row_height_um; }
+
+  /// Capacitance (pF) of `um` micrometres of w-pitch wire.
+  [[nodiscard]] double wire_cap_pf(double um, int pitch_width = 1) const {
+    return wire_cap_pf_per_um * um * static_cast<double>(pitch_width);
+  }
+};
+
+}  // namespace bgr

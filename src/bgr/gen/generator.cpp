@@ -1,0 +1,544 @@
+#include "bgr/gen/generator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bgr/common/rng.hpp"
+#include "bgr/layout/feed_insertion.hpp"
+#include "bgr/place/force_placer.hpp"
+#include "bgr/timing/delay_graph.hpp"
+#include "bgr/timing/lower_bound.hpp"
+
+namespace bgr {
+namespace {
+
+struct TypeIds {
+  CellTypeId buf, inv, nor2, nor3, xor2, mux2, dff, ckbuf, ddrv, drcv, feed;
+};
+
+TypeIds lookup_types(const Library& lib) {
+  TypeIds t;
+  t.buf = lib.find("BUF1");
+  t.inv = lib.find("INV1");
+  t.nor2 = lib.find("NOR2");
+  t.nor3 = lib.find("NOR3");
+  t.xor2 = lib.find("XOR2");
+  t.mux2 = lib.find("MUX2");
+  t.dff = lib.find("DFF");
+  t.ckbuf = lib.find("CKBUF");
+  t.ddrv = lib.find("DDRV");
+  t.drcv = lib.find("DRCV");
+  t.feed = lib.find("FEED");
+  BGR_CHECK(t.feed.valid());
+  return t;
+}
+
+/// Unwired input slot of a cell, grouped by logic level.
+struct Slot {
+  CellId cell;
+  PinId pin;
+};
+
+/// Netlist construction state: producer nets and consumer slots per level.
+struct Builder {
+  const CircuitSpec& spec;
+  Netlist& nl;
+  Rng& rng;
+  TypeIds types;
+
+  std::vector<std::vector<Slot>> slots_by_level;
+  std::vector<std::vector<NetId>> nets_by_level;
+  std::vector<NetId> high_nets;  // late-level nets eligible for POs
+  std::int32_t po_count = 0;
+  std::vector<double> cell_level;  // indexed by CellId, placer seed
+  std::vector<double> cell_col;    // column affinity in [0,1), locality seed
+  std::vector<double> net_col;     // driver's affinity, indexed by NetId
+
+  void note_level(CellId cell, double level) {
+    if (cell.index() >= cell_level.size()) cell_level.resize(cell.index() + 1, 0.0);
+    cell_level[cell.index()] = level;
+  }
+  void note_col(CellId cell, double col) {
+    if (cell.index() >= cell_col.size()) cell_col.resize(cell.index() + 1, 0.5);
+    cell_col[cell.index()] = col;
+  }
+  void note_net_col(NetId net, double col) {
+    if (net.index() >= net_col.size()) net_col.resize(net.index() + 1, 0.5);
+    net_col[net.index()] = col;
+  }
+  [[nodiscard]] double col_of_cell(CellId cell) const {
+    return cell.index() < cell_col.size() ? cell_col[cell.index()] : 0.5;
+  }
+  [[nodiscard]] double col_of_net(NetId net) const {
+    return net.index() < net_col.size() ? net_col[net.index()] : 0.5;
+  }
+
+  void add_slot(std::int32_t level, CellId cell, PinId pin) {
+    slots_by_level.at(static_cast<std::size_t>(level)).push_back(Slot{cell, pin});
+  }
+
+  /// Removes and returns a slot at a level above `net_level`, preferring
+  /// nearby levels and nearby columns; invalid cell when none remain.
+  Slot take_slot_above(std::int32_t net_level, double col) {
+    const auto top = static_cast<std::int32_t>(slots_by_level.size()) - 1;
+    for (std::int32_t l = net_level + 1; l <= top; ++l) {
+      auto& pool = slots_by_level[static_cast<std::size_t>(l)];
+      if (pool.empty()) continue;
+      // Mostly take the nearest level; sometimes skip upward for variety.
+      if (l < top && rng.bernoulli(0.25)) continue;
+      // Sample a few slots, keep the nearest column.
+      std::size_t best_k = 0;
+      double best_d = 3.0;
+      for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
+        const auto k = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1));
+        const double d = std::abs(col_of_cell(pool[k].cell) - col);
+        if (d < best_d) {
+          best_d = d;
+          best_k = k;
+        }
+      }
+      const Slot slot = pool[best_k];
+      pool[best_k] = pool.back();
+      pool.pop_back();
+      return slot;
+    }
+    // Second sweep without skipping.
+    for (std::int32_t l = net_level + 1; l <= top; ++l) {
+      auto& pool = slots_by_level[static_cast<std::size_t>(l)];
+      if (pool.empty()) continue;
+      const Slot slot = pool.back();
+      pool.pop_back();
+      return slot;
+    }
+    return Slot{CellId::invalid(), PinId::invalid()};
+  }
+
+  /// Locality-biased driver pick for a consumer at (level, col): sample a
+  /// handful of candidates from nearby levels and keep the one whose
+  /// producer sits in the nearest column neighbourhood.
+  [[nodiscard]] NetId random_net_below(std::int32_t level, double col) {
+    NetId best = NetId::invalid();
+    double best_d = 2.0;
+    for (std::int32_t attempt = 0; attempt < 6; ++attempt) {
+      std::int32_t l = level - rng.geometric(0.5, 4);
+      l = std::clamp(l, 0, level - 1);
+      const auto& pool = nets_by_level[static_cast<std::size_t>(l)];
+      if (pool.empty()) continue;
+      const NetId cand = pool[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      const double d = std::abs(col_of_net(cand) - col);
+      if (d < best_d) {
+        best_d = d;
+        best = cand;
+      }
+    }
+    if (best.valid()) return best;
+    for (std::int32_t l = level - 1; l >= 0; --l) {
+      const auto& pool = nets_by_level[static_cast<std::size_t>(l)];
+      if (!pool.empty()) {
+        return pool[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      }
+    }
+    BGR_CHECK_MSG(false, "no producer net below level");
+    return NetId::invalid();
+  }
+};
+
+void build_logic(Builder& b) {
+  const CircuitSpec& spec = b.spec;
+  Netlist& nl = b.nl;
+  const Library& lib = nl.library();
+  b.slots_by_level.resize(static_cast<std::size_t>(spec.levels) + 1);
+  b.nets_by_level.resize(static_cast<std::size_t>(spec.levels) + 1);
+
+  const std::int32_t n_ff =
+      std::max<std::int32_t>(4, spec.target_cells * spec.register_percent / 100);
+  const std::int32_t diff_cells = spec.diff_pairs * 3;
+  const std::int32_t n_comb = std::max<std::int32_t>(
+      spec.levels * 2,
+      spec.target_cells - n_ff - diff_cells - spec.clock_buffers);
+
+  // Registers: Q nets are level-0 producers, D pins are top-level slots.
+  std::vector<CellId> regs;
+  for (std::int32_t i = 0; i < n_ff; ++i) {
+    const CellId cell = nl.add_cell("ff" + std::to_string(i), b.types.dff);
+    // Registers wrap the pipeline: spread them across the level range.
+    b.note_level(cell, static_cast<double>(i % spec.levels));
+    b.note_col(cell, b.rng.uniform01());
+    regs.push_back(cell);
+    const CellType& type = lib.type(b.types.dff);
+    const NetId q = nl.add_net("q" + std::to_string(i));
+    (void)nl.connect(q, cell, type.find_pin("Q"));
+    b.note_net_col(q, b.col_of_cell(cell));
+    b.nets_by_level[0].push_back(q);
+    b.add_slot(spec.levels, cell, type.find_pin("D"));
+  }
+
+  // Primary inputs.
+  for (std::int32_t i = 0; i < spec.primary_inputs; ++i) {
+    const NetId net = nl.add_net("pi" + std::to_string(i));
+    (void)nl.add_pad_input("PI" + std::to_string(i), net, 100.0, 220.0);
+    b.note_net_col(net, (static_cast<double>(i) + 0.5) /
+                            static_cast<double>(spec.primary_inputs));
+    b.nets_by_level[0].push_back(net);
+  }
+
+  // Combinational cells at levels 1..levels-1, biased toward lower levels
+  // so the top of the cone stays thin.
+  const CellTypeId comb_types[6] = {b.types.buf,  b.types.inv,  b.types.nor2,
+                                    b.types.nor3, b.types.xor2, b.types.mux2};
+  const std::int32_t weights[6] = {10, 15, 30, 20, 12, 13};
+  for (std::int32_t i = 0; i < n_comb; ++i) {
+    const std::int32_t pick = b.rng.uniform_i32(0, 99);
+    std::size_t ti = 0;
+    for (std::int32_t acc = weights[0]; ti < 5 && pick >= acc;
+         acc += weights[++ti]) {
+    }
+    const CellTypeId type_id = comb_types[ti];
+    const std::int32_t level =
+        1 + std::min(b.rng.uniform_i32(0, spec.levels - 2),
+                     b.rng.uniform_i32(0, spec.levels - 2));
+    const CellId cell = nl.add_cell("g" + std::to_string(i), type_id);
+    b.note_level(cell, static_cast<double>(level));
+    b.note_col(cell, b.rng.uniform01());
+    const CellType& type = lib.type(type_id);
+    const NetId out = nl.add_net("n" + std::to_string(i));
+    b.note_net_col(out, b.col_of_cell(cell));
+    for (PinId p{0}; p.value() < type.pin_count(); p = PinId{p.value() + 1}) {
+      if (type.pin(p).dir == PinDir::kOutput) {
+        (void)nl.connect(out, cell, p);
+      } else {
+        b.add_slot(level, cell, p);
+      }
+    }
+    b.nets_by_level[static_cast<std::size_t>(level)].push_back(out);
+    if (level >= spec.levels - 3) b.high_nets.push_back(out);
+  }
+
+  // Differential pairs: DDRV at a mid level feeding 1-2 DRCV receivers one
+  // level up; the true/complement nets form the pair (§4.1). Differential
+  // nets keep exactly their receiver sinks (homogeneity).
+  for (std::int32_t i = 0; i < spec.diff_pairs; ++i) {
+    const std::int32_t level = b.rng.uniform_i32(1, std::max(1, spec.levels - 3));
+    const CellId drv = nl.add_cell("ddrv" + std::to_string(i), b.types.ddrv);
+    b.note_level(drv, static_cast<double>(level));
+    b.note_col(drv, b.rng.uniform01());
+    const CellType& drv_type = lib.type(b.types.ddrv);
+    const NetId nt = nl.add_net("dt" + std::to_string(i));
+    const NetId nc = nl.add_net("dc" + std::to_string(i));
+    (void)nl.connect(nt, drv, drv_type.find_pin("OT"));
+    (void)nl.connect(nc, drv, drv_type.find_pin("OC"));
+    b.add_slot(level, drv, drv_type.find_pin("I"));
+    const std::int32_t receivers = b.rng.uniform_i32(1, 2);
+    const CellType& rcv_type = lib.type(b.types.drcv);
+    for (std::int32_t r = 0; r < receivers; ++r) {
+      const CellId rcv = nl.add_cell(
+          "drcv" + std::to_string(i) + "_" + std::to_string(r), b.types.drcv);
+      b.note_level(rcv, static_cast<double>(level + 1));
+      b.note_col(rcv, std::clamp(b.col_of_cell(drv) + b.rng.uniform_real(-0.08, 0.08), 0.0, 1.0));
+      (void)nl.connect(nt, rcv, rcv_type.find_pin("IT"));
+      (void)nl.connect(nc, rcv, rcv_type.find_pin("IC"));
+      const NetId out =
+          nl.add_net("dr" + std::to_string(i) + "_" + std::to_string(r));
+      (void)nl.connect(out, rcv, rcv_type.find_pin("O"));
+      const std::int32_t out_level = std::min(level + 1, spec.levels - 1);
+      b.nets_by_level[static_cast<std::size_t>(out_level)].push_back(out);
+    }
+    nl.make_differential(nt, nc);
+  }
+
+  // Clock distribution: one pad, clock_buffers CKBUF cells, one w-pitch net
+  // per buffer driving its register partition (§4.2).
+  const NetId ck_root = nl.add_net("ck_root");
+  (void)nl.add_pad_input("CK", ck_root, 60.0, 140.0);
+  const CellType& ckbuf_type = lib.type(b.types.ckbuf);
+  const CellType& ff_type = lib.type(b.types.dff);
+  for (std::int32_t i = 0; i < spec.clock_buffers; ++i) {
+    const CellId buf = nl.add_cell("ckbuf" + std::to_string(i), b.types.ckbuf);
+    b.note_level(buf, static_cast<double>(spec.levels) / 2.0);
+    (void)nl.connect(ck_root, buf, ckbuf_type.find_pin("I"));
+    const NetId ck = nl.add_net("ck" + std::to_string(i), spec.clock_pitch);
+    (void)nl.connect(ck, buf, ckbuf_type.find_pin("O"));
+    for (std::size_t r = static_cast<std::size_t>(i); r < regs.size();
+         r += static_cast<std::size_t>(spec.clock_buffers)) {
+      (void)nl.connect(ck, regs[r], ff_type.find_pin("CK"));
+    }
+  }
+
+  // Coverage pass: every pooled producer net gets at least one sink; nets
+  // above every remaining slot become primary outputs.
+  for (std::int32_t l = 0; l <= spec.levels; ++l) {
+    for (const NetId net : b.nets_by_level[static_cast<std::size_t>(l)]) {
+      if (!nl.net(net).sinks.empty()) continue;
+      const Slot slot = b.take_slot_above(l, b.col_of_net(net));
+      if (slot.cell.valid()) {
+        (void)nl.connect(net, slot.cell, slot.pin);
+      } else {
+        (void)nl.add_pad_output("PO" + std::to_string(b.po_count), net, 0.05);
+        ++b.po_count;
+      }
+    }
+  }
+  // Ensure the requested number of primary outputs.
+  while (b.po_count < spec.primary_outputs && !b.high_nets.empty()) {
+    const NetId net = b.high_nets[static_cast<std::size_t>(b.rng.uniform(
+        0, static_cast<std::int64_t>(b.high_nets.size()) - 1))];
+    (void)nl.add_pad_output("PO" + std::to_string(b.po_count), net, 0.05);
+    ++b.po_count;
+  }
+
+  // Fill pass: wire every remaining input slot to a lower-level net.
+  for (std::int32_t l = 1; l <= spec.levels; ++l) {
+    for (const Slot& slot : b.slots_by_level[static_cast<std::size_t>(l)]) {
+      (void)nl.connect(b.random_net_below(l, b.col_of_cell(slot.cell)),
+                       slot.cell, slot.pin);
+    }
+    b.slots_by_level[static_cast<std::size_t>(l)].clear();
+  }
+}
+
+/// Packs each row left to right, sprinkling FEED cells and gaps (the
+/// designers' automatic feed-cell insertion that defines P1).
+Placement build_placement(Netlist& nl, const CircuitSpec& spec,
+                          const PlacerRows& placer, Rng& rng,
+                          TypeIds types) {
+  double total = 0;
+  for (const CellId c : nl.cells()) total += nl.cell_type(c).width();
+  const double feeds = total / std::max(1, spec.feed_every);
+  const double gaps = total * spec.gap_fraction;
+  const std::int32_t width = static_cast<std::int32_t>(
+      (total + feeds + gaps) / spec.rows + 12.0);
+
+  Placement placement(spec.rows, width);
+  std::int32_t feed_seq = 0;
+  for (std::int32_t row = 0; row < spec.rows; ++row) {
+    std::int32_t x = 0;
+    std::int32_t feed_counter = 0;
+    for (const CellId c : placer.row_order[static_cast<std::size_t>(row)]) {
+      const std::int32_t w = nl.cell_type(c).width();
+      if (feed_counter >= spec.feed_every && x + 1 + w <= width) {
+        const CellId feed =
+            nl.add_cell("pfeed" + std::to_string(feed_seq++), types.feed);
+        placement.place(nl, feed, RowId{row}, x);
+        ++x;
+        feed_counter = 0;
+      }
+      if (rng.bernoulli(spec.gap_fraction) && x + 1 + w <= width) ++x;
+      BGR_CHECK_MSG(x + w <= width, "placement overflow: widen rows");
+      placement.place(nl, c, RowId{row}, x);
+      x += w;
+      feed_counter += w;
+    }
+  }
+
+  // Pad windows: PIs (and the clock pad) on top, POs on bottom, spread
+  // across the edge with generous overlap.
+  std::vector<TerminalId> top_pads;
+  std::vector<TerminalId> bottom_pads;
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kPadIn) top_pads.push_back(t);
+    if (term.kind == TerminalKind::kPadOut) bottom_pads.push_back(t);
+  }
+  auto spread = [&](const std::vector<TerminalId>& pads, bool top) {
+    const auto n = static_cast<std::int32_t>(pads.size());
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::int32_t center =
+          static_cast<std::int32_t>((static_cast<std::int64_t>(i) * 2 + 1) *
+                                    width / (2 * std::max(n, 1)));
+      const std::int32_t half = std::max(width / 6, 8);
+      placement.place_pad(pads[static_cast<std::size_t>(i)], top,
+                          IntInterval{std::max(0, center - half),
+                                      std::min(width - 1, center + half)});
+    }
+  };
+  spread(top_pads, /*top=*/true);
+  spread(bottom_pads, /*top=*/false);
+  return placement;
+}
+
+/// Derives path constraints the way the paper's designers did — tight but
+/// achievable limits on the most critical endpoints. Achievability is
+/// judged against a routable estimate: half-perimeter wire plus the
+/// expected in-channel verticals (taps and crossings), which is what a
+/// good route of the net can actually realise.
+std::vector<PathConstraint> derive_constraints(const Netlist& nl,
+                                               const Placement& placement,
+                                               const TechParams& tech,
+                                               const CircuitSpec& spec,
+                                               Rng& rng) {
+  DelayGraph dg(nl);
+  for (const NetId n : nl.nets()) {
+    const double hpwl = net_half_perimeter_um(nl, placement, tech, n);
+    // Vertical extent in rows ≈ vertical HPWL share / row height; approximate
+    // with total HPWL / (2 · row height), which over-counts mildly for flat
+    // nets — the tightness factor absorbs it.
+    const double crossings = hpwl / (2.0 * tech.row_height_um);
+    const double est_um =
+        hpwl + tech.channel_depth_est_um *
+                   (static_cast<double>(nl.net(n).terminal_count()) +
+                    2.0 * crossings);
+    dg.set_net_cap(n, tech.wire_cap_pf(est_um, nl.net(n).pitch_width));
+  }
+  const Dag& dag = dg.dag();
+  const auto lp = dag.longest_from(dg.sources());
+  std::set<std::int32_t> source_set(dg.sources().begin(), dg.sources().end());
+
+  std::vector<std::int32_t> endpoints = dg.sinks();
+  std::sort(endpoints.begin(), endpoints.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return lp[static_cast<std::size_t>(a)] >
+                     lp[static_cast<std::size_t>(b)];
+            });
+
+  std::vector<PathConstraint> constraints;
+  std::set<std::pair<std::int32_t, std::int32_t>> used;
+  const double max_delay =
+      endpoints.empty() ? 0.0 : lp[static_cast<std::size_t>(endpoints.front())];
+  for (const auto sink : endpoints) {
+    if (static_cast<std::int32_t>(constraints.size()) >= spec.path_constraints)
+      break;
+    const double delay = lp[static_cast<std::size_t>(sink)];
+    if (delay == Dag::kMinusInf || delay <= 0.0) continue;
+    // Constrain the whole near-critical envelope, not just the top path.
+    if (delay < 0.70 * max_delay) break;
+    // Backtrack the realizing path to its source.
+    std::int32_t v = sink;
+    while (source_set.find(v) == source_set.end()) {
+      std::int32_t best_from = -1;
+      for (const auto e : dag.in_edges(v)) {
+        const Dag::Edge& ed = dag.edge(e);
+        const double lpf = lp[static_cast<std::size_t>(ed.from)];
+        if (lpf == Dag::kMinusInf) continue;
+        if (std::abs(lpf + ed.weight - lp[static_cast<std::size_t>(v)]) < 1e-6) {
+          best_from = ed.from;
+          break;
+        }
+      }
+      BGR_CHECK(best_from >= 0);
+      v = best_from;
+    }
+    if (!used.emplace(v, sink).second) continue;
+    PathConstraint pc;
+    pc.name = "P" + std::to_string(constraints.size());
+    pc.sources.push_back(dg.terminal_of(v));
+    pc.sinks.push_back(dg.terminal_of(sink));
+    pc.limit_ps =
+        delay * rng.uniform_real(spec.tightness_lo, spec.tightness_hi);
+    constraints.push_back(std::move(pc));
+  }
+  return constraints;
+}
+
+}  // namespace
+
+Dataset generate_circuit(const CircuitSpec& spec) {
+  Library lib = Library::make_ecl_default();
+  const TypeIds types = lookup_types(lib);
+  Rng rng(spec.seed);
+  Netlist nl(std::move(lib));
+
+  Builder builder{spec, nl, rng, types, {}, {}, {}, 0, {}, {}, {}};
+  build_logic(builder);
+  nl.validate();
+
+  PlacerOptions placer_options;
+  placer_options.passes = spec.placer_passes;
+  const PlacerRows placer = force_directed_rows(
+      nl, spec.rows, static_cast<double>(spec.levels) - 1.0,
+      builder.cell_level, builder.cell_col, rng, placer_options);
+  Placement placement = build_placement(nl, spec, placer, rng, types);
+  placement.validate(nl);
+
+  TechParams tech;
+  tech.channel_depth_est_um = spec.channel_depth_est_um;
+  auto constraints = derive_constraints(nl, placement, tech, spec, rng);
+
+  return Dataset{spec.name, spec, std::move(nl), std::move(placement),
+                 std::move(constraints), tech};
+}
+
+CircuitSpec c1_spec() {
+  CircuitSpec spec;
+  spec.name = "C1";
+  spec.seed = 9401;
+  spec.rows = 10;
+  spec.target_cells = 650;
+  spec.levels = 10;
+  spec.primary_inputs = 20;
+  spec.primary_outputs = 20;
+  spec.diff_pairs = 8;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 40;
+  return spec;
+}
+
+CircuitSpec c2_spec() {
+  CircuitSpec spec;
+  spec.name = "C2";
+  spec.seed = 9402;
+  spec.rows = 13;
+  spec.target_cells = 1100;
+  spec.levels = 12;
+  spec.primary_inputs = 28;
+  spec.primary_outputs = 28;
+  spec.diff_pairs = 12;
+  spec.clock_buffers = 3;
+  spec.path_constraints = 60;
+  spec.channel_depth_est_um = 85.0;
+  return spec;
+}
+
+CircuitSpec c3_spec() {
+  CircuitSpec spec;
+  spec.name = "C3";
+  spec.seed = 9403;
+  spec.rows = 16;
+  spec.target_cells = 1700;
+  spec.levels = 13;
+  spec.primary_inputs = 32;
+  spec.primary_outputs = 32;
+  spec.diff_pairs = 16;
+  spec.clock_buffers = 4;
+  spec.path_constraints = 30;
+  spec.tightness_lo = 1.02;
+  spec.tightness_hi = 1.12;
+  spec.channel_depth_est_um = 90.0;
+  return spec;
+}
+
+Dataset make_dataset(const std::string& name) {
+  BGR_CHECK_MSG(name.size() == 4 && name[0] == 'C' && name[2] == 'P',
+                "dataset name must look like C1P1");
+  CircuitSpec spec;
+  switch (name[1]) {
+    case '1':
+      spec = c1_spec();
+      break;
+    case '2':
+      spec = c2_spec();
+      break;
+    case '3':
+      spec = c3_spec();
+      break;
+    default:
+      BGR_CHECK_MSG(false, "unknown circuit in dataset name " << name);
+  }
+  Dataset ds = generate_circuit(spec);
+  ds.name = name;
+  if (name[3] == '2') {
+    ds.placement = sweep_feed_cells_aside(ds.netlist, ds.placement);
+  } else {
+    BGR_CHECK_MSG(name[3] == '1', "unknown placement in dataset name " << name);
+  }
+  return ds;
+}
+
+std::vector<std::string> dataset_names() {
+  return {"C1P1", "C1P2", "C2P1", "C2P2", "C3P1"};
+}
+
+}  // namespace bgr

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/common/tech.hpp"
+#include "bgr/layout/placement.hpp"
+#include "bgr/netlist/netlist.hpp"
+#include "bgr/timing/analyzer.hpp"
+
+namespace bgr {
+
+/// Parameters of one synthetic bipolar standard-cell circuit. The presets
+/// C1–C3 stand in for the NTT 10-Gbit/s transmission-system circuits of the
+/// paper (Table 1), whose netlists are proprietary; see DESIGN.md §2.
+struct CircuitSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::int32_t rows = 10;
+  std::int32_t target_cells = 600;  // logic cells (registers included)
+  std::int32_t levels = 10;         // combinational depth
+  std::int32_t register_percent = 12;
+  std::int32_t primary_inputs = 16;
+  std::int32_t primary_outputs = 16;
+  std::int32_t diff_pairs = 6;      // differential DDRV→DRCV pairs (§4.1)
+  std::int32_t clock_buffers = 2;   // multi-pitch clock domains (§4.2)
+  std::int32_t clock_pitch = 2;     // w of the clock nets
+  std::int32_t path_constraints = 20;
+  /// δ_P = tightness · routable-estimate path delay (HPWL + expected
+  /// verticals), drawn uniformly per constraint.
+  double tightness_lo = 1.00;
+  double tightness_hi = 1.10;
+  double gap_fraction = 0.06;  // spare columns sprinkled between cells
+  std::int32_t feed_every = 7;  // a FEED cell about every N columns (P1)
+  /// Expected half-channel depth (um) used by the router's estimates; a
+  /// process/size calibration knob (fat channels need a larger value).
+  double channel_depth_est_um = 50.0;
+  /// Force-directed placer iterations for the P1 placement (0 = the
+  /// level/column hints alone — a deliberately poor placement for the
+  /// placement-quality ablation).
+  std::int32_t placer_passes = 24;
+};
+
+/// A complete experiment input: circuit, placement, constraints, process.
+struct Dataset {
+  std::string name;
+  CircuitSpec spec;
+  Netlist netlist;
+  Placement placement;
+  std::vector<PathConstraint> constraints;
+  TechParams tech;
+};
+
+/// Generates the circuit, the P1-style placement (feed cells evenly
+/// inserted) and the constraint set derived from the half-perimeter lower
+/// bound timing. Deterministic in spec.seed.
+[[nodiscard]] Dataset generate_circuit(const CircuitSpec& spec);
+
+/// Preset specs for the three test circuits.
+[[nodiscard]] CircuitSpec c1_spec();
+[[nodiscard]] CircuitSpec c2_spec();
+[[nodiscard]] CircuitSpec c3_spec();
+
+/// Builds a named dataset: "C1P1", "C1P2", "C2P1", "C2P2" or "C3P1". The
+/// P2 variants sweep the feed cells to the row ends (§5).
+[[nodiscard]] Dataset make_dataset(const std::string& name);
+
+/// All five dataset names of Table 1/2, in paper order.
+[[nodiscard]] std::vector<std::string> dataset_names();
+
+}  // namespace bgr

@@ -1,0 +1,138 @@
+#include "bgr/graph/dag.hpp"
+
+#include <algorithm>
+
+namespace bgr {
+
+std::int32_t Dag::add_vertex() {
+  BGR_CHECK(!frozen_);
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<std::int32_t>(out_.size()) - 1;
+}
+
+std::int32_t Dag::add_edge(std::int32_t from, std::int32_t to, double weight,
+                           std::int32_t label) {
+  BGR_CHECK(!frozen_);
+  BGR_CHECK(from >= 0 && from < vertex_count());
+  BGR_CHECK(to >= 0 && to < vertex_count());
+  BGR_CHECK(from != to);
+  const auto id = static_cast<std::int32_t>(edges_.size());
+  edges_.push_back(Edge{from, to, weight, label});
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+void Dag::freeze() {
+  BGR_CHECK(!frozen_);
+  const auto n = static_cast<std::size_t>(vertex_count());
+  std::vector<std::int32_t> indegree(n, 0);
+  for (const Edge& e : edges_) ++indegree[static_cast<std::size_t>(e.to)];
+  std::vector<std::int32_t> queue;
+  queue.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(static_cast<std::int32_t>(v));
+  }
+  topo_.clear();
+  topo_.reserve(n);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto v = queue[head];
+    topo_.push_back(v);
+    for (auto e : out_[static_cast<std::size_t>(v)]) {
+      const auto w = edges_[static_cast<std::size_t>(e)].to;
+      if (--indegree[static_cast<std::size_t>(w)] == 0) queue.push_back(w);
+    }
+  }
+  BGR_CHECK_MSG(topo_.size() == n, "timing graph contains a cycle");
+  frozen_ = true;
+}
+
+std::vector<double> Dag::longest_from(const std::vector<std::int32_t>& sources,
+                                      const std::vector<bool>& subset) const {
+  BGR_CHECK(frozen_);
+  const auto n = static_cast<std::size_t>(vertex_count());
+  auto in_subset = [&](std::int32_t v) {
+    return subset.empty() || subset[static_cast<std::size_t>(v)];
+  };
+  std::vector<double> lp(n, kMinusInf);
+  for (auto s : sources) {
+    if (in_subset(s)) lp[static_cast<std::size_t>(s)] = 0.0;
+  }
+  for (auto v : topo_) {
+    if (lp[static_cast<std::size_t>(v)] == kMinusInf || !in_subset(v)) continue;
+    for (auto e : out_[static_cast<std::size_t>(v)]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (!in_subset(ed.to)) continue;
+      lp[static_cast<std::size_t>(ed.to)] =
+          std::max(lp[static_cast<std::size_t>(ed.to)],
+                   lp[static_cast<std::size_t>(v)] + ed.weight);
+    }
+  }
+  return lp;
+}
+
+std::vector<double> Dag::longest_to(const std::vector<std::int32_t>& sinks,
+                                    const std::vector<bool>& subset) const {
+  BGR_CHECK(frozen_);
+  const auto n = static_cast<std::size_t>(vertex_count());
+  auto in_subset = [&](std::int32_t v) {
+    return subset.empty() || subset[static_cast<std::size_t>(v)];
+  };
+  std::vector<double> ls(n, kMinusInf);
+  for (auto s : sinks) {
+    if (in_subset(s)) ls[static_cast<std::size_t>(s)] = 0.0;
+  }
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const auto v = *it;
+    if (ls[static_cast<std::size_t>(v)] == kMinusInf || !in_subset(v)) continue;
+    for (auto e : in_[static_cast<std::size_t>(v)]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (!in_subset(ed.from)) continue;
+      ls[static_cast<std::size_t>(ed.from)] =
+          std::max(ls[static_cast<std::size_t>(ed.from)],
+                   ls[static_cast<std::size_t>(v)] + ed.weight);
+    }
+  }
+  return ls;
+}
+
+std::vector<bool> Dag::reachable_from(const std::vector<std::int32_t>& sources,
+                                      bool forward) const {
+  const auto n = static_cast<std::size_t>(vertex_count());
+  std::vector<bool> seen(n, false);
+  std::vector<std::int32_t> stack;
+  for (auto s : sources) {
+    if (!seen[static_cast<std::size_t>(s)]) {
+      seen[static_cast<std::size_t>(s)] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    const auto& edges = forward ? out_[static_cast<std::size_t>(v)]
+                                : in_[static_cast<std::size_t>(v)];
+    for (auto e : edges) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      const auto w = forward ? ed.to : ed.from;
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Dag::between(const std::vector<std::int32_t>& sources,
+                               const std::vector<std::int32_t>& sinks) const {
+  auto fwd = reachable_from(sources, /*forward=*/true);
+  const auto bwd = reachable_from(sinks, /*forward=*/false);
+  for (std::size_t v = 0; v < fwd.size(); ++v) {
+    fwd[v] = fwd[v] && bwd[v];
+  }
+  return fwd;
+}
+
+}  // namespace bgr

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+/// Directed acyclic graph with mutable edge weights, used for the global
+/// delay graph G_D and the per-constraint subgraphs G_d(P). Structure is
+/// fixed after freeze(); weights change every time a net's estimated wire
+/// capacitance changes.
+class Dag {
+ public:
+  static constexpr double kMinusInf = -std::numeric_limits<double>::infinity();
+  static constexpr std::int32_t kNoLabel = -1;
+
+  struct Edge {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    double weight = 0.0;
+    std::int32_t label = kNoLabel;  // caller-defined tag (e.g. net id)
+  };
+
+  [[nodiscard]] std::int32_t add_vertex();
+  [[nodiscard]] std::int32_t add_edge(std::int32_t from, std::int32_t to,
+                                      double weight,
+                                      std::int32_t label = kNoLabel);
+
+  /// Validates acyclicity and computes the topological order. Must be
+  /// called once after construction, before any longest-path query.
+  void freeze();
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  [[nodiscard]] std::int32_t vertex_count() const {
+    return static_cast<std::int32_t>(out_.size());
+  }
+  [[nodiscard]] std::int32_t edge_count() const {
+    return static_cast<std::int32_t>(edges_.size());
+  }
+  [[nodiscard]] const Edge& edge(std::int32_t e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  void set_edge_weight(std::int32_t e, double w) {
+    edges_[static_cast<std::size_t>(e)].weight = w;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& out_edges(std::int32_t v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& in_edges(std::int32_t v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& topo_order() const {
+    BGR_CHECK(frozen_);
+    return topo_;
+  }
+
+  /// Longest-path distance from any vertex of `sources` to every vertex
+  /// (kMinusInf when unreachable). If `subset` is non-empty it masks the
+  /// graph: only vertices with subset[v] participate.
+  [[nodiscard]] std::vector<double> longest_from(
+      const std::vector<std::int32_t>& sources,
+      const std::vector<bool>& subset = {}) const;
+
+  /// Longest-path distance from every vertex to any vertex of `sinks`.
+  [[nodiscard]] std::vector<double> longest_to(
+      const std::vector<std::int32_t>& sinks,
+      const std::vector<bool>& subset = {}) const;
+
+  /// Vertices lying on some path from `sources` to `sinks` (the support of
+  /// the constraint graph G_d(P)).
+  [[nodiscard]] std::vector<bool> between(
+      const std::vector<std::int32_t>& sources,
+      const std::vector<std::int32_t>& sinks) const;
+
+ private:
+  [[nodiscard]] std::vector<bool> reachable_from(
+      const std::vector<std::int32_t>& sources, bool forward) const;
+
+  std::vector<std::vector<std::int32_t>> out_;
+  std::vector<std::vector<std::int32_t>> in_;
+  std::vector<Edge> edges_;
+  std::vector<std::int32_t> topo_;
+  bool frozen_ = false;
+};
+
+}  // namespace bgr

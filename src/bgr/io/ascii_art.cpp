@@ -1,0 +1,77 @@
+#include "bgr/io/ascii_art.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bgr {
+namespace {
+
+std::size_t bucket_of(std::int32_t x, std::int32_t width, std::int32_t buckets) {
+  return static_cast<std::size_t>(static_cast<std::int64_t>(x) * buckets /
+                                  width);
+}
+
+}  // namespace
+
+void render_placement(std::ostream& os, const Netlist& netlist,
+                      const Placement& placement, std::int32_t max_cols) {
+  const std::int32_t buckets = std::min(max_cols, placement.width());
+
+  // Boundary pad lines.
+  auto pad_line = [&](bool top) {
+    std::string line(static_cast<std::size_t>(buckets), ' ');
+    for (const auto& [pad, site] : placement.pad_sites()) {
+      (void)pad;
+      if (site.top != top || !site.assigned()) continue;
+      line[bucket_of(site.assigned_x, placement.width(), buckets)] = 'O';
+    }
+    return line;
+  };
+
+  os << "pads  " << pad_line(/*top=*/true) << "\n";
+  for (std::int32_t r = placement.row_count() - 1; r >= 0; --r) {
+    // Rows are printed top-down; each bucket shows the densest occupant.
+    std::string line(static_cast<std::size_t>(buckets), ' ');
+    for (const CellId c : placement.row_cells(RowId{r})) {
+      const PlacedCell& pc = placement.placed(c);
+      const char mark = netlist.cell_type(c).is_feed() ? '.' : '#';
+      for (std::int32_t x = pc.x; x < pc.x + pc.width; ++x) {
+        auto& slot = line[bucket_of(x, placement.width(), buckets)];
+        if (slot != '#') slot = mark;  // logic wins over feed in a bucket
+      }
+    }
+    os << "row" << (r < 10 ? "  " : " ") << r << " " << line << "\n";
+  }
+  os << "pads  " << pad_line(/*top=*/false) << "\n";
+}
+
+void render_congestion(std::ostream& os, const GlobalRouter& router,
+                       std::int32_t max_cols) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const DensityMap& density = router.density();
+  const std::int32_t width = density.width();
+  const std::int32_t buckets = std::min(max_cols, width);
+  for (std::int32_t c = density.channel_count() - 1; c >= 0; --c) {
+    const std::int32_t peak = density.channel_params(c).c_max;
+    std::vector<std::int32_t> bucket_max(static_cast<std::size_t>(buckets), 0);
+    for (std::int32_t x = 0; x < width; ++x) {
+      auto& slot = bucket_max[bucket_of(x, width, buckets)];
+      slot = std::max(slot, density.total_at(c, x));
+    }
+    std::string line(static_cast<std::size_t>(buckets), ' ');
+    for (std::int32_t b = 0; b < buckets; ++b) {
+      const double util =
+          peak > 0 ? static_cast<double>(bucket_max[static_cast<std::size_t>(b)]) /
+                         static_cast<double>(peak)
+                   : 0.0;
+      const auto idx = static_cast<std::size_t>(util * 9.0 + 0.5);
+      line[static_cast<std::size_t>(b)] = kRamp[std::min<std::size_t>(idx, 9)];
+    }
+    os << "chan" << (c < 10 ? "  " : " ") << c << " |" << line << "| C_M="
+       << peak << "\n";
+  }
+}
+
+}  // namespace bgr

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/layout/placement.hpp"
+#include "bgr/netlist/netlist.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// Renders the placement as a row-per-line chip map: logic cells '#',
+/// feed cells '.', free columns ' ', with pads marked on the boundary
+/// lines. Wide chips are bucketed to `max_cols` characters.
+void render_placement(std::ostream& os, const Netlist& netlist,
+                      const Placement& placement, std::int32_t max_cols = 120);
+
+/// Renders per-channel congestion as one line per channel: utilisation of
+/// each column bucket relative to the channel's track count, using the
+/// ' .:-=+*#%@' ramp.
+void render_congestion(std::ostream& os, const GlobalRouter& router,
+                       std::int32_t max_cols = 120);
+
+}  // namespace bgr

@@ -1,0 +1,244 @@
+#include "bgr/io/design_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+std::string terminal_ref(const Netlist& netlist, TerminalId term) {
+  const Terminal& t = netlist.terminal(term);
+  if (t.kind == TerminalKind::kCellPin) {
+    return netlist.cell(t.cell).name + "." +
+           netlist.cell_type(t.cell).pin(t.pin).name;
+  }
+  return "pad:" + t.pad_name;
+}
+
+TerminalId find_terminal(const Netlist& netlist, const std::string& ref) {
+  if (ref.rfind("pad:", 0) == 0) {
+    const std::string name = ref.substr(4);
+    for (const TerminalId t : netlist.terminals()) {
+      const Terminal& term = netlist.terminal(t);
+      if (term.kind != TerminalKind::kCellPin && term.pad_name == name) {
+        return t;
+      }
+    }
+    return TerminalId::invalid();
+  }
+  const auto dot = ref.rfind('.');
+  BGR_CHECK_MSG(dot != std::string::npos, "bad terminal ref " << ref);
+  const std::string cell_name = ref.substr(0, dot);
+  const std::string pin_name = ref.substr(dot + 1);
+  for (const TerminalId t : netlist.terminals()) {
+    const Terminal& term = netlist.terminal(t);
+    if (term.kind != TerminalKind::kCellPin) continue;
+    if (netlist.cell(term.cell).name != cell_name) continue;
+    if (netlist.cell_type(term.cell).pin(term.pin).name == pin_name) return t;
+  }
+  return TerminalId::invalid();
+}
+
+void write_design(std::ostream& os, const Dataset& dataset) {
+  const Netlist& nl = dataset.netlist;
+  const Placement& pl = dataset.placement;
+  os.precision(17);  // round-trip doubles exactly
+  os << "bgr-design 1\n";
+  os << "name " << dataset.name << "\n";
+  os << "chip rows " << pl.row_count() << " width " << pl.width() << "\n";
+  for (const CellId c : nl.cells()) {
+    os << "cell " << nl.cell(c).name << " " << nl.cell_type(c).name() << "\n";
+  }
+  for (const NetId n : nl.nets()) {
+    os << "net " << nl.net(n).name << " " << nl.net(n).pitch_width << "\n";
+  }
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    const std::string& net_name = nl.net(term.net).name;
+    switch (term.kind) {
+      case TerminalKind::kCellPin:
+        os << "conn " << net_name << " " << nl.cell(term.cell).name << " "
+           << nl.cell_type(term.cell).pin(term.pin).name << "\n";
+        break;
+      case TerminalKind::kPadIn:
+        os << "padin " << term.pad_name << " " << net_name << " "
+           << term.pad_tf_ps_per_pf << " " << term.pad_td_ps_per_pf << "\n";
+        break;
+      case TerminalKind::kPadOut:
+        os << "padout " << term.pad_name << " " << net_name << " "
+           << term.pad_cap_pf << "\n";
+        break;
+    }
+  }
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    if (net.is_differential() && net.diff_primary) {
+      os << "diff " << net.name << " " << nl.net(net.diff_partner).name << "\n";
+    }
+  }
+  for (const CellId c : nl.cells()) {
+    const PlacedCell& pc = pl.placed(c);
+    os << "place " << nl.cell(c).name << " " << pc.row.value() << " " << pc.x
+       << "\n";
+  }
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kCellPin) continue;
+    const PadSite& site = pl.pad_site(t);
+    os << "pad " << term.pad_name << " " << (site.top ? "top" : "bot") << " "
+       << site.window.lo << " " << site.window.hi << "\n";
+  }
+  for (const PathConstraint& pc : dataset.constraints) {
+    os << "const " << pc.name << " " << pc.limit_ps << " src";
+    for (const TerminalId t : pc.sources) os << " " << terminal_ref(nl, t);
+    os << " sink";
+    for (const TerminalId t : pc.sinks) os << " " << terminal_ref(nl, t);
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+Dataset read_design(std::istream& is) {
+  Library lib = Library::make_ecl_default();
+  Netlist nl(std::move(lib));
+  std::map<std::string, CellId> cells;
+  std::map<std::string, NetId> nets;
+
+  std::string header;
+  std::getline(is, header);
+  BGR_CHECK_MSG(header.rfind("bgr-design 1", 0) == 0,
+                "not a bgr-design file");
+
+  std::string name = "design";
+  std::int32_t rows = 0;
+  std::int32_t width = 0;
+  struct PlaceRec {
+    std::string cell;
+    std::int32_t row, x;
+  };
+  struct PadRec {
+    std::string pad;
+    bool top;
+    std::int32_t lo, hi;
+  };
+  std::vector<PlaceRec> places;
+  std::vector<PadRec> pads;
+  std::vector<std::string> const_lines;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind.empty() || kind[0] == '#') continue;
+    if (kind == "end") break;
+    if (kind == "name") {
+      ls >> name;
+    } else if (kind == "chip") {
+      std::string k1, k2;
+      ls >> k1 >> rows >> k2 >> width;
+    } else if (kind == "cell") {
+      std::string cname, tname;
+      ls >> cname >> tname;
+      const CellTypeId type = nl.library().find(tname);
+      BGR_CHECK_MSG(type.valid(), "unknown cell type " << tname);
+      cells[cname] = nl.add_cell(cname, type);
+    } else if (kind == "net") {
+      std::string nname;
+      std::int32_t pitch = 1;
+      ls >> nname >> pitch;
+      nets[nname] = nl.add_net(nname, pitch);
+    } else if (kind == "conn") {
+      std::string nname, cname, pname;
+      ls >> nname >> cname >> pname;
+      const CellId cell = cells.at(cname);
+      const PinId pin = nl.cell_type(cell).find_pin(pname);
+      BGR_CHECK_MSG(pin.valid(), "unknown pin " << pname);
+      (void)nl.connect(nets.at(nname), cell, pin);
+    } else if (kind == "padin") {
+      std::string pname, nname;
+      double tf = 0, td = 0;
+      ls >> pname >> nname >> tf >> td;
+      (void)nl.add_pad_input(pname, nets.at(nname), tf, td);
+    } else if (kind == "padout") {
+      std::string pname, nname;
+      double cap = 0;
+      ls >> pname >> nname >> cap;
+      (void)nl.add_pad_output(pname, nets.at(nname), cap);
+    } else if (kind == "diff") {
+      std::string a, b;
+      ls >> a >> b;
+      nl.make_differential(nets.at(a), nets.at(b));
+    } else if (kind == "place") {
+      PlaceRec rec;
+      ls >> rec.cell >> rec.row >> rec.x;
+      places.push_back(rec);
+    } else if (kind == "pad") {
+      PadRec rec;
+      std::string side;
+      ls >> rec.pad >> side >> rec.lo >> rec.hi;
+      rec.top = side == "top";
+      pads.push_back(rec);
+    } else if (kind == "const") {
+      const_lines.push_back(line);
+    } else {
+      BGR_CHECK_MSG(false, "unknown record " << kind);
+    }
+  }
+
+  BGR_CHECK_MSG(rows > 0 && width > 0, "missing chip record");
+  Placement placement(rows, width);
+  for (const PlaceRec& rec : places) {
+    placement.place(nl, cells.at(rec.cell), RowId{rec.row}, rec.x);
+  }
+  for (const PadRec& rec : pads) {
+    const TerminalId pad = find_terminal(nl, "pad:" + rec.pad);
+    BGR_CHECK_MSG(pad.valid(), "pad record for unknown pad " << rec.pad);
+    placement.place_pad(pad, rec.top, IntInterval{rec.lo, rec.hi});
+  }
+
+  std::vector<PathConstraint> constraints;
+  for (const std::string& cl : const_lines) {
+    std::istringstream ls(cl);
+    std::string kind;
+    PathConstraint pc;
+    ls >> kind >> pc.name >> pc.limit_ps;
+    std::string tok;
+    ls >> tok;
+    BGR_CHECK(tok == "src");
+    bool in_sink = false;
+    while (ls >> tok) {
+      if (tok == "sink") {
+        in_sink = true;
+        continue;
+      }
+      const TerminalId term = find_terminal(nl, tok);
+      BGR_CHECK_MSG(term.valid(), "unknown terminal " << tok);
+      (in_sink ? pc.sinks : pc.sources).push_back(term);
+    }
+    constraints.push_back(std::move(pc));
+  }
+
+  nl.validate();
+  placement.validate(nl);
+  Dataset ds{name, CircuitSpec{}, std::move(nl), std::move(placement),
+             std::move(constraints), TechParams{}};
+  ds.spec.name = name;
+  return ds;
+}
+
+void save_design(const std::string& path, const Dataset& dataset) {
+  std::ofstream os(path);
+  BGR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_design(os, dataset);
+}
+
+Dataset load_design(const std::string& path) {
+  std::ifstream is(path);
+  BGR_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_design(is);
+}
+
+}  // namespace bgr

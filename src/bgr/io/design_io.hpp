@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bgr/gen/generator.hpp"
+
+namespace bgr {
+
+/// Stable textual reference to a terminal: "cellname.pinname" for cell
+/// pins, "pad:NAME" for external terminals.
+[[nodiscard]] std::string terminal_ref(const Netlist& netlist, TerminalId term);
+[[nodiscard]] TerminalId find_terminal(const Netlist& netlist,
+                                       const std::string& ref);
+
+/// Writes a complete design (netlist, placement, constraints) in the
+/// line-based `bgr-design 1` text format.
+void write_design(std::ostream& os, const Dataset& dataset);
+
+/// Parses a `bgr-design 1` stream. The cell library is the built-in ECL
+/// library; cell types are matched by name. Throws CheckError on malformed
+/// input.
+[[nodiscard]] Dataset read_design(std::istream& is);
+
+/// Convenience file wrappers.
+void save_design(const std::string& path, const Dataset& dataset);
+[[nodiscard]] Dataset load_design(const std::string& path);
+
+}  // namespace bgr

@@ -1,0 +1,46 @@
+#include "bgr/io/route_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+void write_route(std::ostream& os, const GlobalRouter& router,
+                 const ChannelStage& channel) {
+  const Netlist& nl = router.analyzer().delay_graph().netlist();
+  os << "bgr-route 1\n";
+  os << "chip rows " << router.placement().row_count() << " width "
+     << router.placement().width() << "\n";
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      const char* kind = info.kind == RouteEdgeKind::kTrunk      ? "trunk"
+                         : info.kind == RouteEdgeKind::kTermLink ? "term"
+                                                                 : "feed";
+      os << "tree " << nl.net(n).name << " " << kind << " " << info.channel
+         << " " << info.span.lo << " " << info.span.hi << "\n";
+    }
+  }
+  for (std::int32_t c = 0; c < channel.channel_count(); ++c) {
+    const ChannelPlan& plan = channel.plan(c);
+    os << "channel " << c << " tracks " << plan.tracks << " density "
+       << plan.density << "\n";
+    for (const ChannelSegment& seg : plan.segments) {
+      os << "track " << c << " " << nl.net(seg.net).name << " " << seg.span.lo
+         << " " << seg.span.hi << " " << seg.track << " " << seg.width << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+void save_route(const std::string& path, const GlobalRouter& router,
+                const ChannelStage& channel) {
+  std::ofstream os(path);
+  BGR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_route(os, router, channel);
+}
+
+}  // namespace bgr

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// Writes the routed result in the line-based `bgr-route 1` text format:
+/// one `tree` record per net edge (kind, channel, column span, length) and
+/// one `track` record per channel segment (net, span, assigned track),
+/// followed by per-channel summaries. This is the hand-off a detailed
+/// router or layout viewer would consume.
+void write_route(std::ostream& os, const GlobalRouter& router,
+                 const ChannelStage& channel);
+
+void save_route(const std::string& path, const GlobalRouter& router,
+                const ChannelStage& channel);
+
+}  // namespace bgr

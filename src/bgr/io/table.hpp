@@ -1,0 +1,63 @@
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+/// Minimal fixed-width table printer for the benchmark harness: columns
+/// are right-aligned except the first, widths fit the content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) {
+    BGR_CHECK(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  static std::string fmt(double v, int precision) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+  }
+  static std::string fmt(std::int64_t v) { return std::to_string(v); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c == 0) {
+          os << std::left << std::setw(static_cast<int>(width[c])) << cells[c];
+        } else {
+          os << "  " << std::right << std::setw(static_cast<int>(width[c]))
+             << cells[c];
+        }
+      }
+      os << '\n';
+    };
+    line(header_);
+    std::size_t total = 0;
+    for (const auto w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgr

@@ -1,0 +1,167 @@
+#include "bgr/layout/feed_insertion.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bgr {
+
+std::int32_t FeedDemand::row_pitches(RowId r) const {
+  std::int32_t total = 0;
+  for (const auto& [w, count] : row(r)) total += w * count;
+  return total;
+}
+
+std::int32_t FeedDemand::widen_pitches() const {
+  std::int32_t f = 0;
+  for (std::int32_t r = 0; r < rows(); ++r) {
+    f = std::max(f, row_pitches(RowId{r}));
+  }
+  return f;
+}
+
+namespace {
+
+/// One group of feed cells to insert: `width` adjacent cells, reserved for
+/// `flag`-pitch nets.
+struct InsertUnit {
+  std::int32_t width = 1;
+  std::int32_t flag = 1;
+};
+
+}  // namespace
+
+FeedInsertionResult insert_feed_cells(Netlist& netlist, const Placement& old,
+                                      const FeedDemand& demand) {
+  const std::int32_t widen = demand.widen_pitches();
+  const CellTypeId feed_type = netlist.library().find("FEED");
+  BGR_CHECK_MSG(feed_type.valid(), "library lacks FEED cell");
+
+  FeedInsertionResult result{
+      Placement(old.row_count(), old.width() + widen), widen, 0};
+  Placement& next = result.placement;
+
+  for (std::int32_t r = 0; r < old.row_count(); ++r) {
+    const RowId row{r};
+    // Build the list of insertion units for this row.
+    std::vector<InsertUnit> units;
+    std::int32_t singles = widen - demand.row_pitches(row);
+    for (const auto& [w, count] : demand.row(row)) {
+      if (w == 1) {
+        singles += count;  // singles of F(1,r) join the even-spacing pool
+        continue;
+      }
+      for (std::int32_t i = 0; i < count; ++i) {
+        units.push_back(InsertUnit{w, w});
+      }
+    }
+    for (std::int32_t i = 0; i < singles; ++i) {
+      units.push_back(InsertUnit{1, 1});
+    }
+
+    const auto& cells = old.row_cells(row);
+    const auto n_cells = static_cast<std::int32_t>(cells.size());
+    const auto n_units = static_cast<std::int32_t>(units.size());
+
+    // Unit j goes after existing cell index gap(j) − 1 (gap 0 = row start):
+    // gaps are spread almost evenly across the n_cells + 1 gap positions.
+    auto gap_of_unit = [&](std::int32_t j) {
+      if (n_units == 0) return 0;
+      return static_cast<std::int32_t>(
+          (static_cast<std::int64_t>(j + 1) * (n_cells + 1)) / (n_units + 1));
+    };
+
+    // Old-coordinate x at which each gap starts (end of previous cell).
+    auto gap_old_x = [&](std::int32_t gap) {
+      if (gap == 0) return 0;
+      const PlacedCell& pc = old.placed(cells[static_cast<std::size_t>(gap - 1)]);
+      return pc.x + pc.width;
+    };
+
+    // Replay the row: interleave units and cells, tracking the shift each
+    // old coordinate receives so free-column flags can be carried over.
+    struct ShiftPoint {
+      std::int32_t old_x;
+      std::int32_t width;
+    };
+    std::vector<ShiftPoint> shifts;
+    std::int32_t shift = 0;
+    std::int32_t unit_idx = 0;
+    auto insert_units_at_gap = [&](std::int32_t gap) {
+      while (unit_idx < n_units && gap_of_unit(unit_idx) == gap) {
+        const InsertUnit& unit = units[static_cast<std::size_t>(unit_idx)];
+        const std::int32_t at = gap_old_x(gap);
+        for (std::int32_t k = 0; k < unit.width; ++k) {
+          const CellId feed = netlist.add_cell(
+              "feed_r" + std::to_string(r) + "_" +
+                  std::to_string(result.feed_cells_added),
+              feed_type);
+          next.place(netlist, feed, row, at + shift + k);
+          next.set_column_flag(row, at + shift + k, unit.flag);
+          ++result.feed_cells_added;
+        }
+        shifts.push_back(ShiftPoint{at, unit.width});
+        shift += unit.width;
+        ++unit_idx;
+      }
+    };
+
+    insert_units_at_gap(0);
+    for (std::int32_t i = 0; i < n_cells; ++i) {
+      const CellId cell = cells[static_cast<std::size_t>(i)];
+      const PlacedCell& pc = old.placed(cell);
+      next.place(netlist, cell, row, pc.x + shift);
+      insert_units_at_gap(i + 1);
+    }
+    BGR_CHECK(unit_idx == n_units);
+
+    // Carry over flags of free columns, shifted past the insertions.
+    auto shift_at = [&](std::int32_t x) {
+      std::int32_t s = 0;
+      for (const ShiftPoint& sp : shifts) {
+        if (sp.old_x <= x) s += sp.width;
+      }
+      return s;
+    };
+    for (std::int32_t x = 0; x < old.width(); ++x) {
+      const std::int32_t flag = old.column_flag(row, x);
+      if (flag != 0 && !old.column_blocked(row, x)) {
+        next.set_column_flag(row, x + shift_at(x), flag);
+      }
+    }
+  }
+
+  // Pad windows are unchanged; the chip only grew to the right.
+  for (const auto& [pad, site] : old.pad_sites()) {
+    next.place_pad(pad, site.top, site.window);
+    next.pad_site(pad).assigned_x = site.assigned_x;
+  }
+  return result;
+}
+
+Placement sweep_feed_cells_aside(const Netlist& netlist, const Placement& old) {
+  Placement next(old.row_count(), old.width());
+  for (std::int32_t r = 0; r < old.row_count(); ++r) {
+    const RowId row{r};
+    std::int32_t x = 0;
+    std::vector<CellId> feeds;
+    for (const CellId cell : old.row_cells(row)) {
+      if (netlist.cell_type(cell).is_feed()) {
+        feeds.push_back(cell);
+      } else {
+        next.place(netlist, cell, row, x);
+        x += netlist.cell_type(cell).width();
+      }
+    }
+    for (const CellId feed : feeds) {
+      next.place(netlist, feed, row, x);
+      x += netlist.cell_type(feed).width();
+    }
+  }
+  for (const auto& [pad, site] : old.pad_sites()) {
+    next.place_pad(pad, site.top, site.window);
+    next.pad_site(pad).assigned_x = site.assigned_x;
+  }
+  return next;
+}
+
+}  // namespace bgr

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bgr/layout/placement.hpp"
+#include "bgr/netlist/netlist.hpp"
+
+namespace bgr {
+
+/// Feedthrough shortfall from a failed assignment round: F(w, r) = number
+/// of w-pitch nets that could not obtain a feedthrough group in row r
+/// (paper §4.3).
+class FeedDemand {
+ public:
+  explicit FeedDemand(std::int32_t rows) : per_row_(static_cast<std::size_t>(rows)) {}
+
+  void add_failure(RowId row, std::int32_t pitch_width) {
+    ++per_row_.at(static_cast<std::size_t>(row.value()))[pitch_width];
+  }
+
+  [[nodiscard]] std::int32_t rows() const {
+    return static_cast<std::int32_t>(per_row_.size());
+  }
+  [[nodiscard]] const std::map<std::int32_t, std::int32_t>& row(RowId r) const {
+    return per_row_.at(static_cast<std::size_t>(r.value()));
+  }
+
+  /// F(r) = Σ_w w · F(w, r).
+  [[nodiscard]] std::int32_t row_pitches(RowId r) const;
+  /// F = max_r F(r): the number of pitches every row is widened by.
+  [[nodiscard]] std::int32_t widen_pitches() const;
+  [[nodiscard]] bool any() const { return widen_pitches() > 0; }
+
+ private:
+  std::vector<std::map<std::int32_t, std::int32_t>> per_row_;
+};
+
+struct FeedInsertionResult {
+  Placement placement;
+  std::int32_t widen_pitches = 0;
+  std::int32_t feed_cells_added = 0;
+};
+
+/// Implements the paper's feed-cell insertion: for each row, F(w,r) groups
+/// of w feed cells (flagged w) plus F(1,r) + F − F(r) single feed cells
+/// (flagged 1) are inserted almost evenly spaced between existing cells;
+/// every row widens by exactly F pitches. Width flags already present on
+/// free columns of `old` (set by the caller on positions where w-pitch nets
+/// were assigned in the first round) are carried over, shifted by the
+/// insertions. New FEED cells are appended to `netlist`.
+[[nodiscard]] FeedInsertionResult insert_feed_cells(Netlist& netlist,
+                                                    const Placement& old,
+                                                    const FeedDemand& demand);
+
+/// Builds the P2 variant of a placement: all feed cells of each row are
+/// swept to the right end of the row (destroying the even spacing), used to
+/// evaluate the even-spacing effect of feed-cell insertion (paper §5).
+[[nodiscard]] Placement sweep_feed_cells_aside(const Netlist& netlist,
+                                               const Placement& old);
+
+}  // namespace bgr

@@ -1,0 +1,148 @@
+#include "bgr/layout/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bgr {
+
+Placement::Placement(std::int32_t rows, std::int32_t width)
+    : rows_(rows), width_(width) {
+  BGR_CHECK(rows >= 1 && width >= 1);
+  row_cells_.resize(static_cast<std::size_t>(rows));
+  const auto cells = static_cast<std::size_t>(rows) * static_cast<std::size_t>(width);
+  occupancy_.assign(cells, CellId::invalid());
+  blocked_.assign(cells, false);
+  flags_.assign(cells, 0);
+}
+
+void Placement::place(const Netlist& netlist, CellId cell, RowId row,
+                      std::int32_t x) {
+  const CellType& type = netlist.cell_type(cell);
+  BGR_CHECK(row.valid() && row.value() < rows_);
+  BGR_CHECK_MSG(x >= 0 && x + type.width() <= width_,
+                "cell " << netlist.cell(cell).name << " outside chip");
+  if (cell.index() >= cell_known_.size()) {
+    cell_known_.resize(cell.index() + 1, false);
+    cell_place_.resize(cell.index() + 1);
+  }
+  BGR_CHECK_MSG(!cell_known_[cell.index()], "cell placed twice");
+  for (std::int32_t c = x; c < x + type.width(); ++c) {
+    BGR_CHECK_MSG(!occupancy_[rx(row, c)].valid(),
+                  "overlap at row " << row.value() << " column " << c);
+    occupancy_[rx(row, c)] = cell;
+    blocked_[rx(row, c)] = !type.is_feed();
+  }
+  cell_place_[cell] = PlacedCell{row, x, type.width()};
+  cell_known_[cell.index()] = true;
+  auto& cells = row_cells_[static_cast<std::size_t>(row.value())];
+  const auto pos = std::lower_bound(
+      cells.begin(), cells.end(), x,
+      [this](CellId a, std::int32_t xb) { return cell_place_[a].x < xb; });
+  cells.insert(pos, cell);
+}
+
+void Placement::place_pad(TerminalId pad, bool top, IntInterval window) {
+  BGR_CHECK(!window.empty());
+  BGR_CHECK(window.lo >= 0 && window.hi < width_);
+  PadSite site;
+  site.top = top;
+  site.window = window;
+  pads_[pad] = site;
+}
+
+bool Placement::is_placed(CellId cell) const {
+  return cell.index() < cell_known_.size() && cell_known_[cell.index()];
+}
+
+const PlacedCell& Placement::placed(CellId cell) const {
+  BGR_CHECK(is_placed(cell));
+  return cell_place_[cell];
+}
+
+const std::vector<CellId>& Placement::row_cells(RowId row) const {
+  return row_cells_.at(static_cast<std::size_t>(row.value()));
+}
+
+std::int32_t Placement::terminal_column(const Netlist& netlist,
+                                        TerminalId term) const {
+  const Terminal& t = netlist.terminal(term);
+  if (t.kind == TerminalKind::kCellPin) {
+    const PlacedCell& pc = placed(t.cell);
+    return pc.x + netlist.cell_type(t.cell).pin(t.pin).offset;
+  }
+  const PadSite& site = pad_site(term);
+  return site.assigned() ? site.assigned_x : (site.window.lo + site.window.hi) / 2;
+}
+
+bool Placement::column_blocked(RowId row, std::int32_t x) const {
+  BGR_CHECK(x >= 0 && x < width_);
+  return blocked_[rx(row, x)];
+}
+
+std::int32_t Placement::column_flag(RowId row, std::int32_t x) const {
+  return flags_[rx(row, x)];
+}
+
+void Placement::set_column_flag(RowId row, std::int32_t x, std::int32_t w) {
+  flags_[rx(row, x)] = w;
+}
+
+void Placement::clear_column_flags() {
+  std::fill(flags_.begin(), flags_.end(), 0);
+}
+
+const PadSite& Placement::pad_site(TerminalId pad) const {
+  const auto it = pads_.find(pad);
+  BGR_CHECK_MSG(it != pads_.end(), "pad site missing");
+  return it->second;
+}
+
+PadSite& Placement::pad_site(TerminalId pad) {
+  const auto it = pads_.find(pad);
+  BGR_CHECK_MSG(it != pads_.end(), "pad site missing");
+  return it->second;
+}
+
+std::int32_t Placement::free_column_count(RowId row) const {
+  std::int32_t n = 0;
+  for (std::int32_t x = 0; x < width_; ++x) {
+    if (!blocked_[rx(row, x)]) ++n;
+  }
+  return n;
+}
+
+double Placement::chip_height_um(const TechParams& tech,
+                                 const std::vector<std::int32_t>&
+                                     channel_tracks) const {
+  BGR_CHECK(channel_tracks.size() ==
+            static_cast<std::size_t>(channel_count()));
+  double h = static_cast<double>(rows_) * tech.row_height_um;
+  for (const auto tracks : channel_tracks) {
+    h += static_cast<double>(tracks + 1) * tech.track_pitch_um;
+  }
+  return h;
+}
+
+double Placement::chip_width_um(const TechParams& tech) const {
+  return static_cast<double>(width_) * tech.grid_pitch_um;
+}
+
+void Placement::validate(const Netlist& netlist) const {
+  for (const CellId c : netlist.cells()) {
+    BGR_CHECK_MSG(is_placed(c), "cell " << netlist.cell(c).name << " unplaced");
+    const PlacedCell& pc = cell_place_[c];
+    for (std::int32_t x = pc.x; x < pc.x + pc.width; ++x) {
+      BGR_CHECK(occupancy_[rx(pc.row, x)] == c);
+    }
+  }
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    const auto& cells = row_cells_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      const PlacedCell& a = cell_place_[cells[i - 1]];
+      const PlacedCell& b = cell_place_[cells[i]];
+      BGR_CHECK_MSG(a.x + a.width <= b.x, "row " << r << " cells overlap");
+    }
+  }
+}
+
+}  // namespace bgr

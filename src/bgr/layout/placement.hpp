@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgr/common/ids.hpp"
+#include "bgr/common/interval.hpp"
+#include "bgr/common/tech.hpp"
+#include "bgr/netlist/netlist.hpp"
+
+namespace bgr {
+
+/// Physical position of a placed cell: row index and leftmost grid column.
+struct PlacedCell {
+  RowId row;
+  std::int32_t x = 0;
+  std::int32_t width = 0;  // grid pitches
+};
+
+/// External terminal site: boundary side plus the window of candidate grid
+/// columns; the router's xpin assignment fixes `assigned_x`.
+struct PadSite {
+  bool top = false;  // true: above the top row (channel R); false: below row 0
+  IntInterval window;
+  std::int32_t assigned_x = -1;
+
+  [[nodiscard]] bool assigned() const { return assigned_x >= 0; }
+};
+
+/// Standard-cell placement on R rows of W grid columns. Channel c (of
+/// c = 0..R) lies below row c; channel R is above the top row. A grid
+/// column of a row is a *feedthrough column* when it is not covered by a
+/// logic cell: free space or a feed cell. Columns may carry a width flag
+/// reserving them for w-pitch nets after feed-cell insertion (§4.3).
+class Placement {
+ public:
+  Placement(std::int32_t rows, std::int32_t width);
+
+  /// Registers a cell at (row, x); fails on overlap or out-of-bounds.
+  void place(const Netlist& netlist, CellId cell, RowId row, std::int32_t x);
+
+  /// Registers an external terminal's candidate window.
+  void place_pad(TerminalId pad, bool top, IntInterval window);
+
+  [[nodiscard]] std::int32_t row_count() const { return rows_; }
+  [[nodiscard]] std::int32_t channel_count() const { return rows_ + 1; }
+  [[nodiscard]] std::int32_t width() const { return width_; }
+
+  [[nodiscard]] bool is_placed(CellId cell) const;
+  [[nodiscard]] const PlacedCell& placed(CellId cell) const;
+  /// Cells of a row ordered by x.
+  [[nodiscard]] const std::vector<CellId>& row_cells(RowId row) const;
+
+  /// Grid column of a pin instance (cell x + pin offset).
+  [[nodiscard]] std::int32_t terminal_column(const Netlist& netlist,
+                                             TerminalId term) const;
+
+  /// True when the column is covered by a non-feed cell (no feedthrough).
+  [[nodiscard]] bool column_blocked(RowId row, std::int32_t x) const;
+  /// Width flag of a feedthrough column: 0 = unreserved, w = reserved for
+  /// w-pitch nets.
+  [[nodiscard]] std::int32_t column_flag(RowId row, std::int32_t x) const;
+  void set_column_flag(RowId row, std::int32_t x, std::int32_t w);
+  void clear_column_flags();
+
+  [[nodiscard]] const PadSite& pad_site(TerminalId pad) const;
+  [[nodiscard]] PadSite& pad_site(TerminalId pad);
+  [[nodiscard]] const std::unordered_map<TerminalId, PadSite>& pad_sites() const {
+    return pads_;
+  }
+
+  /// Count of feedthrough columns in a row (for reporting).
+  [[nodiscard]] std::int32_t free_column_count(RowId row) const;
+
+  /// Chip height in micrometres given per-channel track counts.
+  [[nodiscard]] double chip_height_um(const TechParams& tech,
+                                      const std::vector<std::int32_t>&
+                                          channel_tracks) const;
+  [[nodiscard]] double chip_width_um(const TechParams& tech) const;
+
+  /// Verifies occupancy invariants against a netlist.
+  void validate(const Netlist& netlist) const;
+
+ private:
+  [[nodiscard]] std::size_t rx(RowId row, std::int32_t x) const {
+    return static_cast<std::size_t>(row.value()) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  std::int32_t rows_;
+  std::int32_t width_;
+  std::unordered_map<TerminalId, PadSite> pads_;
+  IdVector<CellId, PlacedCell> cell_place_;  // grown on demand
+  std::vector<bool> cell_known_;
+  std::vector<std::vector<CellId>> row_cells_;
+  std::vector<CellId> occupancy_;        // row-major column → cell (or invalid)
+  std::vector<bool> blocked_;            // covered by non-feed cell
+  std::vector<std::int32_t> flags_;      // feedthrough width reservation
+};
+
+}  // namespace bgr

@@ -1,0 +1,69 @@
+#include "bgr/metrics/experiment.hpp"
+
+#include <memory>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/common/stopwatch.hpp"
+#include "bgr/timing/lower_bound.hpp"
+
+namespace bgr {
+
+RunResult run_flow(const Dataset& dataset, bool constrained,
+                   RouterOptions options,
+                   std::int32_t back_annotation_rounds) {
+  RunResult result;
+  result.dataset = dataset.name;
+  result.constrained = constrained;
+
+  // The router inserts feed cells (netlist) and widens rows (placement);
+  // work on copies so the dataset stays reusable.
+  Netlist netlist = dataset.netlist;
+  Placement placement = dataset.placement;
+  options.use_constraints = constrained;
+
+  Stopwatch watch;
+  GlobalRouter router(netlist, std::move(placement), dataset.tech,
+                      dataset.constraints, options);
+  RouteOutcome outcome = router.run();
+  auto channel = std::make_unique<ChannelStage>(router);
+  channel->run();
+
+  // Back-annotation rounds (extension): feed the measured detailed lengths
+  // back as per-net estimate corrections and re-run the improvement loops.
+  for (std::int32_t round = 0; round < back_annotation_rounds; ++round) {
+    IdVector<NetId, double> extra(
+        static_cast<std::size_t>(netlist.net_count()), 0.0);
+    for (const NetId n : netlist.nets()) {
+      extra[n] = channel->net_detailed_length_um(n) -
+                 router.net_graph(n).estimated_length_um();
+    }
+    const RouteOutcome refined = router.refine(extra);
+    outcome.violated_constraints = refined.violated_constraints;
+    outcome.worst_margin_ps = refined.worst_margin_ps;
+    outcome.critical_delay_ps = refined.critical_delay_ps;
+    outcome.total_length_um = refined.total_length_um;
+    for (const PhaseStats& ph : refined.phases) outcome.phases.push_back(ph);
+    channel = std::make_unique<ChannelStage>(router);
+    channel->run();
+  }
+
+  result.delay_ps = channel->apply_and_critical_delay_ps(router.delay_graph(),
+                                                         options.delay_model);
+  result.cpu_s = watch.seconds();
+
+  result.area_mm2 = channel->chip_area_mm2();
+  result.length_mm = channel->total_detailed_length_um() / 1000.0;
+  result.violated_constraints = outcome.violated_constraints;
+  result.worst_margin_ps = outcome.worst_margin_ps;
+  result.feed_cells_added = outcome.feed_cells_added;
+  result.widen_pitches = outcome.widen_pitches;
+  result.phases = outcome.phases;
+
+  // Half-perimeter lower bound on the routed placement (Table 3).
+  DelayGraph lb_graph(netlist);
+  result.lower_bound_ps =
+      lower_bound_delay_ps(lb_graph, router.placement(), dataset.tech);
+  return result;
+}
+
+}  // namespace bgr

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/gen/generator.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// One row of Table 2 (plus the Table 3 lower-bound columns): the result
+/// of running the full flow (assignment → global routing → channel stage)
+/// on a dataset in one mode.
+struct RunResult {
+  std::string dataset;
+  bool constrained = false;
+  double delay_ps = 0.0;      // critical path delay after channel routing
+  double area_mm2 = 0.0;
+  double length_mm = 0.0;     // total detailed wire length
+  double cpu_s = 0.0;
+  double lower_bound_ps = 0.0;  // half-perimeter critical-path bound
+  std::int32_t violated_constraints = 0;
+  double worst_margin_ps = 0.0;
+  std::int32_t feed_cells_added = 0;
+  std::int32_t widen_pitches = 0;
+  std::vector<PhaseStats> phases;
+
+  /// Table 3 column: percentage above the lower bound.
+  [[nodiscard]] double gap_to_lower_bound_percent() const {
+    return lower_bound_ps > 0.0
+               ? (delay_ps - lower_bound_ps) / lower_bound_ps * 100.0
+               : 0.0;
+  }
+};
+
+/// Runs the full flow on a copy of the dataset. `constrained` selects the
+/// paper's "with constraints" mode versus the unconstrained area-driven
+/// baseline. `options` lets ablation benches toggle phases/criteria; its
+/// use_constraints field is overridden by `constrained`.
+/// `back_annotation_rounds` (extension) re-runs the improvement loops with
+/// the channel stage's measured per-net lengths fed back as estimate
+/// corrections, then re-runs the channel stage.
+[[nodiscard]] RunResult run_flow(const Dataset& dataset, bool constrained,
+                                 RouterOptions options = {},
+                                 std::int32_t back_annotation_rounds = 0);
+
+}  // namespace bgr

@@ -1,0 +1,96 @@
+#include "bgr/metrics/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "bgr/io/table.hpp"
+
+namespace bgr {
+
+RouteStats collect_stats(const GlobalRouter& router,
+                         const ChannelStage& channel) {
+  const Netlist& nl = router.analyzer().delay_graph().netlist();
+  RouteStats stats;
+
+  for (const CellId c : nl.cells()) {
+    ++stats.cells;
+    if (nl.cell_type(c).is_feed()) ++stats.feed_cells;
+  }
+  std::int64_t fanout_sum = 0;
+  std::vector<double> lengths;
+  for (const NetId n : nl.nets()) {
+    ++stats.nets;
+    const auto fanout = static_cast<std::int32_t>(nl.net(n).sinks.size());
+    stats.max_fanout = std::max(stats.max_fanout, fanout);
+    fanout_sum += fanout;
+    const double um = channel.net_detailed_length_um(n);
+    lengths.push_back(um);
+    stats.total_um += um;
+    stats.max_um = std::max(stats.max_um, um);
+  }
+  for (const TerminalId t : nl.terminals()) {
+    if (nl.terminal(t).kind != TerminalKind::kCellPin) ++stats.pads;
+  }
+  stats.mean_fanout =
+      stats.nets > 0 ? static_cast<double>(fanout_sum) / stats.nets : 0.0;
+  stats.mean_um = stats.nets > 0 ? stats.total_um / stats.nets : 0.0;
+
+  stats.length_histogram.assign(10, 0);
+  if (stats.max_um > 0.0) {
+    for (const double um : lengths) {
+      auto bucket = static_cast<std::size_t>(um / stats.max_um * 10.0);
+      bucket = std::min<std::size_t>(bucket, 9);
+      ++stats.length_histogram[bucket];
+    }
+  }
+
+  double track_sum = 0.0;
+  double util_sum = 0.0;
+  std::int32_t channels = 0;
+  for (std::int32_t c = 0; c < channel.channel_count(); ++c) {
+    const ChannelPlan& plan = channel.plan(c);
+    stats.max_tracks = std::max(stats.max_tracks, plan.tracks);
+    track_sum += plan.tracks;
+    if (plan.tracks > 0) {
+      util_sum += static_cast<double>(plan.density) / plan.tracks;
+      ++channels;
+    }
+  }
+  stats.mean_tracks =
+      channel.channel_count() > 0 ? track_sum / channel.channel_count() : 0.0;
+  stats.track_utilisation = channels > 0 ? util_sum / channels : 0.0;
+
+  stats.critical_delay_ps = router.analyzer().delay_graph().critical_delay_ps();
+  stats.worst_margin_ps = router.analyzer().constraint_count() > 0
+                              ? router.analyzer().worst_margin_ps()
+                              : 0.0;
+  stats.violated_constraints =
+      static_cast<std::int32_t>(router.analyzer().violated().size());
+  return stats;
+}
+
+void print_stats(std::ostream& os, const RouteStats& stats) {
+  os << "design statistics:\n"
+     << "  cells           " << stats.cells << " (" << stats.feed_cells
+     << " feed)\n"
+     << "  nets            " << stats.nets << " (mean fanout "
+     << TextTable::fmt(stats.mean_fanout, 2) << ", max " << stats.max_fanout
+     << ")\n"
+     << "  pads            " << stats.pads << "\n"
+     << "  wire length     total " << TextTable::fmt(stats.total_um / 1000.0, 2)
+     << " mm, mean " << TextTable::fmt(stats.mean_um, 1) << " um, max "
+     << TextTable::fmt(stats.max_um, 1) << " um\n";
+  os << "  length deciles ";
+  for (const auto count : stats.length_histogram) {
+    os << " " << count;
+  }
+  os << "\n"
+     << "  channel tracks  mean " << TextTable::fmt(stats.mean_tracks, 1)
+     << ", max " << stats.max_tracks << ", utilisation "
+     << TextTable::fmt(stats.track_utilisation * 100.0, 1) << "%\n"
+     << "  timing          critical " << TextTable::fmt(stats.critical_delay_ps, 1)
+     << " ps, worst margin " << TextTable::fmt(stats.worst_margin_ps, 1)
+     << " ps, violations " << stats.violated_constraints << "\n";
+}
+
+}  // namespace bgr

@@ -1,0 +1,51 @@
+#include "bgr/metrics/skew.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgr {
+namespace {
+
+/// Min/max per-sink wire delay of a net's routed tree at a given width.
+std::pair<double, double> wire_delay_range(const GlobalRouter& router,
+                                           const Netlist& nl, NetId net,
+                                           std::int32_t pitch_width) {
+  const RoutingGraph& g = router.net_graph(net);
+  const auto rc = g.elmore(router.tech(), pitch_width, [&](TerminalId t) {
+    return nl.terminal_fanin_cap_pf(t);
+  });
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& [term, ps] : rc.sink_wire_ps) {
+    (void)term;
+    lo = std::min(lo, ps);
+    hi = std::max(hi, ps);
+  }
+  if (rc.sink_wire_ps.empty()) lo = 0.0;
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::vector<ClockNetSkew> clock_skew_report(const GlobalRouter& router) {
+  const Netlist& nl = router.analyzer().delay_graph().netlist();
+  std::vector<ClockNetSkew> report;
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    if (net.pitch_width <= 1) continue;
+    ClockNetSkew entry;
+    entry.net = n;
+    entry.name = net.name;
+    entry.pitch_width = net.pitch_width;
+    entry.fanout = static_cast<std::int32_t>(net.sinks.size());
+    const auto [lo, hi] = wire_delay_range(router, nl, n, net.pitch_width);
+    entry.min_wire_ps = lo;
+    entry.max_wire_ps = hi;
+    const auto [lo1, hi1] = wire_delay_range(router, nl, n, 1);
+    entry.skew_1pitch_ps = hi1 - lo1;
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace bgr

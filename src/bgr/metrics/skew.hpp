@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// Clock distribution quality of one multi-pitch net (§4.2: "multi-pitch
+/// wires are required to reduce wire resistance and skews for very large
+/// fan-out nets like a clock"). Arrival differences across sinks come from
+/// the distributed-RC (Elmore) wire terms; the lumped part of Eq. (1) is
+/// common to all sinks.
+struct ClockNetSkew {
+  NetId net;
+  std::string name;
+  std::int32_t pitch_width = 1;
+  std::int32_t fanout = 0;
+  double min_wire_ps = 0.0;
+  double max_wire_ps = 0.0;
+  /// Skew at the net's actual width.
+  [[nodiscard]] double skew_ps() const { return max_wire_ps - min_wire_ps; }
+  /// Hypothetical skew had the same tree been wired at 1 pitch.
+  double skew_1pitch_ps = 0.0;
+};
+
+/// Per-sink Elmore analysis of every multi-pitch net in a routed design.
+[[nodiscard]] std::vector<ClockNetSkew> clock_skew_report(
+    const GlobalRouter& router);
+
+}  // namespace bgr

@@ -1,0 +1,150 @@
+#include "bgr/netlist/library.hpp"
+
+namespace bgr {
+namespace {
+
+/// Helper assembling a combinational gate: n inputs, one output, intrinsic
+/// delay t0 on every arc.
+CellType make_gate(const std::string& name, std::int32_t width, int inputs,
+                   double t0_ps, double tf, double td, double fin) {
+  CellType type{name, width, /*is_register=*/false, /*is_feed=*/false};
+  std::vector<PinId> in_pins;
+  for (int i = 0; i < inputs; ++i) {
+    PinSpec spec;
+    spec.name = "I" + std::to_string(i);
+    spec.dir = PinDir::kInput;
+    spec.offset = i;
+    spec.fanin_cap_pf = fin;
+    in_pins.push_back(type.add_pin(spec));
+  }
+  PinSpec out;
+  out.name = "O";
+  out.dir = PinDir::kOutput;
+  out.offset = width - 1;
+  out.tf_ps_per_pf = tf;
+  out.td_ps_per_pf = td;
+  const PinId out_pin = type.add_pin(out);
+  for (const PinId in : in_pins) type.add_arc(in, out_pin, t0_ps);
+  return type;
+}
+
+}  // namespace
+
+Library Library::make_ecl_default() {
+  Library lib;
+
+  // Representative ECL figures: intrinsic delays 60-160 ps, input loads
+  // 0.02-0.05 pF, wiring delay factors a few hundred ps/pF.
+  lib.add(make_gate("BUF1", 2, 1, 70.0, 120.0, 260.0, 0.025));
+  lib.add(make_gate("INV1", 2, 1, 60.0, 130.0, 270.0, 0.025));
+  lib.add(make_gate("NOR2", 3, 2, 95.0, 150.0, 300.0, 0.030));
+  lib.add(make_gate("NOR3", 4, 3, 120.0, 165.0, 320.0, 0.035));
+  lib.add(make_gate("XOR2", 4, 2, 160.0, 180.0, 340.0, 0.045));
+  lib.add(make_gate("MUX2", 4, 3, 140.0, 170.0, 330.0, 0.040));
+
+  {
+    // D-type master-slave register: CLK->Q launch arc only; D is a timing
+    // endpoint.
+    CellType ff{"DFF", 6, /*is_register=*/true, /*is_feed=*/false};
+    PinSpec d;
+    d.name = "D";
+    d.dir = PinDir::kInput;
+    d.offset = 0;
+    d.fanin_cap_pf = 0.035;
+    const PinId d_pin = ff.add_pin(d);
+    (void)d_pin;
+    PinSpec ck;
+    ck.name = "CK";
+    ck.dir = PinDir::kClock;
+    ck.offset = 2;
+    ck.fanin_cap_pf = 0.030;
+    const PinId ck_pin = ff.add_pin(ck);
+    PinSpec q;
+    q.name = "Q";
+    q.dir = PinDir::kOutput;
+    q.offset = 5;
+    q.tf_ps_per_pf = 140.0;
+    q.td_ps_per_pf = 300.0;
+    const PinId q_pin = ff.add_pin(q);
+    ff.add_arc(ck_pin, q_pin, 180.0);
+    lib.add(std::move(ff));
+  }
+
+  {
+    // High-drive clock buffer for multi-pitch distribution nets.
+    CellType ckbuf{"CKBUF", 5, /*is_register=*/false, /*is_feed=*/false};
+    PinSpec in;
+    in.name = "I";
+    in.dir = PinDir::kInput;
+    in.offset = 0;
+    in.fanin_cap_pf = 0.050;
+    const PinId in_pin = ckbuf.add_pin(in);
+    PinSpec out;
+    out.name = "O";
+    out.dir = PinDir::kOutput;
+    out.offset = 4;
+    out.tf_ps_per_pf = 60.0;
+    out.td_ps_per_pf = 130.0;
+    const PinId out_pin = ckbuf.add_pin(out);
+    ckbuf.add_arc(in_pin, out_pin, 90.0);
+    lib.add(std::move(ckbuf));
+  }
+
+  {
+    // Differential driver/receiver pair cells: true and complement pins at
+    // adjacent columns, used for differential-drive nets (paper §4.1).
+    CellType drv{"DDRV", 4, /*is_register=*/false, /*is_feed=*/false};
+    PinSpec in;
+    in.name = "I";
+    in.dir = PinDir::kInput;
+    in.offset = 0;
+    in.fanin_cap_pf = 0.030;
+    const PinId in_pin = drv.add_pin(in);
+    PinSpec ot;
+    ot.name = "OT";  // true output
+    ot.dir = PinDir::kOutput;
+    ot.offset = 2;
+    ot.tf_ps_per_pf = 90.0;
+    ot.td_ps_per_pf = 200.0;
+    const PinId ot_pin = drv.add_pin(ot);
+    PinSpec oc = ot;
+    oc.name = "OC";  // complement output, adjacent column
+    oc.offset = 3;
+    const PinId oc_pin = drv.add_pin(oc);
+    drv.add_arc(in_pin, ot_pin, 80.0);
+    drv.add_arc(in_pin, oc_pin, 80.0);
+    lib.add(std::move(drv));
+
+    CellType rcv{"DRCV", 4, /*is_register=*/false, /*is_feed=*/false};
+    PinSpec it;
+    it.name = "IT";
+    it.dir = PinDir::kInput;
+    it.offset = 0;
+    it.fanin_cap_pf = 0.030;
+    const PinId it_pin = rcv.add_pin(it);
+    PinSpec ic = it;
+    ic.name = "IC";
+    ic.offset = 1;
+    const PinId ic_pin = rcv.add_pin(ic);
+    PinSpec out;
+    out.name = "O";
+    out.dir = PinDir::kOutput;
+    out.offset = 3;
+    out.tf_ps_per_pf = 150.0;
+    out.td_ps_per_pf = 300.0;
+    const PinId out_pin = rcv.add_pin(out);
+    rcv.add_arc(it_pin, out_pin, 100.0);
+    rcv.add_arc(ic_pin, out_pin, 100.0);
+    lib.add(std::move(rcv));
+  }
+
+  {
+    // Feed cell: one pitch of pure feedthrough space (paper §4.3).
+    CellType feed{"FEED", 1, /*is_register=*/false, /*is_feed=*/true};
+    lib.add(std::move(feed));
+  }
+
+  return lib;
+}
+
+}  // namespace bgr

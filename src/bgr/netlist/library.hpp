@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+#include "bgr/common/ids.hpp"
+
+namespace bgr {
+
+enum class PinDir { kInput, kOutput, kClock };
+
+/// Pin of a cell type. Delay semantics follow Eq. (1) of the paper:
+/// * input pins carry the fan-in capacitance factor Fin(t) [pF];
+/// * output pins carry the fan-in delay factor Tf(to) [ps/pF applied to the
+///   sum of sink Fin] and the unit-capacitance wiring delay Td(to) [ps/pF
+///   applied to CL(n)].
+struct PinSpec {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  /// Pin column offset from the cell origin, in grid pitches.
+  std::int32_t offset = 0;
+  /// Whether the pin's metal column is accessible from both adjacent
+  /// channels (the usual case; the pin column is the net's own metal).
+  bool both_sides = true;
+  double fanin_cap_pf = 0.0;   // Fin, inputs only
+  double tf_ps_per_pf = 0.0;   // Tf, outputs only
+  double td_ps_per_pf = 0.0;   // Td, outputs only
+};
+
+/// Intrinsic propagation arc T0(t_i, t_o) of a cell type.
+struct DelayArc {
+  PinId from;  // input or clock pin
+  PinId to;    // output pin
+  double t0_ps = 0.0;
+};
+
+/// Standard cell master. Registers have arcs only from the clock pin to
+/// outputs (launch); their data inputs are path endpoints. Feed cells carry
+/// no pins — they only donate feedthrough columns.
+class CellType {
+ public:
+  CellType(std::string name, std::int32_t width_pitches, bool is_register,
+           bool is_feed)
+      : name_(std::move(name)),
+        width_(width_pitches),
+        is_register_(is_register),
+        is_feed_(is_feed) {
+    BGR_CHECK(width_pitches >= 1);
+  }
+
+  PinId add_pin(PinSpec spec) {
+    BGR_CHECK_MSG(spec.offset >= 0 && spec.offset < width_,
+                  "pin offset outside cell " << name_);
+    pins_.push_back(std::move(spec));
+    return PinId{static_cast<std::int32_t>(pins_.size()) - 1};
+  }
+
+  void add_arc(PinId from, PinId to, double t0_ps) {
+    BGR_CHECK(pin(from).dir != PinDir::kOutput);
+    BGR_CHECK(pin(to).dir == PinDir::kOutput);
+    arcs_.push_back(DelayArc{from, to, t0_ps});
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int32_t width() const { return width_; }
+  [[nodiscard]] bool is_register() const { return is_register_; }
+  [[nodiscard]] bool is_feed() const { return is_feed_; }
+  [[nodiscard]] std::int32_t pin_count() const {
+    return static_cast<std::int32_t>(pins_.size());
+  }
+  [[nodiscard]] const PinSpec& pin(PinId id) const { return pins_.at(id.index()); }
+  [[nodiscard]] const std::vector<PinSpec>& pins() const { return pins_; }
+  [[nodiscard]] const std::vector<DelayArc>& arcs() const { return arcs_; }
+
+  [[nodiscard]] PinId find_pin(const std::string& name) const {
+    for (std::size_t i = 0; i < pins_.size(); ++i) {
+      if (pins_[i].name == name) return PinId{static_cast<std::int32_t>(i)};
+    }
+    return PinId::invalid();
+  }
+
+ private:
+  std::string name_;
+  std::int32_t width_;
+  bool is_register_;
+  bool is_feed_;
+  std::vector<PinSpec> pins_;
+  std::vector<DelayArc> arcs_;
+};
+
+/// Collection of cell masters for one design.
+class Library {
+ public:
+  CellTypeId add(CellType type) {
+    types_.push_back(std::move(type));
+    return CellTypeId{static_cast<std::int32_t>(types_.size()) - 1};
+  }
+
+  [[nodiscard]] const CellType& type(CellTypeId id) const {
+    return types_.at(id.index());
+  }
+  [[nodiscard]] CellType& type(CellTypeId id) { return types_.at(id.index()); }
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(types_.size());
+  }
+
+  [[nodiscard]] CellTypeId find(const std::string& name) const {
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      if (types_[i].name() == name) return CellTypeId{static_cast<std::int32_t>(i)};
+    }
+    return CellTypeId::invalid();
+  }
+
+  /// Builds the representative ECL-flavoured library used by the synthetic
+  /// datasets: inverters/buffers, 2-3 input gates, a D-type register, a
+  /// high-drive clock buffer and the feed cell.
+  [[nodiscard]] static Library make_ecl_default();
+
+ private:
+  std::vector<CellType> types_;
+};
+
+}  // namespace bgr

@@ -1,0 +1,161 @@
+#include "bgr/netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace bgr {
+
+CellId Netlist::add_cell(std::string name, CellTypeId type) {
+  BGR_CHECK(type.valid() && type.value() < library_.size());
+  return cells_.push_back(Cell{std::move(name), type});
+}
+
+NetId Netlist::add_net(std::string name, std::int32_t pitch_width) {
+  BGR_CHECK(pitch_width >= 1);
+  Net net;
+  net.name = std::move(name);
+  net.pitch_width = pitch_width;
+  return nets_.push_back(std::move(net));
+}
+
+TerminalId Netlist::connect(NetId net_id, CellId cell_id, PinId pin_id) {
+  const CellType& type = cell_type(cell_id);
+  BGR_CHECK(pin_id.valid() && pin_id.value() < type.pin_count());
+  Terminal term;
+  term.kind = TerminalKind::kCellPin;
+  term.cell = cell_id;
+  term.pin = pin_id;
+  term.net = net_id;
+  const TerminalId tid = terminals_.push_back(term);
+  Net& net = nets_.at(net_id);
+  if (type.pin(pin_id).dir == PinDir::kOutput) {
+    BGR_CHECK_MSG(!net.driver.valid(), "net " << net.name << " has two drivers");
+    net.driver = tid;
+  } else {
+    net.sinks.push_back(tid);
+  }
+  return tid;
+}
+
+TerminalId Netlist::add_pad_input(std::string name, NetId net_id,
+                                  double tf_ps_per_pf, double td_ps_per_pf) {
+  Terminal term;
+  term.kind = TerminalKind::kPadIn;
+  term.net = net_id;
+  term.pad_name = std::move(name);
+  term.pad_tf_ps_per_pf = tf_ps_per_pf;
+  term.pad_td_ps_per_pf = td_ps_per_pf;
+  const TerminalId tid = terminals_.push_back(term);
+  Net& net = nets_.at(net_id);
+  BGR_CHECK_MSG(!net.driver.valid(), "net " << net.name << " has two drivers");
+  net.driver = tid;
+  return tid;
+}
+
+TerminalId Netlist::add_pad_output(std::string name, NetId net_id,
+                                   double cap_pf) {
+  Terminal term;
+  term.kind = TerminalKind::kPadOut;
+  term.net = net_id;
+  term.pad_name = std::move(name);
+  term.pad_cap_pf = cap_pf;
+  const TerminalId tid = terminals_.push_back(term);
+  nets_.at(net_id).sinks.push_back(tid);
+  return tid;
+}
+
+void Netlist::make_differential(NetId primary, NetId shadow) {
+  BGR_CHECK(primary != shadow);
+  Net& p = nets_.at(primary);
+  Net& s = nets_.at(shadow);
+  BGR_CHECK_MSG(!p.diff_partner.valid() && !s.diff_partner.valid(),
+                "net already differential");
+  BGR_CHECK_MSG(p.terminal_count() == s.terminal_count(),
+                "differential pair terminal counts differ");
+  BGR_CHECK(p.pitch_width == 1 && s.pitch_width == 1);
+  // Homogeneity: corresponding terminals must sit on the same cells so that
+  // the two routing graphs can be mirrored (§4.1).
+  auto cell_of = [this](TerminalId t) {
+    const Terminal& term = terminals_.at(t);
+    return term.kind == TerminalKind::kCellPin ? term.cell : CellId::invalid();
+  };
+  BGR_CHECK(cell_of(p.driver) == cell_of(s.driver));
+  for (std::size_t i = 0; i < p.sinks.size(); ++i) {
+    BGR_CHECK_MSG(cell_of(p.sinks[i]) == cell_of(s.sinks[i]),
+                  "differential pair sink cells differ");
+  }
+  p.diff_partner = shadow;
+  p.diff_primary = true;
+  s.diff_partner = primary;
+  s.diff_primary = false;
+}
+
+void Netlist::validate() const {
+  for (const NetId n : nets()) {
+    const Net& net = nets_.at(n);
+    BGR_CHECK_MSG(net.driver.valid(), "net " << net.name << " has no driver");
+    BGR_CHECK_MSG(!net.sinks.empty(), "net " << net.name << " has no sinks");
+    BGR_CHECK(terminals_.at(net.driver).net == n);
+    for (const TerminalId t : net.sinks) {
+      BGR_CHECK(terminals_.at(t).net == n);
+    }
+    if (net.diff_partner.valid()) {
+      const Net& partner = nets_.at(net.diff_partner);
+      BGR_CHECK(partner.diff_partner.valid());
+      BGR_CHECK(partner.diff_primary != net.diff_primary);
+    }
+  }
+  for (const CellId c : cells()) {
+    BGR_CHECK_MSG(!cell_type(c).is_feed() || true, "feed cells are allowed");
+  }
+}
+
+std::vector<TerminalId> Netlist::net_terminals(NetId id) const {
+  const Net& net = nets_.at(id);
+  std::vector<TerminalId> out;
+  out.reserve(net.terminal_count());
+  out.push_back(net.driver);
+  out.insert(out.end(), net.sinks.begin(), net.sinks.end());
+  return out;
+}
+
+double Netlist::net_fanin_cap_pf(NetId id) const {
+  const Net& net = nets_.at(id);
+  double sum = 0.0;
+  for (const TerminalId t : net.sinks) sum += terminal_fanin_cap_pf(t);
+  return sum;
+}
+
+Netlist::DriverFactors Netlist::net_driver_factors(NetId id) const {
+  const Terminal& drv = terminals_.at(nets_.at(id).driver);
+  if (drv.kind == TerminalKind::kPadIn) {
+    return {drv.pad_tf_ps_per_pf, drv.pad_td_ps_per_pf};
+  }
+  const PinSpec& pin = cell_type(drv.cell).pin(drv.pin);
+  return {pin.tf_ps_per_pf, pin.td_ps_per_pf};
+}
+
+double Netlist::terminal_fanin_cap_pf(TerminalId id) const {
+  const Terminal& term = terminals_.at(id);
+  switch (term.kind) {
+    case TerminalKind::kCellPin: {
+      const PinSpec& pin = cell_type(term.cell).pin(term.pin);
+      return pin.dir == PinDir::kOutput ? 0.0 : pin.fanin_cap_pf;
+    }
+    case TerminalKind::kPadIn:
+      return 0.0;
+    case TerminalKind::kPadOut:
+      return term.pad_cap_pf;
+  }
+  return 0.0;
+}
+
+std::string Netlist::terminal_name(TerminalId id) const {
+  const Terminal& term = terminals_.at(id);
+  if (term.kind == TerminalKind::kCellPin) {
+    return cells_.at(term.cell).name + "." +
+           cell_type(term.cell).pin(term.pin).name;
+  }
+  return term.pad_name;
+}
+
+}  // namespace bgr

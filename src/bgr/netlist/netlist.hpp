@@ -1,0 +1,130 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+#include "bgr/common/ids.hpp"
+#include "bgr/netlist/library.hpp"
+
+namespace bgr {
+
+/// Placed-design cell instance.
+struct Cell {
+  std::string name;
+  CellTypeId type;
+};
+
+enum class TerminalKind {
+  kCellPin,  // pin instance on a cell
+  kPadIn,    // external terminal driving a net (primary input)
+  kPadOut,   // external terminal loading a net (primary output)
+};
+
+/// Connection point of a net: either a pin instance on a cell or an
+/// external (pad) terminal on the chip boundary.
+struct Terminal {
+  TerminalKind kind = TerminalKind::kCellPin;
+  CellId cell;  // kCellPin only
+  PinId pin;    // kCellPin only
+  NetId net;
+  std::string pad_name;         // pads only
+  double pad_tf_ps_per_pf = 0;  // kPadIn: driver fan-in delay factor
+  double pad_td_ps_per_pf = 0;  // kPadIn: driver unit-capacitance delay
+  double pad_cap_pf = 0;        // kPadOut: input load
+};
+
+/// Signal net. `pitch_width` is w for w-pitch nets (paper §4.2);
+/// differential pairs (§4.1) link two nets, the primary one carrying the
+/// pair in assignment and routing decisions.
+struct Net {
+  std::string name;
+  TerminalId driver;  // exactly one: cell output pin or input pad
+  std::vector<TerminalId> sinks;
+  std::int32_t pitch_width = 1;
+  NetId diff_partner;        // invalid when not differential
+  bool diff_primary = false; // true on the pair member that leads routing
+
+  [[nodiscard]] bool is_differential() const { return diff_partner.valid(); }
+  [[nodiscard]] std::size_t terminal_count() const { return sinks.size() + 1; }
+};
+
+/// The logical design: library + cells + nets + terminals.
+class Netlist {
+ public:
+  explicit Netlist(Library library) : library_(std::move(library)) {}
+
+  CellId add_cell(std::string name, CellTypeId type);
+  NetId add_net(std::string name, std::int32_t pitch_width = 1);
+
+  /// Connects a cell pin to a net. Output/clock-output pins become the
+  /// net's driver (each net accepts exactly one driver).
+  TerminalId connect(NetId net, CellId cell, PinId pin);
+  TerminalId add_pad_input(std::string name, NetId net, double tf_ps_per_pf,
+                           double td_ps_per_pf);
+  TerminalId add_pad_output(std::string name, NetId net, double cap_pf);
+
+  /// Marks two nets as a differential pair; `primary` leads all routing
+  /// decisions. Both nets must have the same terminal count on the same
+  /// cells (homogeneity precondition of §4.1) and become 1-pitch nets that
+  /// jointly occupy a 2-pitch feedthrough.
+  void make_differential(NetId primary, NetId shadow);
+
+  /// Verifies structural invariants; throws CheckError on violation.
+  void validate() const;
+
+  [[nodiscard]] const Library& library() const { return library_; }
+  [[nodiscard]] std::int32_t cell_count() const {
+    return static_cast<std::int32_t>(cells_.size());
+  }
+  [[nodiscard]] std::int32_t net_count() const {
+    return static_cast<std::int32_t>(nets_.size());
+  }
+  [[nodiscard]] std::int32_t terminal_count() const {
+    return static_cast<std::int32_t>(terminals_.size());
+  }
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id); }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id); }
+  [[nodiscard]] const Terminal& terminal(TerminalId id) const {
+    return terminals_.at(id);
+  }
+  [[nodiscard]] const CellType& cell_type(CellId id) const {
+    return library_.type(cells_.at(id).type);
+  }
+  [[nodiscard]] IdRange<CellId> cells() const {
+    return IdRange<CellId>(cells_.size());
+  }
+  [[nodiscard]] IdRange<NetId> nets() const { return IdRange<NetId>(nets_.size()); }
+  [[nodiscard]] IdRange<TerminalId> terminals() const {
+    return IdRange<TerminalId>(terminals_.size());
+  }
+
+  /// All terminals of a net, driver first.
+  [[nodiscard]] std::vector<TerminalId> net_terminals(NetId id) const;
+
+  /// Sum of sink fan-in capacitances Σ Fin(t) of a net, pF (pad loads
+  /// included). This multiplies Tf(to) in Eq. (1).
+  [[nodiscard]] double net_fanin_cap_pf(NetId id) const;
+
+  /// Driver delay factors (Tf, Td) of a net, taken from the driving output
+  /// pin or input pad.
+  struct DriverFactors {
+    double tf_ps_per_pf = 0;
+    double td_ps_per_pf = 0;
+  };
+  [[nodiscard]] DriverFactors net_driver_factors(NetId id) const;
+
+  /// Fan-in capacitance of one terminal (0 for drivers).
+  [[nodiscard]] double terminal_fanin_cap_pf(TerminalId id) const;
+
+  /// Number of path constraints-friendly descriptive name for diagnostics.
+  [[nodiscard]] std::string terminal_name(TerminalId id) const;
+
+ private:
+  Library library_;
+  IdVector<CellId, Cell> cells_;
+  IdVector<NetId, Net> nets_;
+  IdVector<TerminalId, Terminal> terminals_;
+};
+
+}  // namespace bgr

@@ -1,0 +1,160 @@
+#include "bgr/place/force_placer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgr {
+
+PlacerRows force_directed_rows(const Netlist& netlist, std::int32_t rows,
+                               double level_span,
+                               const std::vector<double>& level_hint,
+                               const std::vector<double>& col_hint, Rng& rng,
+                               const PlacerOptions& options) {
+  BGR_CHECK(rows >= 1);
+  const auto n_cells = static_cast<std::size_t>(netlist.cell_count());
+  std::vector<std::vector<CellId>> net_cells(
+      static_cast<std::size_t>(netlist.net_count()));
+  for (const TerminalId t : netlist.terminals()) {
+    const Terminal& term = netlist.terminal(t);
+    if (term.kind == TerminalKind::kCellPin) {
+      net_cells[term.net.index()].push_back(term.cell);
+    }
+  }
+  // Pad pulls: input pads sit above the top row, output pads below row 0.
+  std::vector<double> pad_row_pull(static_cast<std::size_t>(netlist.net_count()),
+                                   -1.0);
+  for (const TerminalId t : netlist.terminals()) {
+    const Terminal& term = netlist.terminal(t);
+    if (term.kind == TerminalKind::kPadIn) {
+      pad_row_pull[term.net.index()] = static_cast<double>(rows) - 0.5;
+    } else if (term.kind == TerminalKind::kPadOut) {
+      pad_row_pull[term.net.index()] = -0.5;
+    }
+  }
+
+  std::vector<double> row_pos(n_cells);
+  std::vector<double> x_pos(n_cells);
+  const double span = std::max(1.0, level_span);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const double hint = i < level_hint.size() ? level_hint[i] : span / 2;
+    row_pos[i] = hint / span * (static_cast<double>(rows) - 1.0) +
+                 rng.uniform_real(-0.5, 0.5);
+    const double col = i < col_hint.size() ? col_hint[i] : rng.uniform01();
+    x_pos[i] = col * 1000.0 + rng.uniform_real(-10.0, 10.0);
+  }
+
+  auto respread_x = [&]() {
+    std::vector<std::size_t> idx(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return x_pos[a] < x_pos[b];
+    });
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      x_pos[idx[r]] = 1000.0 * (static_cast<double>(r) + 0.5) /
+                      static_cast<double>(std::max<std::size_t>(n_cells, 1));
+    }
+  };
+
+  for (std::int32_t pass = 0; pass < options.passes; ++pass) {
+    std::vector<double> acc_row(n_cells, 0.0);
+    std::vector<double> acc_x(n_cells, 0.0);
+    std::vector<double> cnt(n_cells, 0.0);
+    for (const NetId n : netlist.nets()) {
+      const auto& members = net_cells[n.index()];
+      if (members.empty() || members.size() > options.fanout_skip) continue;
+      double mr = 0.0;
+      double mx = 0.0;
+      for (const CellId c : members) {
+        mr += row_pos[c.index()];
+        mx += x_pos[c.index()];
+      }
+      double weight = static_cast<double>(members.size());
+      if (pad_row_pull[n.index()] >= -0.5) {
+        mr += pad_row_pull[n.index()];
+        mx += mx / weight;  // pads float in x: follow the net centre
+        weight += 1.0;
+      }
+      mr /= weight;
+      mx /= weight;
+      for (const CellId c : members) {
+        acc_row[c.index()] += mr;
+        acc_x[c.index()] += mx;
+        cnt[c.index()] += 1.0;
+      }
+    }
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      if (cnt[i] == 0.0) continue;
+      row_pos[i] =
+          options.damping * row_pos[i] + (1.0 - options.damping) * acc_row[i] / cnt[i];
+      x_pos[i] =
+          options.damping * x_pos[i] + (1.0 - options.damping) * acc_x[i] / cnt[i];
+    }
+    if (options.respread_every > 0 &&
+        pass % options.respread_every == options.respread_every - 1) {
+      respread_x();
+    }
+  }
+  respread_x();
+
+  // Rank into rows of equal width capacity.
+  std::vector<CellId> by_row;
+  for (const CellId c : netlist.cells()) by_row.push_back(c);
+  std::stable_sort(by_row.begin(), by_row.end(), [&](CellId a, CellId b) {
+    return row_pos[a.index()] < row_pos[b.index()];
+  });
+  double total = 0;
+  for (const CellId c : by_row) total += netlist.cell_type(c).width();
+  const double share = total / rows;
+  PlacerRows result;
+  result.row_order.resize(static_cast<std::size_t>(rows));
+  std::int32_t row = 0;
+  double filled = 0;
+  for (const CellId c : by_row) {
+    if (filled >= share * (row + 1) && row + 1 < rows) ++row;
+    result.row_order[static_cast<std::size_t>(row)].push_back(c);
+    filled += netlist.cell_type(c).width();
+  }
+  for (auto& cells : result.row_order) {
+    std::stable_sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      return x_pos[a.index()] < x_pos[b.index()];
+    });
+  }
+  return result;
+}
+
+double ordering_hpwl(const Netlist& netlist, const PlacerRows& rows) {
+  // Abstract coordinates: row index for y, running width for x.
+  const auto n_cells = static_cast<std::size_t>(netlist.cell_count());
+  std::vector<double> x(n_cells, 0.0);
+  std::vector<double> y(n_cells, 0.0);
+  for (std::size_t r = 0; r < rows.row_order.size(); ++r) {
+    double run = 0.0;
+    for (const CellId c : rows.row_order[r]) {
+      x[c.index()] = run;
+      y[c.index()] = static_cast<double>(r);
+      run += netlist.cell_type(c).width();
+    }
+  }
+  double total = 0.0;
+  constexpr double kRowWeight = 20.0;  // a row step costs about this many pitches
+  for (const NetId n : netlist.nets()) {
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -min_x;
+    double min_y = min_x;
+    double max_y = -min_x;
+    bool any = false;
+    for (const TerminalId t : netlist.net_terminals(n)) {
+      const Terminal& term = netlist.terminal(t);
+      if (term.kind != TerminalKind::kCellPin) continue;
+      any = true;
+      min_x = std::min(min_x, x[term.cell.index()]);
+      max_x = std::max(max_x, x[term.cell.index()]);
+      min_y = std::min(min_y, y[term.cell.index()]);
+      max_y = std::max(max_y, y[term.cell.index()]);
+    }
+    if (any) total += (max_x - min_x) + kRowWeight * (max_y - min_y);
+  }
+  return total;
+}
+
+}  // namespace bgr

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "bgr/common/ids.hpp"
+#include "bgr/common/rng.hpp"
+#include "bgr/netlist/netlist.hpp"
+
+namespace bgr {
+
+struct PlacerOptions {
+  std::int32_t passes = 24;
+  /// Damping of the Gauss-Seidel update: new = damping·old + (1−damping)·pull.
+  double damping = 0.4;
+  /// Nets with more members are ignored as placement pulls (clock-like
+  /// nets would otherwise collapse the solution).
+  std::size_t fanout_skip = 12;
+  /// Re-spread x to uniform rank positions every N passes (prevents
+  /// collapse while preserving the order that matters for packing).
+  std::int32_t respread_every = 4;
+};
+
+/// Row assignment and in-row ordering produced by the placer; packing
+/// cells to concrete coordinates is the caller's job.
+struct PlacerRows {
+  std::vector<std::vector<CellId>> row_order;  // per row, left to right
+};
+
+/// Force-directed standard-cell ordering: a few damped neighbour-mean
+/// passes over the net hypergraph (pads pull toward their boundary), then
+/// rank-based partitioning into `rows` rows of equal width capacity.
+/// `level_hint` (0..levels, per cell) seeds the row dimension — a
+/// designer's datapath ordering; `col_hint` (0..1, per cell) seeds x.
+/// Either may be empty. Deterministic in `rng`.
+[[nodiscard]] PlacerRows force_directed_rows(
+    const Netlist& netlist, std::int32_t rows, double level_span,
+    const std::vector<double>& level_hint, const std::vector<double>& col_hint,
+    Rng& rng, const PlacerOptions& options = {});
+
+/// Total half-perimeter wire length (in abstract placer units) of a row
+/// assignment — the quality metric the placer minimizes. Useful for
+/// comparing option settings before committing to a packing.
+[[nodiscard]] double ordering_hpwl(const Netlist& netlist,
+                                   const PlacerRows& rows);
+
+}  // namespace bgr

@@ -1,0 +1,232 @@
+#include "bgr/route/assign.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "bgr/common/log.hpp"
+
+namespace bgr {
+
+std::int32_t net_group_width(const Netlist& netlist, NetId net) {
+  const Net& n = netlist.net(net);
+  if (n.is_differential()) return n.diff_primary ? 2 : 0;
+  return n.pitch_width;
+}
+
+namespace {
+
+/// Mean terminal column of a net, used as the outward-search centre.
+std::int32_t net_center_column(const Netlist& netlist,
+                               const Placement& placement, NetId net) {
+  std::int64_t sum = 0;
+  std::int64_t count = 0;
+  for (const TerminalId term : netlist.net_terminals(net)) {
+    sum += terminal_geom(netlist, placement, term).column;
+    ++count;
+  }
+  return static_cast<std::int32_t>(sum / std::max<std::int64_t>(count, 1));
+}
+
+/// Net processing order: ascending key, ties by id for determinism.
+std::vector<NetId> ordered_nets(const Netlist& netlist,
+                                const IdVector<NetId, double>& order) {
+  std::vector<NetId> nets;
+  nets.reserve(static_cast<std::size_t>(netlist.net_count()));
+  for (const NetId n : netlist.nets()) nets.push_back(n);
+  std::stable_sort(nets.begin(), nets.end(), [&](NetId a, NetId b) {
+    return order.at(a) < order.at(b);
+  });
+  return nets;
+}
+
+}  // namespace
+
+void assign_external_pins(const Netlist& netlist, Placement& placement) {
+  // Occupancy per side.
+  std::vector<bool> taken_top(static_cast<std::size_t>(placement.width()), false);
+  std::vector<bool> taken_bot(taken_top);
+
+  // Deterministic order: pad terminal id.
+  std::vector<TerminalId> pads;
+  for (const auto& [pad, site] : placement.pad_sites()) {
+    (void)site;
+    pads.push_back(pad);
+  }
+  std::sort(pads.begin(), pads.end());
+
+  for (const TerminalId pad : pads) {
+    PadSite& site = placement.pad_site(pad);
+    auto& taken = site.top ? taken_top : taken_bot;
+    // Centre over the net's cell terminals (pads excluded to avoid the
+    // chicken-and-egg on unassigned pads).
+    const NetId net = netlist.terminal(pad).net;
+    std::int64_t sum = 0;
+    std::int64_t count = 0;
+    for (const TerminalId term : netlist.net_terminals(net)) {
+      if (netlist.terminal(term).kind != TerminalKind::kCellPin) continue;
+      sum += terminal_geom(netlist, placement, term).column;
+      ++count;
+    }
+    const std::int32_t center =
+        count > 0 ? static_cast<std::int32_t>(sum / count)
+                  : (site.window.lo + site.window.hi) / 2;
+    std::int32_t best = -1;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t x = site.window.lo; x <= site.window.hi; ++x) {
+      if (taken[static_cast<std::size_t>(x)]) continue;
+      const std::int32_t dist = std::abs(x - center);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = x;
+      }
+    }
+    BGR_CHECK_MSG(best >= 0, "no free pad column in window");
+    site.assigned_x = best;
+    taken[static_cast<std::size_t>(best)] = true;
+  }
+}
+
+AssignmentOutcome assign_feedthroughs(const Netlist& netlist,
+                                      const Placement& placement,
+                                      const IdVector<NetId, double>& order,
+                                      bool respect_flags) {
+  AssignmentOutcome outcome{
+      FeedthroughAssignment(netlist.net_count()),
+      FeedDemand(placement.row_count()),
+      0};
+
+  // Per-row column occupancy for this round.
+  const auto width = static_cast<std::size_t>(placement.width());
+  std::vector<std::vector<bool>> taken(
+      static_cast<std::size_t>(placement.row_count()),
+      std::vector<bool>(width, false));
+
+  // A group of `w` columns starting at x is usable when every column is in
+  // bounds, unblocked, untaken and flag-compatible. Score 0 when every
+  // column carries the matching width flag (preferred), 1 otherwise.
+  auto group_score = [&](RowId row, std::int32_t x, std::int32_t w) -> int {
+    if (x < 0 || x + w > placement.width()) return -1;
+    bool all_flagged = true;
+    for (std::int32_t c = x; c < x + w; ++c) {
+      if (placement.column_blocked(row, c)) return -1;
+      if (taken[static_cast<std::size_t>(row.value())][static_cast<std::size_t>(c)])
+        return -1;
+      const std::int32_t flag = placement.column_flag(row, c);
+      if (respect_flags && flag != 0 && flag != w) return -1;
+      if (flag != w) all_flagged = false;
+    }
+    return all_flagged ? 0 : 1;
+  };
+
+  // Outward search from `center`: nearest usable group, preferring fully
+  // flagged groups at equal-or-smaller distance.
+  auto find_group = [&](RowId row, std::int32_t center, std::int32_t w,
+                        std::int32_t prefer) -> std::int32_t {
+    if (prefer >= 0 && group_score(row, prefer, w) >= 0) return prefer;
+    std::int32_t best = -1;
+    int best_score = std::numeric_limits<int>::max();
+    std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+    const std::int32_t reach = placement.width();
+    for (std::int32_t d = 0; d < reach; ++d) {
+      for (const std::int32_t x : {center - d, center + d}) {
+        const int score = group_score(row, x, w);
+        if (score < 0) continue;
+        if (score < best_score || (score == best_score && d < best_dist)) {
+          best_score = score;
+          best_dist = d;
+          best = x;
+        }
+      }
+      // A perfect (fully flagged) hit at distance d cannot be beaten later.
+      if (best_score == 0) break;
+      // An unflagged hit can still be beaten by a flagged one, but only
+      // when flags matter; otherwise stop at the first hit.
+      if (best >= 0 && !respect_flags) break;
+      if (best >= 0 && d > best_dist + 64) break;  // bounded flag search
+    }
+    return best;
+  };
+
+  // Two sweeps in net order: required crossings first (their failures
+  // drive feed-cell insertion), then optional crossings from the leftover
+  // columns (failures only cost routing freedom, never completeness).
+  const auto nets = ordered_nets(netlist, order);
+  for (const bool required_sweep : {true, false}) {
+    for (const NetId net : nets) {
+      const std::int32_t w = net_group_width(netlist, net);
+      if (w == 0) continue;  // differential shadow rides with its primary
+      const NetSpan span = net_span(netlist, placement, net);
+      if (span.row_hi() < span.row_lo()) continue;  // single-channel net
+      const std::int32_t center = net_center_column(netlist, placement, net);
+      std::int32_t prev = -1;
+      for (std::int32_t r = span.row_lo(); r <= span.row_hi(); ++r) {
+        if (span.row_required(r) != required_sweep) continue;
+        const RowId row{r};
+        const std::int32_t x = find_group(row, center, w, prev);
+        if (x < 0) {
+          if (required_sweep) {
+            outcome.demand.add_failure(row, w);
+          } else {
+            ++outcome.optional_failures;
+          }
+          continue;
+        }
+        for (std::int32_t c = x; c < x + w; ++c) {
+          taken[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = true;
+        }
+        outcome.assignment.set(net, r, x);
+        prev = x;
+      }
+    }
+  }
+  return outcome;
+}
+
+AssignmentPipelineResult run_assignment_pipeline(
+    Netlist& netlist, Placement& placement,
+    const IdVector<NetId, double>& order) {
+  assign_external_pins(netlist, placement);
+
+  AssignmentPipelineResult result{FeedthroughAssignment(netlist.net_count()), 0,
+                                  0, 0};
+  constexpr std::int32_t kMaxRounds = 10;
+  for (std::int32_t round = 0; round < kMaxRounds; ++round) {
+    ++result.rounds;
+    AssignmentOutcome outcome =
+        assign_feedthroughs(netlist, placement, order, /*respect_flags=*/round > 0);
+    if (outcome.complete()) {
+      result.assignment = std::move(outcome.assignment);
+      return result;
+    }
+    // Flag the positions where multi-pitch nets succeeded so the re-run
+    // cannot give them away (§4.3), then cancel and insert feed cells.
+    placement.clear_column_flags();
+    for (const NetId net : netlist.nets()) {
+      const std::int32_t w = net_group_width(netlist, net);
+      if (w < 2) continue;
+      for (const auto& [row, col] : outcome.assignment.rows(net)) {
+        for (std::int32_t c = col; c < col + w; ++c) {
+          placement.set_column_flag(RowId{row}, c, w);
+        }
+      }
+    }
+    FeedInsertionResult inserted =
+        insert_feed_cells(netlist, placement, outcome.demand);
+    log_info("feed insertion round " + std::to_string(round) + ": +" +
+             std::to_string(inserted.feed_cells_added) + " feed cells, chip +" +
+             std::to_string(inserted.widen_pitches) + " pitches");
+    result.feed_cells_added += inserted.feed_cells_added;
+    result.widen_pitches += inserted.widen_pitches;
+    placement = std::move(inserted.placement);
+  }
+  // Final attempt; by construction reserved capacity now suffices.
+  AssignmentOutcome outcome =
+      assign_feedthroughs(netlist, placement, order, /*respect_flags=*/true);
+  BGR_CHECK_MSG(outcome.complete(),
+                "feedthrough assignment incomplete after feed-cell insertion");
+  result.assignment = std::move(outcome.assignment);
+  return result;
+}
+
+}  // namespace bgr

@@ -1,0 +1,111 @@
+#include "bgr/route/density.hpp"
+
+#include <algorithm>
+
+namespace bgr {
+
+DensityMap::DensityMap(std::int32_t channels, std::int32_t width)
+    : width_(width), channels_(static_cast<std::size_t>(channels)) {
+  BGR_CHECK(channels >= 1 && width >= 1);
+  for (Channel& ch : channels_) {
+    ch.total.assign(static_cast<std::size_t>(width), 0);
+    ch.bridge.assign(static_cast<std::size_t>(width), 0);
+  }
+}
+
+void DensityMap::apply(std::vector<std::int32_t>& chart, Channel& ch,
+                       IntInterval span, std::int32_t delta) {
+  BGR_CHECK(!span.empty());
+  BGR_CHECK(span.lo >= 0 && span.hi < width_);
+  for (std::int32_t x = span.lo; x <= span.hi; ++x) {
+    chart[static_cast<std::size_t>(x)] += delta;
+    BGR_CHECK(chart[static_cast<std::size_t>(x)] >= 0);
+  }
+  ch.dirty = true;
+  ++ch.version;
+}
+
+void DensityMap::add_total(std::int32_t channel, IntInterval span,
+                           std::int32_t w) {
+  Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  apply(ch.total, ch, span, w);
+}
+
+void DensityMap::remove_total(std::int32_t channel, IntInterval span,
+                              std::int32_t w) {
+  Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  apply(ch.total, ch, span, -w);
+}
+
+void DensityMap::add_bridge(std::int32_t channel, IntInterval span,
+                            std::int32_t w) {
+  Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  apply(ch.bridge, ch, span, w);
+}
+
+void DensityMap::remove_bridge(std::int32_t channel, IntInterval span,
+                               std::int32_t w) {
+  Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  apply(ch.bridge, ch, span, -w);
+}
+
+const ChannelDensityParams& DensityMap::channel_params(
+    std::int32_t channel) const {
+  const Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  if (ch.dirty) {
+    ChannelDensityParams p;
+    for (const auto v : ch.total) {
+      if (v > p.c_max) {
+        p.c_max = v;
+        p.nc_max = 1;
+      } else if (v == p.c_max) {
+        ++p.nc_max;
+      }
+    }
+    for (const auto v : ch.bridge) {
+      if (v > p.c_min) {
+        p.c_min = v;
+        p.nc_min = 1;
+      } else if (v == p.c_min) {
+        ++p.nc_min;
+      }
+    }
+    ch.params = p;
+    ch.dirty = false;
+  }
+  return ch.params;
+}
+
+EdgeDensityParams DensityMap::edge_params(std::int32_t channel,
+                                          IntInterval span) const {
+  const Channel& ch = channels_.at(static_cast<std::size_t>(channel));
+  EdgeDensityParams p;
+  BGR_CHECK(!span.empty() && span.lo >= 0 && span.hi < width_);
+  for (std::int32_t x = span.lo; x <= span.hi; ++x) {
+    const auto t = ch.total[static_cast<std::size_t>(x)];
+    if (t > p.d_max) {
+      p.d_max = t;
+      p.nd_max = 1;
+    } else if (t == p.d_max) {
+      ++p.nd_max;
+    }
+    const auto b = ch.bridge[static_cast<std::size_t>(x)];
+    if (b > p.d_min) {
+      p.d_min = b;
+      p.nd_min = 1;
+    } else if (b == p.d_min) {
+      ++p.nd_min;
+    }
+  }
+  return p;
+}
+
+std::int64_t DensityMap::sum_max_density() const {
+  std::int64_t sum = 0;
+  for (std::int32_t c = 0; c < channel_count(); ++c) {
+    sum += channel_params(c).c_max;
+  }
+  return sum;
+}
+
+}  // namespace bgr

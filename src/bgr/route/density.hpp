@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgr/common/check.hpp"
+#include "bgr/common/interval.hpp"
+
+namespace bgr {
+
+/// Channel aggregates of §3.3: C_M / C_m are the maxima of the total and
+/// bridge-edge density charts, NC_M / NC_m the number of grid columns at
+/// those maxima.
+struct ChannelDensityParams {
+  std::int32_t c_max = 0;    // C_M(c)
+  std::int32_t nc_max = 0;   // NC_M(c)
+  std::int32_t c_min = 0;    // C_m(c)
+  std::int32_t nc_min = 0;   // NC_m(c)
+};
+
+/// Per-edge aggregates over the edge's interval (Fig. 4): D_M / D_m are the
+/// chart maxima within the interval, ND_M / ND_m the number of interval
+/// columns attaining them.
+struct EdgeDensityParams {
+  std::int32_t d_max = 0;    // D_M(e)
+  std::int32_t nd_max = 0;   // ND_M(e)
+  std::int32_t d_min = 0;    // D_m(e)
+  std::int32_t nd_min = 0;   // ND_m(e)
+};
+
+/// Density charts d_M(c, x) (all trunk edges) and d_m(c, x) (bridge trunk
+/// edges — the unrecoverable lower bound) for every channel. Channel
+/// aggregates are cached and recomputed lazily; a per-channel version
+/// counter lets the edge-selection cache detect staleness.
+class DensityMap {
+ public:
+  DensityMap(std::int32_t channels, std::int32_t width);
+
+  [[nodiscard]] std::int32_t channel_count() const {
+    return static_cast<std::int32_t>(channels_.size());
+  }
+  [[nodiscard]] std::int32_t width() const { return width_; }
+
+  /// Adds/removes a w-pitch trunk edge's contribution to d_M.
+  void add_total(std::int32_t channel, IntInterval span, std::int32_t w);
+  void remove_total(std::int32_t channel, IntInterval span, std::int32_t w);
+  /// Adds/removes a w-pitch bridge trunk edge's contribution to d_m.
+  void add_bridge(std::int32_t channel, IntInterval span, std::int32_t w);
+  void remove_bridge(std::int32_t channel, IntInterval span, std::int32_t w);
+
+  [[nodiscard]] const ChannelDensityParams& channel_params(
+      std::int32_t channel) const;
+  [[nodiscard]] EdgeDensityParams edge_params(std::int32_t channel,
+                                              IntInterval span) const;
+  [[nodiscard]] std::uint64_t version(std::int32_t channel) const {
+    return channels_[static_cast<std::size_t>(channel)].version;
+  }
+
+  [[nodiscard]] std::int32_t total_at(std::int32_t channel, std::int32_t x) const {
+    return channels_[static_cast<std::size_t>(channel)]
+        .total[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::int32_t bridge_at(std::int32_t channel, std::int32_t x) const {
+    return channels_[static_cast<std::size_t>(channel)]
+        .bridge[static_cast<std::size_t>(x)];
+  }
+
+  /// Σ_c C_M(c): the track-count proxy minimized by the area phase.
+  [[nodiscard]] std::int64_t sum_max_density() const;
+
+ private:
+  struct Channel {
+    std::vector<std::int32_t> total;
+    std::vector<std::int32_t> bridge;
+    mutable ChannelDensityParams params;
+    mutable bool dirty = true;
+    std::uint64_t version = 0;
+  };
+
+  void apply(std::vector<std::int32_t>& chart, Channel& ch, IntInterval span,
+             std::int32_t delta);
+
+  std::int32_t width_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace bgr

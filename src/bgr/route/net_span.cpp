@@ -1,0 +1,49 @@
+#include "bgr/route/net_span.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgr {
+
+TerminalGeom terminal_geom(const Netlist& netlist, const Placement& placement,
+                           TerminalId term) {
+  const Terminal& t = netlist.terminal(term);
+  TerminalGeom geom;
+  if (t.kind == TerminalKind::kCellPin) {
+    const PlacedCell& pc = placement.placed(t.cell);
+    const PinSpec& pin = netlist.cell_type(t.cell).pin(t.pin);
+    geom.column = pc.x + pin.offset;
+    geom.chan_hi = pc.row.value() + 1;
+    geom.chan_lo = pin.both_sides ? pc.row.value() : pc.row.value() + 1;
+  } else {
+    const PadSite& site = placement.pad_site(term);
+    geom.column = site.assigned() ? site.assigned_x
+                                  : (site.window.lo + site.window.hi) / 2;
+    geom.chan_lo = geom.chan_hi = site.top ? placement.row_count() : 0;
+  }
+  return geom;
+}
+
+NetSpan net_span(const Netlist& netlist, const Placement& placement, NetId net) {
+  NetSpan span;
+  std::int32_t c_lo = std::numeric_limits<std::int32_t>::max();
+  std::int32_t c_hi = std::numeric_limits<std::int32_t>::min();
+  std::int32_t min_hi = std::numeric_limits<std::int32_t>::max();  // min_T chan_hi
+  std::int32_t max_lo = std::numeric_limits<std::int32_t>::min();  // max_T chan_lo
+  for (const TerminalId term : netlist.net_terminals(net)) {
+    const TerminalGeom g = terminal_geom(netlist, placement, term);
+    c_lo = std::min(c_lo, g.chan_lo);
+    c_hi = std::max(c_hi, g.chan_hi);
+    min_hi = std::min(min_hi, g.chan_hi);
+    max_lo = std::max(max_lo, g.chan_lo);
+    span.column_span = span.column_span.merge(IntInterval::point(g.column));
+  }
+  span.chan_lo = c_lo;
+  span.chan_hi = c_hi;
+  // Crossing row r is required iff min_hi <= r and r + 1 <= max_lo.
+  span.required_row_lo = min_hi;
+  span.required_row_hi = max_lo - 1;
+  return span;
+}
+
+}  // namespace bgr

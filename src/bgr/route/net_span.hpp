@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "bgr/common/ids.hpp"
+#include "bgr/common/interval.hpp"
+#include "bgr/layout/placement.hpp"
+#include "bgr/netlist/netlist.hpp"
+
+namespace bgr {
+
+/// Physical access geometry of one terminal: its grid column and the range
+/// of channels it can connect to. A cell pin whose metal column is open on
+/// both cell edges reaches the channel below its row (r) and above it
+/// (r+1); a single-sided pin reaches only the upper channel. Pads reach
+/// exactly their boundary channel (0 or row_count).
+struct TerminalGeom {
+  std::int32_t column = 0;
+  std::int32_t chan_lo = 0;
+  std::int32_t chan_hi = 0;
+};
+
+[[nodiscard]] TerminalGeom terminal_geom(const Netlist& netlist,
+                                         const Placement& placement,
+                                         TerminalId term);
+
+/// Vertical extent of a net and its feedthrough needs. Crossing row r joins
+/// channels r and r+1. A crossing is *required* when some terminal lies
+/// entirely at-or-below it while another lies entirely above; the remaining
+/// rows of the span are optional (they only enrich the routing graph with
+/// alternative channels).
+struct NetSpan {
+  std::int32_t chan_lo = 0;  // lowest candidate channel
+  std::int32_t chan_hi = 0;  // highest candidate channel
+  std::int32_t required_row_lo = 0;  // required crossings: [lo, hi] (empty if lo > hi)
+  std::int32_t required_row_hi = -1;
+  IntInterval column_span;  // hull of terminal columns
+
+  /// All rows the assignment will try to reserve: chan_lo .. chan_hi − 1.
+  [[nodiscard]] std::int32_t row_lo() const { return chan_lo; }
+  [[nodiscard]] std::int32_t row_hi() const { return chan_hi - 1; }
+  [[nodiscard]] bool row_required(std::int32_t r) const {
+    return required_row_lo <= r && r <= required_row_hi;
+  }
+};
+
+[[nodiscard]] NetSpan net_span(const Netlist& netlist,
+                               const Placement& placement, NetId net);
+
+}  // namespace bgr

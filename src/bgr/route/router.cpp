@@ -1,0 +1,657 @@
+#include "bgr/route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bgr/common/log.hpp"
+#include "bgr/common/stopwatch.hpp"
+
+namespace bgr {
+
+GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
+                           TechParams tech,
+                           std::vector<PathConstraint> constraints,
+                           RouterOptions options)
+    : netlist_(netlist),
+      placement_(std::move(placement)),
+      tech_(tech),
+      options_(options),
+      constraints_(std::move(constraints)) {}
+
+GlobalRouter::~GlobalRouter() = default;
+
+const RoutingGraph& GlobalRouter::net_graph(NetId net) const {
+  const auto& g = graphs_.at(net);
+  BGR_CHECK(g != nullptr);
+  return *g;
+}
+
+double GlobalRouter::net_length_um(NetId net) const {
+  return net_graph(net).alive_length_um();
+}
+
+NetId GlobalRouter::primary_of(NetId net) const {
+  const Net& n = netlist_.net(net);
+  if (n.is_differential() && !n.diff_primary) return n.diff_partner;
+  return net;
+}
+
+bool GlobalRouter::timing_active_for(NetId net) const {
+  return options_.use_constraints &&
+         !analyzer_->constraints_of_net(net).empty();
+}
+
+std::int32_t GlobalRouter::net_density_width(NetId net) const {
+  // Each member of a differential pair contributes its own 1-pitch track;
+  // a w-pitch net occupies w tracks everywhere.
+  return netlist_.net(net).pitch_width;
+}
+
+void GlobalRouter::build_all_graphs() {
+  graphs_.clear();
+  graphs_.resize(static_cast<std::size_t>(netlist_.net_count()));
+  scores_.clear();
+  scores_.resize(static_cast<std::size_t>(netlist_.net_count()));
+  net_version_.assign(static_cast<std::size_t>(netlist_.net_count()), 0);
+  for (const NetId n : netlist_.nets()) {
+    const Net& net = netlist_.net(n);
+    if (net.is_differential() && !net.diff_primary) {
+      graphs_[n] = std::make_unique<RoutingGraph>(
+          netlist_, placement_, tech_, *assignment_, n, net.diff_partner, 1);
+    } else {
+      graphs_[n] = std::make_unique<RoutingGraph>(netlist_, placement_, tech_,
+                                                  *assignment_, n);
+    }
+  }
+  // Differential pairs must be homogeneous so edge ids mirror one-to-one.
+  for (const NetId n : netlist_.nets()) {
+    const Net& net = netlist_.net(n);
+    if (!net.is_differential() || !net.diff_primary) continue;
+    const RoutingGraph& a = *graphs_[n];
+    const RoutingGraph& b = *graphs_[net.diff_partner];
+    BGR_CHECK_MSG(a.graph().edge_count() == b.graph().edge_count(),
+                  "differential pair graphs not homogeneous: " + net.name);
+    for (std::int32_t e = 0; e < a.graph().edge_count(); ++e) {
+      BGR_CHECK(a.edge_info(e).kind == b.edge_info(e).kind);
+    }
+  }
+  for (const NetId n : netlist_.nets()) {
+    register_graph_density(n);
+    refresh_net_estimate(n);
+  }
+  analyzer_->update_all();
+  ++timing_version_;
+}
+
+void GlobalRouter::register_graph_density(NetId net) {
+  const RoutingGraph& g = *graphs_[net];
+  const std::int32_t w = net_density_width(net);
+  for (const auto e : g.alive_edges()) {
+    const RouteEdgeInfo& info = g.edge_info(e);
+    if (!info.is_trunk()) continue;
+    density_->add_total(info.channel, info.span, w);
+    if (g.is_bridge(e)) density_->add_bridge(info.channel, info.span, w);
+  }
+}
+
+void GlobalRouter::unregister_graph_density(NetId net) {
+  const RoutingGraph& g = *graphs_[net];
+  const std::int32_t w = net_density_width(net);
+  for (const auto e : g.alive_edges()) {
+    const RouteEdgeInfo& info = g.edge_info(e);
+    if (!info.is_trunk()) continue;
+    density_->remove_total(info.channel, info.span, w);
+    if (g.is_bridge(e)) density_->remove_bridge(info.channel, info.span, w);
+  }
+}
+
+double GlobalRouter::net_extra_um(NetId net) const {
+  return extra_um_.empty() ? 0.0 : extra_um_.at(net);
+}
+
+void GlobalRouter::refresh_net_estimate(NetId net) {
+  const RoutingGraph& g = *graphs_[net];
+  const double cap =
+      tech_.wire_cap_pf(g.estimated_length_um() + net_extra_um(net),
+                        netlist_.net(net).pitch_width);
+  if (options_.delay_model == DelayModel::kElmoreRC) {
+    const auto rc = g.elmore(tech_, netlist_.net(net).pitch_width,
+                             [&](TerminalId t) {
+                               return netlist_.terminal_fanin_cap_pf(t);
+                             });
+    delay_graph_->set_net_rc(net, cap, rc.sink_wire_ps);
+  } else {
+    delay_graph_->set_net_cap(net, cap);
+  }
+  if (timing_active_for(net)) {
+    analyzer_->update_for_net(net);
+    ++timing_version_;
+  }
+  ++net_version_[net];
+}
+
+std::uint64_t GlobalRouter::stamp_for(NetId net, std::int32_t edge) const {
+  const RoutingGraph& g = *graphs_[net];
+  const RouteEdgeInfo& info = g.edge_info(edge);
+  std::uint64_t stamp = net_version_[net];
+  const Net& n = netlist_.net(net);
+  if (n.is_differential()) stamp += net_version_[n.diff_partner];
+  if (timing_active_for(net) ||
+      (n.is_differential() && timing_active_for(n.diff_partner))) {
+    stamp += timing_version_ * 0x10000ULL;
+  }
+  if (info.kind == RouteEdgeKind::kFeed) {
+    stamp += density_->version(info.channel);
+    stamp += density_->version(info.channel + 1);
+  } else {
+    stamp += density_->version(info.channel);
+  }
+  return stamp;
+}
+
+SelectionKey GlobalRouter::compute_key(NetId net, std::int32_t edge) const {
+  const RoutingGraph& g = *graphs_[net];
+  const RouteEdgeInfo& info = g.edge_info(edge);
+  SelectionKey key;
+  key.neg_length = -info.length_um;
+  key.branch = info.is_trunk() ? 0 : 1;
+
+  if (options_.use_density_criteria) {
+    auto fill = [&](std::int32_t channel, SelectionKey& k) {
+      const ChannelDensityParams& cp = density_->channel_params(channel);
+      const EdgeDensityParams ep = density_->edge_params(channel, info.span);
+      k.f_min = cp.c_min - ep.d_min;
+      k.n_min = cp.nc_min - ep.nd_min;
+      k.f_max = cp.c_max - ep.d_max;
+      k.n_max = cp.nc_max - ep.nd_max;
+    };
+    if (info.kind == RouteEdgeKind::kFeed) {
+      // A feedthrough edge touches both adjacent channels at one column;
+      // score it against the more critical of the two.
+      SelectionKey lo = key;
+      SelectionKey hi = key;
+      fill(info.channel, lo);
+      fill(info.channel + 1, hi);
+      const bool lo_worse = lo.f_min != hi.f_min ? lo.f_min < hi.f_min
+                                                 : lo.f_max < hi.f_max;
+      key = lo_worse ? lo : hi;
+    } else {
+      fill(info.channel, key);
+    }
+  }
+
+  if (options_.use_constraints && options_.use_delay_criteria) {
+    auto accumulate = [&](NetId member, const RoutingGraph& mg) {
+      if (analyzer_->constraints_of_net(member).empty()) return;
+      const double len = mg.estimated_length_um(edge) + net_extra_um(member);
+      const double cap =
+          tech_.wire_cap_pf(len, netlist_.net(member).pitch_width);
+      DelayCriteria dc;
+      if (options_.use_net_budgets) {
+        dc = budget_criteria(
+            member, delay_graph_->net_arc_delay_for_cap(member, cap));
+      } else if (options_.delay_model == DelayModel::kElmoreRC) {
+        // Worst-sink arc delay after the deletion: lumped part plus the
+        // largest per-sink Elmore wire term (pessimistic, in the spirit of
+        // the LM(e, P) estimate).
+        const auto rc = mg.elmore(tech_, netlist_.net(member).pitch_width,
+                                  [&](TerminalId t) {
+                                    return netlist_.terminal_fanin_cap_pf(t);
+                                  },
+                                  edge);
+        double worst_extra = 0.0;
+        for (const auto& [term, ps] : rc.sink_wire_ps) {
+          (void)term;
+          worst_extra = std::max(worst_extra, ps);
+        }
+        dc = analyzer_->evaluate_arc_delay(
+            member,
+            delay_graph_->net_arc_delay_for_cap(member, cap) + worst_extra);
+      } else {
+        dc = analyzer_->evaluate(member, cap);
+      }
+      key.critical_count += dc.critical_count;
+      key.global_delay += dc.global_delay;
+      key.local_delay += dc.local_delay;
+    };
+    accumulate(net, g);
+    const Net& n = netlist_.net(net);
+    if (n.is_differential()) {
+      accumulate(n.diff_partner, *graphs_[n.diff_partner]);
+    }
+  }
+  return key;
+}
+
+const SelectionKey& GlobalRouter::cached_key(NetId net, std::int32_t edge) {
+  auto& vec = scores_[net];
+  if (vec.size() < static_cast<std::size_t>(graphs_[net]->graph().edge_count())) {
+    vec.resize(static_cast<std::size_t>(graphs_[net]->graph().edge_count()));
+  }
+  ScoreCache& sc = vec[static_cast<std::size_t>(edge)];
+  const std::uint64_t stamp = stamp_for(net, edge);
+  if (!sc.valid || sc.stamp != stamp) {
+    sc.key = compute_key(net, edge);
+    sc.stamp = stamp;
+    sc.valid = true;
+  }
+  return sc.key;
+}
+
+void GlobalRouter::delete_in_graph(NetId net, std::int32_t edge) {
+  RoutingGraph& g = *graphs_[net];
+  const std::int32_t w = net_density_width(net);
+  const auto result = g.delete_edge(edge);
+  for (const auto& removed : result.removed_edges) {
+    const RouteEdgeInfo& info = g.edge_info(removed.edge);
+    if (!info.is_trunk()) continue;
+    density_->remove_total(info.channel, info.span, w);
+    if (removed.was_bridge) {
+      density_->remove_bridge(info.channel, info.span, w);
+    }
+  }
+  for (const auto nb : result.new_bridges) {
+    const RouteEdgeInfo& info = g.edge_info(nb);
+    if (!info.is_trunk()) continue;
+    density_->add_bridge(info.channel, info.span, w);
+  }
+}
+
+void GlobalRouter::commit_delete(NetId net, std::int32_t edge,
+                                 PhaseStats& stats) {
+  delete_in_graph(net, edge);
+  refresh_net_estimate(net);
+  const Net& n = netlist_.net(net);
+  if (n.is_differential()) {
+    // Mirrored deletion on the homogeneous shadow graph (§4.1).
+    delete_in_graph(n.diff_partner, edge);
+    refresh_net_estimate(n.diff_partner);
+  }
+  ++stats.deletions;
+}
+
+void GlobalRouter::compute_net_budgets() {
+  // Huang-style budgeting: every net starts from its current (full
+  // candidate graph, i.e. near-minimal) wiring delay and receives an even
+  // share of each constraint's margin, divided by the number of nets on
+  // that constraint's critical path. Nets under several constraints keep
+  // the tightest budget.
+  net_budget_ps_.assign(static_cast<std::size_t>(netlist_.net_count()),
+                        std::numeric_limits<double>::infinity());
+  for (const ConstraintId p : analyzer_->constraints()) {
+    const auto path_nets = analyzer_->critical_path_nets(p);
+    const double share =
+        std::max(0.0, analyzer_->margin_ps(p)) /
+        std::max<std::size_t>(path_nets.size(), 1);
+    for (const NetId n : analyzer_->nets_of_constraint(p)) {
+      const double budget = delay_graph_->net_arc_delay(n) + share;
+      net_budget_ps_[n] = std::min(net_budget_ps_[n], budget);
+    }
+  }
+}
+
+DelayCriteria GlobalRouter::budget_criteria(NetId net,
+                                            double new_arc_delay_ps) const {
+  DelayCriteria out;
+  const double budget = net_budget_ps_.at(net);
+  if (!std::isfinite(budget)) return out;
+  const double d_cur = delay_graph_->net_arc_delay(net);
+  const double margin_new = budget - new_arc_delay_ps;
+  const double margin_cur = budget - d_cur;
+  if (margin_new <= 0.0) ++out.critical_count;
+  const double scale = std::max(budget, 1.0);
+  out.global_delay = penalty(margin_new, scale) - penalty(margin_cur, scale);
+  out.local_delay = new_arc_delay_ps - d_cur;
+  return out;
+}
+
+void GlobalRouter::initial_routing(PhaseStats& stats) {
+  if (!options_.concurrent_initial) {
+    // Sequential baseline: slack-ordered net-at-a-time reduction.
+    const auto slacks = analyzer_->net_slacks();
+    std::vector<NetId> order;
+    for (const NetId n : netlist_.nets()) {
+      const Net& net = netlist_.net(n);
+      if (net.is_differential() && !net.diff_primary) continue;
+      order.push_back(n);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](NetId a, NetId b) {
+      return slacks.at(a) < slacks.at(b);
+    });
+    for (const NetId n : order) {
+      reduce_net_to_tree(n, stats);
+    }
+    return;
+  }
+
+  std::vector<Candidate> candidates;
+  for (const NetId n : netlist_.nets()) {
+    const Net& net = netlist_.net(n);
+    if (net.is_differential() && !net.diff_primary) continue;  // led by primary
+    for (const auto e : graphs_[n]->non_bridge_edges()) {
+      candidates.push_back(Candidate{n, e});
+    }
+  }
+
+  while (true) {
+    std::size_t write = 0;
+    std::size_t best_index = 0;
+    bool have_best = false;
+    SelectionKey best_key;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      const RoutingGraph& g = *graphs_[c.net];
+      if (!g.graph().edge_alive(c.edge) || g.is_bridge(c.edge)) continue;
+      const SelectionKey& key = cached_key(c.net, c.edge);
+      candidates[write] = c;
+      if (!have_best || key_less(key, best_key, order_)) {
+        best_key = key;
+        best_index = write;
+        have_best = true;
+      }
+      ++write;
+    }
+    candidates.resize(write);
+    if (!have_best) break;
+    const Candidate chosen = candidates[best_index];
+    commit_delete(chosen.net, chosen.edge, stats);
+  }
+}
+
+void GlobalRouter::reduce_net_to_tree(NetId net, PhaseStats& stats) {
+  while (true) {
+    const auto candidates = graphs_[net]->non_bridge_edges();
+    if (candidates.empty()) break;
+    std::int32_t best = -1;
+    SelectionKey best_key;
+    for (const auto e : candidates) {
+      const SelectionKey& key = cached_key(net, e);
+      if (best < 0 || key_less(key, best_key, order_)) {
+        best_key = key;
+        best = e;
+      }
+    }
+    commit_delete(net, best, stats);
+  }
+}
+
+void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
+  net = primary_of(net);
+  const Net& n = netlist_.net(net);
+  std::vector<NetId> members{net};
+  if (n.is_differential()) members.push_back(n.diff_partner);
+  for (const NetId member : members) {
+    unregister_graph_density(member);
+    if (member == net) {
+      graphs_[member] = std::make_unique<RoutingGraph>(netlist_, placement_,
+                                                       tech_, *assignment_,
+                                                       member);
+    } else {
+      graphs_[member] = std::make_unique<RoutingGraph>(
+          netlist_, placement_, tech_, *assignment_, member, net, 1);
+    }
+    scores_[member].clear();
+    register_graph_density(member);
+    refresh_net_estimate(member);
+  }
+  reduce_net_to_tree(net, stats);
+  ++stats.reroutes;
+}
+
+void GlobalRouter::recover_violations(PhaseStats& stats) {
+  constexpr double kEps = 1e-9;
+  if (options_.use_net_budgets) {
+    // Budget mode: re-route the nets that exceed their own budget.
+    for (std::int32_t pass = 0; pass < options_.improvement_passes; ++pass) {
+      std::vector<NetId> over;
+      for (const NetId n : netlist_.nets()) {
+        if (std::isfinite(net_budget_ps_.at(n)) &&
+            delay_graph_->net_arc_delay(n) > net_budget_ps_.at(n)) {
+          over.push_back(n);
+        }
+      }
+      if (over.empty()) break;
+      for (const NetId n : over) reroute_net(n, stats);
+    }
+    return;
+  }
+  for (std::int32_t pass = 0; pass < options_.improvement_passes; ++pass) {
+    auto violated = analyzer_->violated();
+    if (violated.empty()) break;
+    std::sort(violated.begin(), violated.end(),
+              [&](ConstraintId a, ConstraintId b) {
+                return analyzer_->margin_ps(a) < analyzer_->margin_ps(b);
+              });
+    const double before = analyzer_->worst_margin_ps();
+    for (const ConstraintId p : violated) {
+      if (analyzer_->margin_ps(p) >= 0.0) continue;  // fixed along the way
+      for (const NetId net : analyzer_->critical_path_nets(p)) {
+        reroute_net(net, stats);
+      }
+    }
+    if (analyzer_->worst_margin_ps() <= before + kEps) break;
+  }
+}
+
+void GlobalRouter::improve_delay(PhaseStats& stats) {
+  constexpr double kEps = 1e-9;
+  auto total_penalty = [&]() {
+    double sum = 0.0;
+    for (const ConstraintId p : analyzer_->constraints()) {
+      sum += penalty(analyzer_->margin_ps(p),
+                     analyzer_->constraint(p).limit_ps);
+    }
+    return sum;
+  };
+  for (std::int32_t pass = 0; pass < options_.improvement_passes; ++pass) {
+    std::vector<ConstraintId> order;
+    for (const ConstraintId p : analyzer_->constraints()) order.push_back(p);
+    if (order.empty()) break;
+    std::sort(order.begin(), order.end(), [&](ConstraintId a, ConstraintId b) {
+      return analyzer_->margin_ps(a) < analyzer_->margin_ps(b);
+    });
+    const double before = total_penalty();
+    for (const ConstraintId p : order) {
+      for (const NetId net : analyzer_->critical_path_nets(p)) {
+        reroute_net(net, stats);
+      }
+    }
+    if (total_penalty() >= before - kEps) break;
+  }
+}
+
+void GlobalRouter::improve_area(PhaseStats& stats) {
+  const CriteriaOrder saved = order_;
+  order_ = CriteriaOrder::kAreaFirst;
+  // The tier order changed, so every cached key is stale.
+  for (auto& vec : scores_) {
+    for (auto& sc : vec) sc.valid = false;
+  }
+  for (std::int32_t pass = 0; pass < options_.improvement_passes; ++pass) {
+    const std::int64_t before = density_->sum_max_density();
+    // Nets running through the most congested points, most congested first.
+    struct Entry {
+      NetId net;
+      std::int32_t congestion;
+    };
+    std::vector<Entry> entries;
+    for (const NetId n : netlist_.nets()) {
+      const Net& net = netlist_.net(n);
+      if (net.is_differential() && !net.diff_primary) continue;
+      const RoutingGraph& g = *graphs_[n];
+      std::int32_t best = 0;
+      bool at_peak = false;
+      for (const auto e : g.alive_edges()) {
+        const RouteEdgeInfo& info = g.edge_info(e);
+        if (!info.is_trunk()) continue;
+        const auto ep = density_->edge_params(info.channel, info.span);
+        const auto& cp = density_->channel_params(info.channel);
+        best = std::max(best, ep.d_max);
+        at_peak = at_peak || ep.d_max == cp.c_max;
+      }
+      if (at_peak) entries.push_back(Entry{n, best});
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.congestion > b.congestion;
+                     });
+    for (const Entry& entry : entries) {
+      reroute_net(entry.net, stats);
+    }
+    if (density_->sum_max_density() >= before) break;
+  }
+  order_ = saved;
+  for (auto& vec : scores_) {
+    for (auto& sc : vec) sc.valid = false;
+  }
+}
+
+void GlobalRouter::finish_phase(PhaseStats& stats) {
+  stats.worst_margin_ps = analyzer_->constraint_count() > 0
+                              ? analyzer_->worst_margin_ps()
+                              : 0.0;
+  stats.critical_delay_ps = delay_graph_->critical_delay_ps();
+  stats.sum_max_density = density_->sum_max_density();
+}
+
+RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
+  BGR_CHECK_MSG(ran_, "refine() requires a completed run()");
+  BGR_CHECK(extra_um.size() == static_cast<std::size_t>(netlist_.net_count()));
+  extra_um_ = extra_um;
+  for (const NetId n : netlist_.nets()) {
+    refresh_net_estimate(n);
+  }
+  analyzer_->update_all();
+  ++timing_version_;
+
+  RouteOutcome outcome;
+  auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
+    PhaseStats stats;
+    stats.name = name;
+    Stopwatch watch;
+    if (enabled) body(stats);
+    stats.seconds = watch.seconds();
+    finish_phase(stats);
+    outcome.phases.push_back(stats);
+  };
+  run_phase("refine_recover", [&](PhaseStats& s) { recover_violations(s); },
+            options_.use_constraints && options_.enable_violation_recovery);
+  run_phase("refine_delay", [&](PhaseStats& s) { improve_delay(s); },
+            options_.use_constraints && options_.enable_delay_improvement);
+  run_phase("refine_area", [&](PhaseStats& s) { improve_area(s); },
+            options_.enable_area_improvement);
+
+  double total_um = 0.0;
+  for (const NetId n : netlist_.nets()) {
+    BGR_CHECK(graphs_[n]->is_tree());
+    total_um += graphs_[n]->alive_length_um();
+    refresh_net_estimate(n);
+  }
+  analyzer_->update_all();
+  outcome.critical_delay_ps = delay_graph_->critical_delay_ps();
+  outcome.total_length_um = total_um;
+  outcome.worst_margin_ps =
+      analyzer_->constraint_count() > 0 ? analyzer_->worst_margin_ps() : 0.0;
+  outcome.violated_constraints =
+      static_cast<std::int32_t>(analyzer_->violated().size());
+  outcome.feed_cells_added = feed_cells_added_;
+  outcome.widen_pitches = widen_pitches_;
+  return outcome;
+}
+
+RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
+  BGR_CHECK_MSG(ran_, "reroute() requires a completed run()");
+  RouteOutcome outcome;
+  PhaseStats stats;
+  stats.name = "eco_reroute";
+  Stopwatch watch;
+  for (const NetId n : nets) {
+    reroute_net(n, stats);
+  }
+  stats.seconds = watch.seconds();
+  finish_phase(stats);
+  outcome.phases.push_back(stats);
+
+  double total_um = 0.0;
+  for (const NetId n : netlist_.nets()) {
+    BGR_CHECK(graphs_[n]->is_tree());
+    total_um += graphs_[n]->alive_length_um();
+  }
+  outcome.critical_delay_ps = delay_graph_->critical_delay_ps();
+  outcome.total_length_um = total_um;
+  outcome.worst_margin_ps =
+      analyzer_->constraint_count() > 0 ? analyzer_->worst_margin_ps() : 0.0;
+  outcome.violated_constraints =
+      static_cast<std::int32_t>(analyzer_->violated().size());
+  outcome.feed_cells_added = feed_cells_added_;
+  outcome.widen_pitches = widen_pitches_;
+  return outcome;
+}
+
+RouteOutcome GlobalRouter::run() {
+  BGR_CHECK_MSG(!ran_, "GlobalRouter::run() is single-shot");
+  ran_ = true;
+  netlist_.validate();
+
+  delay_graph_ = std::make_unique<DelayGraph>(netlist_);
+  analyzer_ = std::make_unique<TimingAnalyzer>(
+      *delay_graph_,
+      options_.use_constraints ? constraints_ : std::vector<PathConstraint>{});
+
+  // §3.1: net ordering by static slack (zero interconnection capacitance —
+  // caps are zero-initialised), then external pin & feedthrough assignment
+  // with feed-cell insertion (§4.3).
+  const auto slacks = analyzer_->net_slacks();
+  auto pipeline = run_assignment_pipeline(netlist_, placement_, slacks);
+  assignment_ =
+      std::make_unique<FeedthroughAssignment>(std::move(pipeline.assignment));
+  feed_cells_added_ = pipeline.feed_cells_added;
+  widen_pitches_ = pipeline.widen_pitches;
+
+  density_ = std::make_unique<DensityMap>(placement_.channel_count(),
+                                          placement_.width());
+  build_all_graphs();
+  if (options_.use_constraints && options_.use_net_budgets) {
+    compute_net_budgets();
+  }
+
+  RouteOutcome outcome;
+  auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
+    PhaseStats stats;
+    stats.name = name;
+    Stopwatch watch;
+    if (enabled) body(stats);
+    stats.seconds = watch.seconds();
+    finish_phase(stats);
+    outcome.phases.push_back(stats);
+  };
+
+  run_phase("initial", [&](PhaseStats& s) { initial_routing(s); }, true);
+  run_phase("recover_violate", [&](PhaseStats& s) { recover_violations(s); },
+            options_.use_constraints && options_.enable_violation_recovery);
+  run_phase("improve_delay", [&](PhaseStats& s) { improve_delay(s); },
+            options_.use_constraints && options_.enable_delay_improvement);
+  run_phase("improve_area", [&](PhaseStats& s) { improve_area(s); },
+            options_.enable_area_improvement);
+
+  // Final state: every routing graph is a tree.
+  double total_um = 0.0;
+  for (const NetId n : netlist_.nets()) {
+    BGR_CHECK_MSG(graphs_[n]->is_tree(), "net not reduced to a tree");
+    total_um += graphs_[n]->alive_length_um();
+    refresh_net_estimate(n);
+  }
+  analyzer_->update_all();
+  outcome.critical_delay_ps = delay_graph_->critical_delay_ps();
+  outcome.total_length_um = total_um;
+  outcome.worst_margin_ps =
+      analyzer_->constraint_count() > 0 ? analyzer_->worst_margin_ps() : 0.0;
+  outcome.violated_constraints =
+      static_cast<std::int32_t>(analyzer_->violated().size());
+  outcome.feed_cells_added = feed_cells_added_;
+  outcome.widen_pitches = widen_pitches_;
+  return outcome;
+}
+
+}  // namespace bgr

@@ -1,0 +1,145 @@
+#include "bgr/timing/delay_graph.hpp"
+
+#include <algorithm>
+
+namespace bgr {
+
+DelayGraph::DelayGraph(const Netlist& netlist) : netlist_(netlist) {
+  const auto n_terms = static_cast<std::size_t>(netlist.terminal_count());
+  vertex_of_terminal_.assign(n_terms, -1);
+  terminal_of_vertex_.reserve(n_terms);
+  for (const TerminalId t : netlist.terminals()) {
+    const auto v = dag_.add_vertex();
+    vertex_of_terminal_[t] = v;
+    terminal_of_vertex_.push_back(t);
+  }
+
+  // Intrinsic arcs T0(ti, to) inside every cell.
+  // Terminal lookup per (cell, pin): nets reference terminals, so collect
+  // the inverse map first.
+  std::vector<std::vector<TerminalId>> cell_terms(
+      static_cast<std::size_t>(netlist.cell_count()));
+  for (const TerminalId t : netlist.terminals()) {
+    const Terminal& term = netlist.terminal(t);
+    if (term.kind == TerminalKind::kCellPin) {
+      cell_terms[term.cell.index()].push_back(t);
+    }
+  }
+  for (const CellId c : netlist.cells()) {
+    const CellType& type = netlist.cell_type(c);
+    auto term_of_pin = [&](PinId pin) {
+      for (const TerminalId t : cell_terms[c.index()]) {
+        if (netlist.terminal(t).pin == pin) return t;
+      }
+      return TerminalId::invalid();
+    };
+    for (const DelayArc& arc : type.arcs()) {
+      const TerminalId from = term_of_pin(arc.from);
+      const TerminalId to = term_of_pin(arc.to);
+      if (!from.valid() || !to.valid()) continue;  // unconnected pin
+      (void)dag_.add_edge(vertex_of(from), vertex_of(to), arc.t0_ps);
+    }
+  }
+
+  // Wiring arcs per net: driver → each sink, except clock pins (the clock
+  // network is not part of data paths).
+  net_arcs_.assign(static_cast<std::size_t>(netlist.net_count()), {});
+  net_base_delay_ps_.assign(static_cast<std::size_t>(netlist.net_count()), 0.0);
+  net_td_ps_per_pf_.assign(static_cast<std::size_t>(netlist.net_count()), 0.0);
+  net_cap_pf_.assign(static_cast<std::size_t>(netlist.net_count()), 0.0);
+  net_worst_extra_ps_.assign(static_cast<std::size_t>(netlist.net_count()), 0.0);
+  for (const NetId n : netlist.nets()) {
+    const Net& net = netlist.net(n);
+    const auto factors = netlist.net_driver_factors(n);
+    net_base_delay_ps_[n] = netlist.net_fanin_cap_pf(n) * factors.tf_ps_per_pf;
+    net_td_ps_per_pf_[n] = factors.td_ps_per_pf;
+    const auto driver_v = vertex_of(net.driver);
+    for (const TerminalId sink : net.sinks) {
+      const Terminal& term = netlist.terminal(sink);
+      if (term.kind == TerminalKind::kCellPin &&
+          netlist.cell_type(term.cell).pin(term.pin).dir == PinDir::kClock) {
+        continue;
+      }
+      const auto e = dag_.add_edge(driver_v, vertex_of(sink),
+                                   net_base_delay_ps_[n], n.value());
+      net_arcs_[n].push_back(e);
+    }
+  }
+
+  dag_.freeze();
+
+  // Start/end points.
+  for (const TerminalId t : netlist.terminals()) {
+    const Terminal& term = netlist.terminal(t);
+    switch (term.kind) {
+      case TerminalKind::kPadIn:
+        sources_.push_back(vertex_of(t));
+        break;
+      case TerminalKind::kPadOut:
+        sinks_.push_back(vertex_of(t));
+        break;
+      case TerminalKind::kCellPin: {
+        const CellType& type = netlist.cell_type(term.cell);
+        if (!type.is_register()) break;
+        const PinSpec& pin = type.pin(term.pin);
+        if (pin.dir == PinDir::kClock) {
+          sources_.push_back(vertex_of(t));
+        } else if (pin.dir == PinDir::kInput) {
+          sinks_.push_back(vertex_of(t));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void DelayGraph::set_net_cap(NetId net, double cap_pf) {
+  net_cap_pf_[net] = cap_pf;
+  net_worst_extra_ps_[net] = 0.0;
+  const double d = net_arc_delay_for_cap(net, cap_pf);
+  for (const auto e : net_arcs_[net]) {
+    dag_.set_edge_weight(e, d);
+  }
+}
+
+void DelayGraph::set_net_rc(NetId net, double cap_pf,
+                            const std::vector<std::pair<TerminalId, double>>&
+                                sink_wire_ps) {
+  net_cap_pf_[net] = cap_pf;
+  const double base = net_arc_delay_for_cap(net, cap_pf);
+  double worst = 0.0;
+  for (const auto e : net_arcs_[net]) {
+    const TerminalId sink = terminal_of(dag_.edge(e).to);
+    double extra = 0.0;
+    for (const auto& [term, ps] : sink_wire_ps) {
+      if (term == sink) {
+        extra = ps;
+        break;
+      }
+    }
+    worst = std::max(worst, extra);
+    dag_.set_edge_weight(e, base + extra);
+  }
+  net_worst_extra_ps_[net] = worst;
+}
+
+double DelayGraph::net_arc_delay(NetId net) const {
+  return net_arc_delay_for_cap(net, net_cap_pf_[net]) +
+         net_worst_extra_ps_[net];
+}
+
+double DelayGraph::net_arc_delay_for_cap(NetId net, double cap_pf) const {
+  return net_base_delay_ps_[net] + cap_pf * net_td_ps_per_pf_[net];
+}
+
+double DelayGraph::critical_delay_ps() const {
+  const auto lp = dag_.longest_from(sources_);
+  double worst = 0.0;
+  for (const auto v : sinks_) {
+    const double d = lp[static_cast<std::size_t>(v)];
+    if (d != Dag::kMinusInf) worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace bgr

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "bgr/common/ids.hpp"
+#include "bgr/graph/dag.hpp"
+#include "bgr/netlist/netlist.hpp"
+
+namespace bgr {
+
+/// The simplified global delay graph G_D of the paper (Fig. 1, thick
+/// lines): one vertex per circuit terminal, intrinsic-delay arcs inside
+/// cells and wiring arcs along nets.
+///
+/// Per Eq. (1), every wiring arc of net n (driver terminal → sink terminal)
+/// carries the same lumped weight
+///   d(n) = (Σ_t∈F Fin(t)) · Tf(to) + CL(n) · Td(to),
+/// where CL(n) is the current wiring-capacitance estimate, updated by the
+/// router as tentative trees change.
+///
+/// Registers launch at their clock pin (arc CK→Q with weight T0) and
+/// terminate at their data pins; wiring arcs into clock pins are omitted so
+/// data paths do not traverse the clock distribution network (clock skew is
+/// outside this delay model).
+class DelayGraph {
+ public:
+  DelayGraph(const Netlist& netlist);
+
+  [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+  [[nodiscard]] const Dag& dag() const { return dag_; }
+
+  [[nodiscard]] std::int32_t vertex_of(TerminalId t) const {
+    return vertex_of_terminal_.at(t);
+  }
+  [[nodiscard]] TerminalId terminal_of(std::int32_t v) const {
+    return terminal_of_vertex_.at(static_cast<std::size_t>(v));
+  }
+
+  /// Updates CL(n) [pF] and the weights of all wiring arcs of net n
+  /// (lumped-capacitance model of Eq. (1): all sinks share one weight).
+  void set_net_cap(NetId net, double cap_pf);
+
+  /// RC (Elmore) extension of §2.1: the lumped Eq. (1) weight plus a
+  /// per-sink distributed-wire term. Sinks absent from `sink_wire_ps`
+  /// (e.g. clock pins) keep the lumped weight.
+  void set_net_rc(NetId net, double cap_pf,
+                  const std::vector<std::pair<TerminalId, double>>&
+                      sink_wire_ps);
+
+  [[nodiscard]] double net_cap(NetId net) const { return net_cap_pf_.at(net); }
+  /// Current worst wiring-arc weight of the net [ps] (in the lumped model
+  /// every arc carries this weight).
+  [[nodiscard]] double net_arc_delay(NetId net) const;
+  /// Lumped wiring-arc weight for an arbitrary capacitance (used for
+  /// LM(e, P) candidate evaluation).
+  [[nodiscard]] double net_arc_delay_for_cap(NetId net, double cap_pf) const;
+
+  /// Dag edge ids of net n's wiring arcs (driver → each non-clock sink).
+  [[nodiscard]] const std::vector<std::int32_t>& net_arcs(NetId net) const {
+    return net_arcs_.at(net);
+  }
+
+  /// Timing start points: input pads and register clock pins.
+  [[nodiscard]] const std::vector<std::int32_t>& sources() const {
+    return sources_;
+  }
+  /// Timing end points: output pads and register data pins.
+  [[nodiscard]] const std::vector<std::int32_t>& sinks() const { return sinks_; }
+
+  /// Longest source→sink delay under current net capacitances — the
+  /// chip-level critical path delay reported in Table 2.
+  [[nodiscard]] double critical_delay_ps() const;
+
+ private:
+  const Netlist& netlist_;
+  Dag dag_;
+  IdVector<TerminalId, std::int32_t> vertex_of_terminal_;
+  std::vector<TerminalId> terminal_of_vertex_;
+  IdVector<NetId, std::vector<std::int32_t>> net_arcs_;
+  IdVector<NetId, double> net_base_delay_ps_;  // (Σ Fin) · Tf
+  IdVector<NetId, double> net_td_ps_per_pf_;   // Td of the driver
+  IdVector<NetId, double> net_cap_pf_;
+  IdVector<NetId, double> net_worst_extra_ps_;  // max per-sink RC term
+  std::vector<std::int32_t> sources_;
+  std::vector<std::int32_t> sinks_;
+};
+
+}  // namespace bgr

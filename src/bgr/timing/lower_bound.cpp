@@ -1,0 +1,54 @@
+#include "bgr/timing/lower_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgr {
+namespace {
+
+/// Vertical coordinate (um) used for bounding-box estimates: mid-row for
+/// cell pins, chip edge for pads.
+double terminal_y_um(const Netlist& netlist, const Placement& placement,
+                     const TechParams& tech, TerminalId term) {
+  const Terminal& t = netlist.terminal(term);
+  if (t.kind == TerminalKind::kCellPin) {
+    const auto row = placement.placed(t.cell).row;
+    return (static_cast<double>(row.value()) + 0.5) * tech.row_height_um;
+  }
+  const PadSite& site = placement.pad_site(term);
+  return site.top ? static_cast<double>(placement.row_count()) * tech.row_height_um
+                  : 0.0;
+}
+
+}  // namespace
+
+double net_half_perimeter_um(const Netlist& netlist, const Placement& placement,
+                             const TechParams& tech, NetId net) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = min_x;
+  double max_y = -min_x;
+  for (const TerminalId term : netlist.net_terminals(net)) {
+    const double x =
+        static_cast<double>(placement.terminal_column(netlist, term)) *
+        tech.grid_pitch_um;
+    const double y = terminal_y_um(netlist, placement, tech, term);
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+double lower_bound_delay_ps(DelayGraph& delay_graph, const Placement& placement,
+                            const TechParams& tech) {
+  const Netlist& netlist = delay_graph.netlist();
+  for (const NetId n : netlist.nets()) {
+    const double um = net_half_perimeter_um(netlist, placement, tech, n);
+    delay_graph.set_net_cap(n, tech.wire_cap_pf(um, netlist.net(n).pitch_width));
+  }
+  return delay_graph.critical_delay_ps();
+}
+
+}  // namespace bgr

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "bgr/common/ids.hpp"
+#include "bgr/common/tech.hpp"
+#include "bgr/layout/placement.hpp"
+#include "bgr/timing/delay_graph.hpp"
+
+namespace bgr {
+
+/// Half-perimeter wire-length bound of a net (paper §5, Table 3): the wire
+/// length is assumed to be half the perimeter of the bounding rectangle of
+/// the net's terminals, in micrometres.
+[[nodiscard]] double net_half_perimeter_um(const Netlist& netlist,
+                                           const Placement& placement,
+                                           const TechParams& tech, NetId net);
+
+/// Loads every net's capacitance with its half-perimeter bound and returns
+/// the resulting chip critical delay — the critical-path-delay lower bound
+/// of Table 3. Net capacitances in `delay_graph` are left at the bound
+/// values; callers wanting to preserve state must restore caps themselves.
+[[nodiscard]] double lower_bound_delay_ps(DelayGraph& delay_graph,
+                                          const Placement& placement,
+                                          const TechParams& tech);
+
+}  // namespace bgr

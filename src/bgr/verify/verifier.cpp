@@ -1,0 +1,222 @@
+#include "bgr/verify/verifier.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace bgr {
+namespace {
+
+void add(std::vector<VerifyIssue>& out, VerifyIssue::Severity severity,
+         const std::string& check, const std::string& message) {
+  out.push_back(VerifyIssue{severity, check, message});
+}
+
+}  // namespace
+
+std::vector<VerifyIssue> RouteVerifier::run() const {
+  std::vector<VerifyIssue> out;
+  check_trees(out);
+  check_geometry(out);
+  check_feedthroughs(out);
+  check_density(out);
+  check_differential(out);
+  if (channel_ != nullptr) check_tracks(out);
+  return out;
+}
+
+void RouteVerifier::check_trees(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router_.net_graph(n);
+    if (!g.graph().connects(g.terminal_vertices())) {
+      add(out, VerifyIssue::Severity::kError, "tree",
+          "net " + nl.net(n).name + " terminals disconnected");
+      continue;
+    }
+    if (g.graph().alive_edge_count() != g.graph().alive_vertex_count() - 1) {
+      add(out, VerifyIssue::Severity::kError, "tree",
+          "net " + nl.net(n).name + " is not a tree (edges " +
+              std::to_string(g.graph().alive_edge_count()) + ", vertices " +
+              std::to_string(g.graph().alive_vertex_count()) + ")");
+    }
+    // Every leaf must be a terminal (no dangling wire).
+    for (std::int32_t v = 0; v < g.graph().vertex_count(); ++v) {
+      if (!g.graph().vertex_alive(v)) continue;
+      if (g.graph().degree(v) <= 1 &&
+          g.vertex_info(v).kind != RouteVertexKind::kTerminal) {
+        add(out, VerifyIssue::Severity::kWarning, "tree",
+            "net " + nl.net(n).name + " has a dangling branch at vertex " +
+                std::to_string(v));
+      }
+    }
+  }
+}
+
+void RouteVerifier::check_geometry(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  const Placement& pl = router_.placement();
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router_.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      const bool channel_ok =
+          info.channel >= 0 && info.channel < pl.channel_count();
+      const bool span_ok = !info.span.empty() && info.span.lo >= 0 &&
+                           info.span.hi < pl.width();
+      if (!channel_ok || !span_ok) {
+        std::ostringstream oss;
+        oss << "net " << nl.net(n).name << " edge " << e << " at channel "
+            << info.channel << " span [" << info.span.lo << ","
+            << info.span.hi << "] outside the chip";
+        add(out, VerifyIssue::Severity::kError, "geometry", oss.str());
+      }
+    }
+  }
+}
+
+void RouteVerifier::check_feedthroughs(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  const Placement& pl = router_.placement();
+  // (row, column) → owning net; differential shadows share their primary's
+  // group, and a w-pitch crossing owns w adjacent columns.
+  std::map<std::pair<std::int32_t, std::int32_t>, NetId> owner;
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    const RoutingGraph& g = router_.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      if (info.kind != RouteEdgeKind::kFeed) continue;
+      const std::int32_t row = info.channel;  // crossing row == lower channel
+      for (std::int32_t k = 0; k < net.pitch_width; ++k) {
+        const std::int32_t col = info.span.lo + k;
+        if (pl.column_blocked(RowId{row}, col)) {
+          add(out, VerifyIssue::Severity::kError, "feedthrough",
+              "net " + net.name + " crosses row " + std::to_string(row) +
+                  " at blocked column " + std::to_string(col));
+        }
+        const auto key = std::make_pair(row, col);
+        const auto it = owner.find(key);
+        const NetId primary =
+            net.is_differential() && !net.diff_primary ? net.diff_partner : n;
+        if (it != owner.end() && it->second != primary &&
+            it->second != n) {
+          // A differential shadow one column right of its primary is legal.
+          const Net& other = nl.net(it->second);
+          const bool paired = other.is_differential() &&
+                              (other.diff_partner == n ||
+                               other.diff_partner == primary);
+          if (!paired) {
+            add(out, VerifyIssue::Severity::kError, "feedthrough",
+                "nets " + other.name + " and " + net.name +
+                    " share feedthrough column " + std::to_string(col) +
+                    " in row " + std::to_string(row));
+          }
+        } else {
+          owner[key] = primary;
+        }
+      }
+    }
+  }
+}
+
+void RouteVerifier::check_density(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  const DensityMap& incremental = router_.density();
+  DensityMap fresh(router_.placement().channel_count(),
+                   router_.placement().width());
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router_.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      if (!info.is_trunk()) continue;
+      fresh.add_total(info.channel, info.span, nl.net(n).pitch_width);
+    }
+  }
+  for (std::int32_t c = 0; c < fresh.channel_count(); ++c) {
+    for (std::int32_t x = 0; x < fresh.width(); ++x) {
+      if (incremental.total_at(c, x) != fresh.total_at(c, x)) {
+        add(out, VerifyIssue::Severity::kError, "density",
+            "density mismatch at channel " + std::to_string(c) + " column " +
+                std::to_string(x) + ": incremental " +
+                std::to_string(incremental.total_at(c, x)) + " vs recount " +
+                std::to_string(fresh.total_at(c, x)));
+        return;  // one detailed finding is enough
+      }
+    }
+  }
+}
+
+void RouteVerifier::check_differential(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    if (!net.is_differential() || !net.diff_primary) continue;
+    const RoutingGraph& a = router_.net_graph(n);
+    const RoutingGraph& b = router_.net_graph(net.diff_partner);
+    if (a.graph().edge_count() != b.graph().edge_count()) {
+      add(out, VerifyIssue::Severity::kError, "differential",
+          "pair " + net.name + " graphs not homogeneous");
+      continue;
+    }
+    for (std::int32_t e = 0; e < a.graph().edge_count(); ++e) {
+      if (a.graph().edge_alive(e) != b.graph().edge_alive(e)) {
+        add(out, VerifyIssue::Severity::kError, "differential",
+            "pair " + net.name + " diverged at edge " + std::to_string(e));
+        break;
+      }
+      if (a.graph().edge_alive(e) &&
+          (a.edge_info(e).span.lo + 1 != b.edge_info(e).span.lo ||
+           a.edge_info(e).channel != b.edge_info(e).channel)) {
+        add(out, VerifyIssue::Severity::kError, "differential",
+            "pair " + net.name + " not mirrored at edge " + std::to_string(e));
+        break;
+      }
+    }
+  }
+}
+
+void RouteVerifier::check_tracks(std::vector<VerifyIssue>& out) const {
+  const Netlist& nl = router_.analyzer().delay_graph().netlist();
+  for (std::int32_t c = 0; c < channel_->channel_count(); ++c) {
+    const ChannelPlan& plan = channel_->plan(c);
+    // No overlaps.
+    for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+      const ChannelSegment& a = plan.segments[i];
+      if (a.track < 1 || a.track + a.width - 1 > plan.tracks) {
+        add(out, VerifyIssue::Severity::kError, "tracks",
+            "segment of net " + nl.net(a.net).name + " outside channel " +
+                std::to_string(c));
+      }
+      for (std::size_t j = i + 1; j < plan.segments.size(); ++j) {
+        const ChannelSegment& b = plan.segments[j];
+        const bool tracks_overlap =
+            a.track < b.track + b.width && b.track < a.track + a.width;
+        if (tracks_overlap && a.span.overlaps(b.span)) {
+          add(out, VerifyIssue::Severity::kError, "tracks",
+              "nets " + nl.net(a.net).name + " and " + nl.net(b.net).name +
+                  " overlap in channel " + std::to_string(c));
+        }
+      }
+    }
+    // Coverage of every trunk edge.
+    for (const NetId n : nl.nets()) {
+      const RoutingGraph& g = router_.net_graph(n);
+      for (const auto e : g.alive_edges()) {
+        const RouteEdgeInfo& info = g.edge_info(e);
+        if (!info.is_trunk() || info.channel != c) continue;
+        bool covered = false;
+        for (const ChannelSegment& seg : plan.segments) {
+          covered = covered || (seg.net == n && seg.span.contains(info.span));
+        }
+        if (!covered) {
+          add(out, VerifyIssue::Severity::kError, "tracks",
+              "trunk of net " + nl.net(n).name + " in channel " +
+                  std::to_string(c) + " not covered by any segment");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bgr

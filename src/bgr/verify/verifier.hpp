@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// One verification finding. `kError` findings mean the result is not a
+/// legal global routing; `kWarning` findings are quality or consistency
+/// observations.
+struct VerifyIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string check;    // short check identifier
+  std::string message;  // human-readable details
+};
+
+/// Independent signoff checks over a routed design. The verifier rebuilds
+/// every invariant from primary data (netlist, placement, final routing
+/// graphs, channel plans) rather than trusting the router's bookkeeping:
+///
+///   tree            every net is a connected spanning tree of its terminals
+///   geometry        every edge lies inside the chip and uses valid channels
+///   feedthrough     vertical crossings sit on unblocked assigned columns,
+///                   and no two nets share a feedthrough column in a row
+///   density         the incremental density map equals a fresh recount
+///   differential    pair members are exact mirrors one column apart
+///   tracks          channel segments do not overlap on their tracks and
+///                   cover every trunk edge
+///   pitch           w-pitch nets have w adjacent usable columns reserved
+class RouteVerifier {
+ public:
+  RouteVerifier(const GlobalRouter& router, const ChannelStage* channel)
+      : router_(router), channel_(channel) {}
+
+  /// Runs every check; returns all findings (empty = clean).
+  [[nodiscard]] std::vector<VerifyIssue> run() const;
+
+  [[nodiscard]] static bool has_errors(const std::vector<VerifyIssue>& issues) {
+    for (const VerifyIssue& issue : issues) {
+      if (issue.severity == VerifyIssue::Severity::kError) return true;
+    }
+    return false;
+  }
+
+ private:
+  void check_trees(std::vector<VerifyIssue>& out) const;
+  void check_geometry(std::vector<VerifyIssue>& out) const;
+  void check_feedthroughs(std::vector<VerifyIssue>& out) const;
+  void check_density(std::vector<VerifyIssue>& out) const;
+  void check_differential(std::vector<VerifyIssue>& out) const;
+  void check_tracks(std::vector<VerifyIssue>& out) const;
+
+  const GlobalRouter& router_;
+  const ChannelStage* channel_;  // track checks skipped when null
+};
+
+}  // namespace bgr

@@ -1,0 +1,62 @@
+#include "bgr/io/ascii_art.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgr/metrics/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(AsciiArt, PlacementMapShape) {
+  const Dataset ds = generate_circuit(testutil::small_spec(91));
+  std::ostringstream oss;
+  render_placement(oss, ds.netlist, ds.placement, 80);
+  const std::string out = oss.str();
+  // One line per row plus the two pad lines.
+  std::size_t lines = 0;
+  for (const char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(ds.placement.row_count()) + 2);
+  EXPECT_NE(out.find('#'), std::string::npos);  // logic cells
+  EXPECT_NE(out.find('.'), std::string::npos);  // feed cells
+}
+
+TEST(AsciiArt, PadMarksOnlyWhenAssigned) {
+  const Dataset ds = generate_circuit(testutil::small_spec(92));
+  std::ostringstream before;
+  render_placement(before, ds.netlist, ds.placement, 80);
+  EXPECT_EQ(before.str().find('O'), std::string::npos);
+
+  Placement assigned = ds.placement;
+  assign_external_pins(ds.netlist, assigned);
+  std::ostringstream after;
+  render_placement(after, ds.netlist, assigned, 80);
+  EXPECT_NE(after.str().find('O'), std::string::npos);
+}
+
+TEST(AsciiArt, CongestionChartCoversAllChannels) {
+  const Dataset ds = generate_circuit(testutil::small_spec(93));
+  Netlist nl = ds.netlist;
+  GlobalRouter router(nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{});
+  (void)router.run();
+  std::ostringstream oss;
+  render_congestion(oss, router, 60);
+  const std::string out = oss.str();
+  for (std::int32_t c = 0; c < router.placement().channel_count(); ++c) {
+    EXPECT_NE(out.find("chan"), std::string::npos);
+    EXPECT_NE(out.find("C_M="), std::string::npos);
+  }
+  std::size_t lines = 0;
+  for (const char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(router.placement().channel_count()));
+}
+
+}  // namespace
+}  // namespace bgr

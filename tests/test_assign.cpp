@@ -1,0 +1,182 @@
+#include "bgr/route/assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgr/timing/analyzer.hpp"
+#include "bgr/timing/delay_graph.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+using testutil::ChainCircuit;
+
+IdVector<NetId, double> flat_order(const Netlist& nl) {
+  return IdVector<NetId, double>(static_cast<std::size_t>(nl.net_count()), 0.0);
+}
+
+TEST(Assign, ExternalPinsLandInWindowsUniquely) {
+  ChainCircuit c;
+  Placement pl = c.make_placement();
+  assign_external_pins(c.nl, pl);
+  std::set<std::pair<bool, std::int32_t>> used;
+  for (const auto& [pad, site] : pl.pad_sites()) {
+    (void)pad;
+    ASSERT_TRUE(site.assigned());
+    EXPECT_TRUE(site.window.contains(site.assigned_x));
+    EXPECT_TRUE(used.emplace(site.top, site.assigned_x).second)
+        << "pad column reused";
+  }
+}
+
+TEST(Assign, FeedthroughColumnsAreFreeAndUnique) {
+  ChainCircuit c;
+  Placement pl = c.make_placement();
+  assign_external_pins(c.nl, pl);
+  const auto outcome =
+      assign_feedthroughs(c.nl, pl, flat_order(c.nl), /*respect_flags=*/false);
+  EXPECT_TRUE(outcome.complete());
+  std::set<std::pair<std::int32_t, std::int32_t>> used;  // (row, col)
+  for (const NetId n : c.nl.nets()) {
+    const std::int32_t w = net_group_width(c.nl, n);
+    for (const auto& [row, col] : outcome.assignment.rows(n)) {
+      for (std::int32_t k = 0; k < w; ++k) {
+        EXPECT_FALSE(pl.column_blocked(RowId{row}, col + k));
+        EXPECT_TRUE(used.emplace(row, col + k).second)
+            << "feedthrough column reused at row " << row << " col "
+            << col + k;
+      }
+    }
+  }
+}
+
+TEST(Assign, RequiredRowsAlwaysCoveredWhenComplete) {
+  ChainCircuit c;
+  Placement pl = c.make_placement();
+  assign_external_pins(c.nl, pl);
+  const auto outcome =
+      assign_feedthroughs(c.nl, pl, flat_order(c.nl), false);
+  ASSERT_TRUE(outcome.complete());
+  for (const NetId n : c.nl.nets()) {
+    if (net_group_width(c.nl, n) == 0) continue;
+    const NetSpan span = net_span(c.nl, pl, n);
+    for (std::int32_t r = span.row_lo(); r <= span.row_hi(); ++r) {
+      if (span.row_required(r)) {
+        EXPECT_GE(outcome.assignment.column(n, r), 0)
+            << "net " << c.nl.net(n).name << " missing required row " << r;
+      }
+    }
+  }
+}
+
+TEST(Assign, FlagsRestrictWidthClasses) {
+  Netlist nl{Library::make_ecl_default()};
+  // Two cells on separate rows joined by a 2-pitch net: crossing required.
+  const CellTypeId buf = nl.library().find("BUF1");
+  const CellId a = nl.add_cell("a", buf);
+  const CellId b = nl.add_cell("b", buf);
+  const NetId n = nl.add_net("n", 2);
+  (void)nl.connect(n, a, nl.cell_type(a).find_pin("O"));
+  (void)nl.connect(n, b, nl.cell_type(b).find_pin("I0"));
+  Placement pl(3, 8);
+  pl.place(nl, a, RowId{0}, 0);
+  pl.place(nl, b, RowId{2}, 0);
+  // Flag column 6 of row 1 as width-1: the 2-pitch group must avoid it.
+  pl.set_column_flag(RowId{1}, 6, 1);
+  const auto outcome = assign_feedthroughs(
+      nl, pl, IdVector<NetId, double>(1, 0.0), /*respect_flags=*/true);
+  ASSERT_TRUE(outcome.complete());
+  const std::int32_t col = outcome.assignment.column(n, 1);
+  ASSERT_GE(col, 0);
+  EXPECT_TRUE(col + 1 < 6 || col > 6);
+}
+
+TEST(Assign, DifferentialPairGetsTwoPitchGroup) {
+  Netlist nl{Library::make_ecl_default()};
+  const CellTypeId ddrv = nl.library().find("DDRV");
+  const CellTypeId drcv = nl.library().find("DRCV");
+  const CellId drv = nl.add_cell("drv", ddrv);
+  const CellId rcv = nl.add_cell("rcv", drcv);
+  const NetId nt = nl.add_net("nt");
+  const NetId nc = nl.add_net("nc");
+  auto pin = [&](CellId c, const char* p) { return nl.cell_type(c).find_pin(p); };
+  (void)nl.connect(nt, drv, pin(drv, "OT"));
+  (void)nl.connect(nc, drv, pin(drv, "OC"));
+  (void)nl.connect(nt, rcv, pin(rcv, "IT"));
+  (void)nl.connect(nc, rcv, pin(rcv, "IC"));
+  nl.make_differential(nt, nc);
+  EXPECT_EQ(net_group_width(nl, nt), 2);
+  EXPECT_EQ(net_group_width(nl, nc), 0);
+  Placement pl(3, 12);
+  pl.place(nl, drv, RowId{0}, 0);
+  pl.place(nl, rcv, RowId{2}, 0);
+  const auto outcome = assign_feedthroughs(
+      nl, pl, IdVector<NetId, double>(2, 0.0), false);
+  ASSERT_TRUE(outcome.complete());
+  // Primary holds the group; the shadow rides one column to the right.
+  EXPECT_GE(outcome.assignment.column(nt, 1), 0);
+  EXPECT_TRUE(outcome.assignment.rows(nc).empty());
+}
+
+TEST(Assign, PipelineInsertsFeedsWhenStarved) {
+  // A fully blocked row between two connected cells forces feed insertion.
+  Netlist nl{Library::make_ecl_default()};
+  const CellTypeId buf = nl.library().find("BUF1");
+  const CellTypeId nor3 = nl.library().find("NOR3");
+  const CellId a = nl.add_cell("a", buf);
+  const CellId b = nl.add_cell("b", buf);
+  const NetId n = nl.add_net("n");
+  (void)nl.connect(n, a, nl.cell_type(a).find_pin("O"));
+  (void)nl.connect(n, b, nl.cell_type(b).find_pin("I0"));
+  Placement pl(3, 8);
+  pl.place(nl, a, RowId{0}, 0);
+  pl.place(nl, b, RowId{2}, 0);
+  // Block row 1 completely with NOR3 cells (width 4).
+  pl.place(nl, nl.add_cell("x0", nor3), RowId{1}, 0);
+  pl.place(nl, nl.add_cell("x1", nor3), RowId{1}, 4);
+  const auto slacks = IdVector<NetId, double>(1, 0.0);
+  const auto result = run_assignment_pipeline(nl, pl, slacks);
+  EXPECT_GT(result.feed_cells_added, 0);
+  EXPECT_GT(result.widen_pitches, 0);
+  EXPECT_GE(result.assignment.column(n, 1), 0);
+  pl.validate(nl);
+}
+
+TEST(Assign, OrderPrioritisesCriticalNets) {
+  // Two nets compete for a single free column in the shared row; the one
+  // with the smaller order value must win it.
+  Netlist nl{Library::make_ecl_default()};
+  const CellTypeId buf = nl.library().find("BUF1");
+  const CellId a0 = nl.add_cell("a0", buf);
+  const CellId b0 = nl.add_cell("b0", buf);
+  const CellId a1 = nl.add_cell("a1", buf);
+  const CellId b1 = nl.add_cell("b1", buf);
+  const NetId n0 = nl.add_net("n0");
+  const NetId n1 = nl.add_net("n1");
+  auto pin = [&](CellId c, const char* p) { return nl.cell_type(c).find_pin(p); };
+  (void)nl.connect(n0, a0, pin(a0, "O"));
+  (void)nl.connect(n0, b0, pin(b0, "I0"));
+  (void)nl.connect(n1, a1, pin(a1, "O"));
+  (void)nl.connect(n1, b1, pin(b1, "I0"));
+  Placement pl(3, 9);
+  pl.place(nl, a0, RowId{0}, 0);
+  pl.place(nl, a1, RowId{0}, 4);
+  pl.place(nl, b0, RowId{2}, 0);
+  pl.place(nl, b1, RowId{2}, 4);
+  // Row 1: one free column at 8 (two NOR3-wide blockers at 0..7).
+  const CellTypeId nor3 = nl.library().find("NOR3");
+  pl.place(nl, nl.add_cell("x0", nor3), RowId{1}, 0);
+  pl.place(nl, nl.add_cell("x1", nor3), RowId{1}, 4);
+  IdVector<NetId, double> order(2, 0.0);
+  order[n0] = 5.0;  // less critical
+  order[n1] = 1.0;  // more critical → assigned first
+  const auto outcome = assign_feedthroughs(nl, pl, order, false);
+  EXPECT_EQ(outcome.assignment.column(n1, 1), 8);
+  EXPECT_LT(outcome.assignment.column(n0, 1), 0);
+  EXPECT_FALSE(outcome.complete());
+}
+
+}  // namespace
+}  // namespace bgr

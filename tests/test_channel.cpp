@@ -1,0 +1,186 @@
+#include "bgr/channel/channel_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgr/common/rng.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+ChannelSegment seg(std::int32_t lo, std::int32_t hi, std::int32_t width = 1) {
+  ChannelSegment s;
+  s.net = NetId{0};
+  s.width = width;
+  s.span = IntInterval{lo, hi};
+  return s;
+}
+
+bool assignment_feasible(const std::vector<ChannelSegment>& segments,
+                         std::int32_t tracks) {
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const ChannelSegment& a = segments[i];
+    if (a.track < 1 || a.track + a.width - 1 > tracks) return false;
+    for (std::size_t j = i + 1; j < segments.size(); ++j) {
+      const ChannelSegment& b = segments[j];
+      const bool tracks_overlap = a.track < b.track + b.width &&
+                                  b.track < a.track + a.width;
+      if (tracks_overlap && a.span.overlaps(b.span)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(LeftEdge, DisjointIntervalsShareTrack) {
+  std::vector<ChannelSegment> segs{seg(0, 3), seg(5, 9), seg(11, 12)};
+  EXPECT_EQ(left_edge_assign(segs), 1);
+  for (const auto& s : segs) EXPECT_EQ(s.track, 1);
+}
+
+TEST(LeftEdge, OverlapForcesSecondTrack) {
+  std::vector<ChannelSegment> segs{seg(0, 5), seg(3, 9)};
+  EXPECT_EQ(left_edge_assign(segs), 2);
+  EXPECT_TRUE(assignment_feasible(segs, 2));
+}
+
+TEST(LeftEdge, TouchingColumnsConflict) {
+  // Sharing column 5 requires separate tracks.
+  std::vector<ChannelSegment> segs{seg(0, 5), seg(5, 9)};
+  EXPECT_EQ(left_edge_assign(segs), 2);
+}
+
+TEST(LeftEdge, AchievesDensityForUnitWidths) {
+  Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<ChannelSegment> segs;
+    const int n = rng.uniform_i32(1, 40);
+    for (int i = 0; i < n; ++i) {
+      const auto a = rng.uniform_i32(0, 60);
+      segs.push_back(seg(a, a + rng.uniform_i32(0, 20)));
+    }
+    // Density by sweep.
+    std::map<std::int32_t, std::int32_t> delta;
+    for (const auto& s : segs) {
+      delta[s.span.lo] += 1;
+      delta[s.span.hi + 1] -= 1;
+    }
+    std::int32_t density = 0;
+    std::int32_t run = 0;
+    for (const auto& [x, d] : delta) {
+      run += d;
+      density = std::max(density, run);
+    }
+    const auto tracks = left_edge_assign(segs);
+    EXPECT_EQ(tracks, density);
+    EXPECT_TRUE(assignment_feasible(segs, tracks));
+  }
+}
+
+TEST(LeftEdge, MultiPitchOccupiesAdjacentTracks) {
+  std::vector<ChannelSegment> segs{seg(0, 9, 2), seg(2, 5, 1)};
+  const auto tracks = left_edge_assign(segs);
+  EXPECT_EQ(tracks, 3);
+  EXPECT_TRUE(assignment_feasible(segs, tracks));
+}
+
+TEST(ImproveTracks, MovesSegmentTowardTaps) {
+  std::vector<ChannelSegment> segs{seg(0, 5), seg(10, 15)};
+  const auto tracks = left_edge_assign(segs);
+  ASSERT_EQ(tracks, 1);
+  // Force a 4-track channel and a top-entering tap on the first segment.
+  segs[0].taps.push_back(ChannelTap{2, /*from_top=*/true});
+  segs[1].taps.push_back(ChannelTap{12, /*from_top=*/false});
+  const auto moves = improve_track_assignment(segs, 4);
+  EXPECT_GT(moves, 0);
+  EXPECT_EQ(segs[0].track, 4);  // hugs the top edge
+  EXPECT_EQ(segs[1].track, 1);  // stays at the bottom
+  EXPECT_TRUE(assignment_feasible(segs, 4));
+}
+
+TEST(ImproveTracks, KeepsFeasibilityOnRandomInput) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ChannelSegment> segs;
+    const int n = rng.uniform_i32(2, 30);
+    for (int i = 0; i < n; ++i) {
+      const auto a = rng.uniform_i32(0, 50);
+      auto s = seg(a, a + rng.uniform_i32(0, 15), rng.uniform_i32(1, 2));
+      const int taps = rng.uniform_i32(0, 3);
+      for (int t = 0; t < taps; ++t) {
+        s.taps.push_back(ChannelTap{rng.uniform_i32(s.span.lo, s.span.hi),
+                                    rng.bernoulli(0.5)});
+      }
+      segs.push_back(s);
+    }
+    const auto tracks = left_edge_assign(segs);
+    ASSERT_TRUE(assignment_feasible(segs, tracks));
+    auto cost = [&](const std::vector<ChannelSegment>& v) {
+      std::int64_t total = 0;
+      for (const auto& s : v) {
+        for (const auto& tap : s.taps) {
+          total += tap.from_top ? (tracks + 1 - s.track) : s.track;
+        }
+      }
+      return total;
+    };
+    const auto before = cost(segs);
+    (void)improve_track_assignment(segs, tracks);
+    EXPECT_TRUE(assignment_feasible(segs, tracks));
+    EXPECT_LE(cost(segs), before);
+  }
+}
+
+/// Full channel stage on a routed design.
+TEST(ChannelStage, LengthsAndAreaConsistent) {
+  const Dataset ds = generate_circuit(testutil::small_spec(5));
+  Netlist nl = ds.netlist;
+  GlobalRouter router(nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{});
+  (void)router.run();
+  ChannelStage stage(router);
+  stage.run();
+  double base_total = 0.0;
+  for (const NetId n : nl.nets()) {
+    const double detailed = stage.net_detailed_length_um(n);
+    const double base = router.net_length_um(n);
+    EXPECT_GE(detailed + 1e-9, base) << "verticals cannot be negative";
+    base_total += base;
+  }
+  EXPECT_GE(stage.total_detailed_length_um(), base_total);
+  EXPECT_GT(stage.chip_area_mm2(), 0.0);
+  // Track counts at least the density lower bound.
+  for (std::int32_t c = 0; c < stage.channel_count(); ++c) {
+    EXPECT_GE(stage.plan(c).tracks, stage.plan(c).density);
+  }
+  // Applying detailed lengths gives a delay at least the router estimate
+  // cannot be asserted in general, but it must be positive and finite.
+  const double delay = stage.apply_and_critical_delay_ps(router.delay_graph());
+  EXPECT_GT(delay, 0.0);
+}
+
+TEST(ChannelStage, SegmentsCoverEveryTrunkEdge) {
+  const Dataset ds = generate_circuit(testutil::small_spec(6));
+  Netlist nl = ds.netlist;
+  GlobalRouter router(nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{});
+  (void)router.run();
+  ChannelStage stage(router);
+  stage.run();
+  // Total segment length per channel ≥ longest trunk of any net there.
+  for (const NetId n : nl.nets()) {
+    const RoutingGraph& g = router.net_graph(n);
+    for (const auto e : g.alive_edges()) {
+      const RouteEdgeInfo& info = g.edge_info(e);
+      if (!info.is_trunk()) continue;
+      bool covered = false;
+      for (const ChannelSegment& seg : stage.plan(info.channel).segments) {
+        covered = covered ||
+                  (seg.net == n && seg.span.contains(info.span));
+      }
+      EXPECT_TRUE(covered) << "trunk edge not covered by a segment";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgr

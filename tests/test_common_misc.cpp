@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "bgr/common/check.hpp"
+#include "bgr/common/log.hpp"
+#include "bgr/common/stopwatch.hpp"
+#include "bgr/common/tech.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    BGR_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("test_common_misc.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(BGR_CHECK(2 + 2 == 4));
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Dropped messages must not crash; emitted ones neither.
+  log_debug("dropped");
+  log_error("emitted");
+  set_log_level(LogLevel::kOff);
+  log_error("dropped too");
+  set_log_level(saved);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double t1 = watch.seconds();
+  EXPECT_GE(t1, 0.010);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), t1);
+}
+
+TEST(Tech, WireCapScalesWithLengthAndWidth) {
+  TechParams tech;
+  EXPECT_DOUBLE_EQ(tech.wire_cap_pf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tech.wire_cap_pf(1000.0), tech.wire_cap_pf_per_um * 1000.0);
+  EXPECT_DOUBLE_EQ(tech.wire_cap_pf(500.0, 4), 4.0 * tech.wire_cap_pf(500.0));
+}
+
+TEST(Tech, WireResInverseInWidth) {
+  TechParams tech;
+  EXPECT_DOUBLE_EQ(tech.wire_res_ohm(1000.0, 2),
+                   tech.wire_res_ohm(1000.0) / 2.0);
+}
+
+TEST(Tech, GeometryHelpers) {
+  TechParams tech;
+  EXPECT_DOUBLE_EQ(tech.horiz_step_um(), tech.grid_pitch_um);
+  EXPECT_DOUBLE_EQ(tech.row_cross_um(), tech.row_height_um);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,103 @@
+#include "bgr/graph/dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+/// a → b → d, a → c → d with distinct weights.
+struct Diamond {
+  Dag dag;
+  std::int32_t a, b, c, d;
+  std::int32_t ab, bd, ac, cd;
+
+  Diamond() {
+    a = dag.add_vertex();
+    b = dag.add_vertex();
+    c = dag.add_vertex();
+    d = dag.add_vertex();
+    ab = dag.add_edge(a, b, 1.0, 10);
+    bd = dag.add_edge(b, d, 2.0, 11);
+    ac = dag.add_edge(a, c, 4.0, 12);
+    cd = dag.add_edge(c, d, 1.0, 13);
+    dag.freeze();
+  }
+};
+
+TEST(Dag, TopoOrderRespectsEdges) {
+  Diamond g;
+  const auto& topo = g.dag.topo_order();
+  std::vector<std::int32_t> pos(4);
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<std::int32_t>(i);
+  }
+  for (std::int32_t e = 0; e < g.dag.edge_count(); ++e) {
+    const auto& ed = g.dag.edge(e);
+    EXPECT_LT(pos[static_cast<std::size_t>(ed.from)],
+              pos[static_cast<std::size_t>(ed.to)]);
+  }
+}
+
+TEST(Dag, CycleDetected) {
+  Dag dag;
+  const auto a = dag.add_vertex();
+  const auto b = dag.add_vertex();
+  (void)dag.add_edge(a, b, 1.0);
+  (void)dag.add_edge(b, a, 1.0);
+  EXPECT_THROW(dag.freeze(), CheckError);
+}
+
+TEST(Dag, LongestFromPicksHeavierPath) {
+  Diamond g;
+  const auto lp = g.dag.longest_from({g.a});
+  EXPECT_DOUBLE_EQ(lp[static_cast<std::size_t>(g.d)], 5.0);  // a→c→d
+  EXPECT_DOUBLE_EQ(lp[static_cast<std::size_t>(g.b)], 1.0);
+}
+
+TEST(Dag, LongestToIsReverse) {
+  Diamond g;
+  const auto ls = g.dag.longest_to({g.d});
+  EXPECT_DOUBLE_EQ(ls[static_cast<std::size_t>(g.a)], 5.0);
+  EXPECT_DOUBLE_EQ(ls[static_cast<std::size_t>(g.b)], 2.0);
+}
+
+TEST(Dag, WeightUpdatePropagates) {
+  Diamond g;
+  g.dag.set_edge_weight(g.bd, 10.0);
+  const auto lp = g.dag.longest_from({g.a});
+  EXPECT_DOUBLE_EQ(lp[static_cast<std::size_t>(g.d)], 11.0);  // a→b→d now
+}
+
+TEST(Dag, SubsetMaskRestrictsPaths) {
+  Diamond g;
+  std::vector<bool> mask(4, true);
+  mask[static_cast<std::size_t>(g.c)] = false;
+  const auto lp = g.dag.longest_from({g.a}, mask);
+  EXPECT_DOUBLE_EQ(lp[static_cast<std::size_t>(g.d)], 3.0);  // forced via b
+}
+
+TEST(Dag, UnreachableIsMinusInf) {
+  Diamond g;
+  const auto lp = g.dag.longest_from({g.b});
+  EXPECT_EQ(lp[static_cast<std::size_t>(g.a)], Dag::kMinusInf);
+  EXPECT_EQ(lp[static_cast<std::size_t>(g.c)], Dag::kMinusInf);
+  EXPECT_DOUBLE_EQ(lp[static_cast<std::size_t>(g.d)], 2.0);
+}
+
+TEST(Dag, BetweenComputesPathSupport) {
+  Diamond g;
+  const auto mask = g.dag.between({g.b}, {g.d});
+  EXPECT_FALSE(mask[static_cast<std::size_t>(g.a)]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(g.b)]);
+  EXPECT_FALSE(mask[static_cast<std::size_t>(g.c)]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(g.d)]);
+}
+
+TEST(Dag, EdgeLabelsStored) {
+  Diamond g;
+  EXPECT_EQ(g.dag.edge(g.ab).label, 10);
+  EXPECT_EQ(g.dag.edge(g.cd).label, 13);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,80 @@
+#include "bgr/timing/delay_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+using testutil::ChainCircuit;
+
+TEST(DelayGraph, ZeroWireCriticalDelay) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  // CK→PO (187) beats A→ff.D (176.35).
+  EXPECT_NEAR(dg.critical_delay_ps(), ChainCircuit::kPathCkDelayPs, 1e-9);
+}
+
+TEST(DelayGraph, Equation1NetArcDelay) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  // Net n0 drives one NOR2 input: (ΣFin)·Tf = 0.030 · 120 = 3.6 ps.
+  EXPECT_NEAR(dg.net_arc_delay(c.n0), 3.6, 1e-9);
+  // Adding CL = 0.01 pF at Td = 260 ps/pF adds 2.6 ps.
+  dg.set_net_cap(c.n0, 0.01);
+  EXPECT_NEAR(dg.net_arc_delay(c.n0), 6.2, 1e-9);
+  EXPECT_NEAR(dg.critical_delay_ps(), ChainCircuit::kPathCkDelayPs, 1e-9);
+  // Make the A-path dominate: +15 ps on n0 puts A→D at 191.35.
+  dg.set_net_cap(c.n0, 15.0 / 260.0);
+  EXPECT_NEAR(dg.critical_delay_ps(), 191.35, 1e-6);
+}
+
+TEST(DelayGraph, NetArcDelayForCapDoesNotMutate) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  const double before = dg.net_arc_delay(c.n1);
+  const double hypothetical = dg.net_arc_delay_for_cap(c.n1, 1.0);
+  EXPECT_GT(hypothetical, before);
+  EXPECT_DOUBLE_EQ(dg.net_arc_delay(c.n1), before);
+}
+
+TEST(DelayGraph, SourcesAndSinksClassified) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  // Sources: pads A, B, CK plus register clock pin = 4.
+  EXPECT_EQ(dg.sources().size(), 4u);
+  // Sinks: register D pin plus output pad = 2.
+  EXPECT_EQ(dg.sinks().size(), 2u);
+}
+
+TEST(DelayGraph, ClockPinsHaveNoIncomingWiringArc) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  // Net ck drives only the register clock pin → no wiring arcs at all.
+  EXPECT_TRUE(dg.net_arcs(c.ck).empty());
+  // Net n1 drives ff.D → one arc.
+  EXPECT_EQ(dg.net_arcs(c.n1).size(), 1u);
+}
+
+TEST(DelayGraph, RegisterCutsCombinationalPath) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  // Loading net q enormously must not change the A→ff.D path value, only
+  // the CK→PO one: the D pin terminates its path.
+  dg.set_net_cap(c.q, 10.0);
+  const auto lp = dg.dag().longest_from({dg.vertex_of(c.pad_a)});
+  EXPECT_NEAR(lp[static_cast<std::size_t>(dg.vertex_of(c.d_term))],
+              ChainCircuit::kPathADelayPs, 1e-9);
+}
+
+TEST(DelayGraph, VertexTerminalRoundTrip) {
+  ChainCircuit c;
+  DelayGraph dg(c.nl);
+  for (const TerminalId t : c.nl.terminals()) {
+    EXPECT_EQ(dg.terminal_of(dg.vertex_of(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,146 @@
+#include "bgr/layout/feed_insertion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+struct Fixture {
+  Netlist nl{Library::make_ecl_default()};
+  CellTypeId nor2 = nl.library().find("NOR2");
+  CellTypeId feed = nl.library().find("FEED");
+
+  Placement tight_placement(std::int32_t rows, std::int32_t width,
+                            std::int32_t cells_per_row) {
+    Placement pl(rows, width);
+    for (std::int32_t r = 0; r < rows; ++r) {
+      for (std::int32_t i = 0; i < cells_per_row; ++i) {
+        const CellId c = nl.add_cell(
+            "c" + std::to_string(r) + "_" + std::to_string(i), nor2);
+        pl.place(nl, c, RowId{r}, i * 3);
+      }
+    }
+    return pl;
+  }
+};
+
+TEST(FeedDemand, PitchAccounting) {
+  FeedDemand demand(3);
+  demand.add_failure(RowId{0}, 1);
+  demand.add_failure(RowId{0}, 2);
+  demand.add_failure(RowId{0}, 2);
+  demand.add_failure(RowId{2}, 1);
+  EXPECT_EQ(demand.row_pitches(RowId{0}), 5);  // 1 + 2 + 2
+  EXPECT_EQ(demand.row_pitches(RowId{1}), 0);
+  EXPECT_EQ(demand.row_pitches(RowId{2}), 1);
+  EXPECT_EQ(demand.widen_pitches(), 5);
+  EXPECT_TRUE(demand.any());
+}
+
+TEST(FeedInsertion, WidensEveryRowByF) {
+  Fixture f;
+  Placement old = f.tight_placement(2, 12, 4);
+  FeedDemand demand(2);
+  demand.add_failure(RowId{0}, 1);
+  demand.add_failure(RowId{0}, 2);  // F(0) = 3
+  demand.add_failure(RowId{1}, 1);  // F(1) = 1 → F = 3
+  const auto result = insert_feed_cells(f.nl, old, demand);
+  EXPECT_EQ(result.widen_pitches, 3);
+  EXPECT_EQ(result.placement.width(), 15);
+  // Every row received exactly F pitches of feed cells.
+  EXPECT_EQ(result.feed_cells_added, 6);
+  result.placement.validate(f.nl);
+  // Rows were fully blocked (width 12 = 4 cells × 3); widening by F = 3
+  // leaves exactly 3 usable columns per row (feed cells do not block).
+  for (std::int32_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(result.placement.free_column_count(RowId{r}), 3);
+  }
+}
+
+TEST(FeedInsertion, MultiPitchGroupsAreAdjacentAndFlagged) {
+  Fixture f;
+  Placement old = f.tight_placement(1, 12, 4);
+  FeedDemand demand(1);
+  demand.add_failure(RowId{0}, 2);  // one 2-pitch group
+  const auto result = insert_feed_cells(f.nl, old, demand);
+  const Placement& pl = result.placement;
+  // Find the flagged group: exactly two adjacent columns flagged 2.
+  std::vector<std::int32_t> flagged;
+  for (std::int32_t x = 0; x < pl.width(); ++x) {
+    if (pl.column_flag(RowId{0}, x) == 2) flagged.push_back(x);
+  }
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[1], flagged[0] + 1);
+  EXPECT_FALSE(pl.column_blocked(RowId{0}, flagged[0]));
+}
+
+TEST(FeedInsertion, CarriesExistingFlagsShifted) {
+  Fixture f;
+  Placement old(1, 10);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  old.place(f.nl, a, RowId{0}, 0);
+  // Free column 5 flagged width-2 before insertion.
+  old.set_column_flag(RowId{0}, 5, 2);
+  FeedDemand demand(1);
+  demand.add_failure(RowId{0}, 1);
+  const auto result = insert_feed_cells(f.nl, old, demand);
+  // The flag must survive on some free column.
+  std::int32_t count = 0;
+  for (std::int32_t x = 0; x < result.placement.width(); ++x) {
+    if (result.placement.column_flag(RowId{0}, x) == 2) ++count;
+  }
+  EXPECT_GE(count, 1);
+}
+
+TEST(FeedInsertion, ZeroDemandIsIdentityWidth) {
+  Fixture f;
+  Placement old = f.tight_placement(2, 12, 2);
+  const FeedDemand demand(2);
+  const auto result = insert_feed_cells(f.nl, old, demand);
+  EXPECT_EQ(result.widen_pitches, 0);
+  EXPECT_EQ(result.placement.width(), old.width());
+  EXPECT_EQ(result.feed_cells_added, 0);
+}
+
+TEST(FeedInsertion, EvenSpacing) {
+  Fixture f;
+  // One row, 8 cells, demand of 4 singles: groups should spread out, not
+  // cluster at one end.
+  Placement old = f.tight_placement(1, 24, 8);
+  FeedDemand demand(1);
+  for (int i = 0; i < 4; ++i) demand.add_failure(RowId{0}, 1);
+  const auto result = insert_feed_cells(f.nl, old, demand);
+  std::vector<std::int32_t> feed_x;
+  for (const CellId c : result.placement.row_cells(RowId{0})) {
+    if (f.nl.cell_type(c).is_feed()) {
+      feed_x.push_back(result.placement.placed(c).x);
+    }
+  }
+  ASSERT_EQ(feed_x.size(), 4u);
+  // No two feeds adjacent, and both halves of the row have feeds.
+  for (std::size_t i = 1; i < feed_x.size(); ++i) {
+    EXPECT_GT(feed_x[i] - feed_x[i - 1], 1);
+  }
+  EXPECT_LT(feed_x.front(), result.placement.width() / 2);
+  EXPECT_GE(feed_x.back(), result.placement.width() / 2);
+}
+
+TEST(SweepFeedCellsAside, FeedsMoveToRowEnd) {
+  Fixture f;
+  Placement old(1, 20);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  const CellId fd = f.nl.add_cell("fd", f.feed);
+  const CellId b = f.nl.add_cell("b", f.nor2);
+  old.place(f.nl, a, RowId{0}, 0);
+  old.place(f.nl, fd, RowId{0}, 3);
+  old.place(f.nl, b, RowId{0}, 4);
+  const Placement swept = sweep_feed_cells_aside(f.nl, old);
+  // Logic packed left, feed at the end.
+  EXPECT_EQ(swept.placed(a).x, 0);
+  EXPECT_EQ(swept.placed(b).x, 3);
+  EXPECT_EQ(swept.placed(fd).x, 6);
+  swept.validate(f.nl);
+}
+
+}  // namespace
+}  // namespace bgr

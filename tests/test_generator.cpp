@@ -1,0 +1,129 @@
+#include "bgr/gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgr/io/design_io.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(Generator, DatasetNamesMatchPaper) {
+  EXPECT_EQ(dataset_names(),
+            (std::vector<std::string>{"C1P1", "C1P2", "C2P1", "C2P2", "C3P1"}));
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const Dataset a = generate_circuit(testutil::small_spec(3));
+  const Dataset b = generate_circuit(testutil::small_spec(3));
+  EXPECT_EQ(a.netlist.cell_count(), b.netlist.cell_count());
+  EXPECT_EQ(a.netlist.net_count(), b.netlist.net_count());
+  EXPECT_EQ(a.netlist.terminal_count(), b.netlist.terminal_count());
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  for (std::size_t i = 0; i < a.constraints.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.constraints[i].limit_ps, b.constraints[i].limit_ps);
+  }
+  // Placement identical cell by cell.
+  for (const CellId c : a.netlist.cells()) {
+    EXPECT_EQ(a.placement.placed(c).row, b.placement.placed(c).row);
+    EXPECT_EQ(a.placement.placed(c).x, b.placement.placed(c).x);
+  }
+}
+
+TEST(Generator, SeedsChangeCircuit) {
+  const Dataset a = generate_circuit(testutil::small_spec(3));
+  const Dataset b = generate_circuit(testutil::small_spec(4));
+  bool differs = a.netlist.cell_count() != b.netlist.cell_count();
+  if (!differs) {
+    for (const CellId c : a.netlist.cells()) {
+      if (a.placement.placed(c).x != b.placement.placed(c).x) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, StructureValidates) {
+  const Dataset ds = generate_circuit(testutil::small_spec(7));
+  ds.netlist.validate();
+  ds.placement.validate(ds.netlist);
+  EXPECT_GE(ds.netlist.cell_count(), 100);
+  EXPECT_GT(ds.netlist.net_count(), 0);
+  EXPECT_FALSE(ds.constraints.empty());
+}
+
+TEST(Generator, RequestedFeatureCounts) {
+  const CircuitSpec spec = testutil::small_spec(8);
+  const Dataset ds = generate_circuit(spec);
+  std::int32_t diff_pairs = 0;
+  std::int32_t multi_pitch = 0;
+  for (const NetId n : ds.netlist.nets()) {
+    const Net& net = ds.netlist.net(n);
+    if (net.is_differential() && net.diff_primary) ++diff_pairs;
+    if (net.pitch_width > 1) ++multi_pitch;
+  }
+  EXPECT_EQ(diff_pairs, spec.diff_pairs);
+  EXPECT_EQ(multi_pitch, spec.clock_buffers);
+}
+
+TEST(Generator, ConstraintsReferenceRealEndpoints) {
+  const Dataset ds = generate_circuit(testutil::small_spec(9));
+  DelayGraph dg(ds.netlist);
+  for (const PathConstraint& pc : ds.constraints) {
+    EXPECT_GT(pc.limit_ps, 0.0);
+    ASSERT_EQ(pc.sources.size(), 1u);
+    ASSERT_EQ(pc.sinks.size(), 1u);
+    // Source reaches sink in the delay graph.
+    const auto lp = dg.dag().longest_from({dg.vertex_of(pc.sources[0])});
+    EXPECT_NE(lp[static_cast<std::size_t>(dg.vertex_of(pc.sinks[0]))],
+              Dag::kMinusInf)
+        << pc.name;
+  }
+}
+
+TEST(Generator, ConstraintsAreTightButPlausible) {
+  const Dataset ds = generate_circuit(testutil::small_spec(10));
+  DelayGraph dg(ds.netlist);
+  // Zero-wire delays must satisfy every constraint (wire budget positive).
+  TimingAnalyzer an(dg, ds.constraints);
+  for (const ConstraintId p : an.constraints()) {
+    EXPECT_GT(an.margin_ps(p), 0.0) << "no wire budget at all";
+  }
+}
+
+TEST(Generator, P2SweepsFeedsAside) {
+  const Dataset p1 = make_dataset("C1P1");
+  const Dataset p2 = make_dataset("C1P2");
+  EXPECT_EQ(p1.netlist.cell_count(), p2.netlist.cell_count());
+  // In P2, every row's feed cells sit behind all of its logic cells.
+  for (std::int32_t r = 0; r < p2.placement.row_count(); ++r) {
+    bool seen_feed = false;
+    for (const CellId c : p2.placement.row_cells(RowId{r})) {
+      const bool is_feed = p2.netlist.cell_type(c).is_feed();
+      if (seen_feed) {
+        EXPECT_TRUE(is_feed) << "logic cell after feed cells in P2 row " << r;
+      }
+      seen_feed = seen_feed || is_feed;
+    }
+  }
+}
+
+TEST(Generator, PaperDatasetsBuild) {
+  for (const std::string& name : dataset_names()) {
+    const Dataset ds = make_dataset(name);
+    EXPECT_EQ(ds.name, name);
+    ds.netlist.validate();
+    ds.placement.validate(ds.netlist);
+  }
+}
+
+TEST(Generator, UnknownNameRejected) {
+  EXPECT_THROW((void)make_dataset("C9P1"), CheckError);
+  EXPECT_THROW((void)make_dataset("C1P3"), CheckError);
+  EXPECT_THROW((void)make_dataset("bogus"), CheckError);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,75 @@
+#include "bgr/common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgr {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  NetId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NetId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  CellId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(NetId{1}, NetId{2});
+  EXPECT_EQ(NetId{3}, NetId{3});
+  EXPECT_NE(NetId{3}, NetId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NetId, CellId>);
+  static_assert(!std::is_same_v<RowId, ChannelId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<NetId> set;
+  set.insert(NetId{1});
+  set.insert(NetId{1});
+  set.insert(NetId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdVector, PushBackReturnsSequentialIds) {
+  IdVector<NetId, int> v;
+  EXPECT_EQ(v.push_back(10), NetId{0});
+  EXPECT_EQ(v.push_back(20), NetId{1});
+  EXPECT_EQ(v[NetId{0}], 10);
+  EXPECT_EQ(v[NetId{1}], 20);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(IdVector, AtChecksBounds) {
+  IdVector<NetId, int> v(2, 7);
+  EXPECT_EQ(v.at(NetId{1}), 7);
+  EXPECT_THROW((void)v.at(NetId{5}), std::out_of_range);
+}
+
+TEST(IdRange, IteratesAllIds) {
+  std::vector<int> seen;
+  for (const NetId id : IdRange<NetId>(4)) {
+    seen.push_back(id.value());
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(IdRange, EmptyRange) {
+  int count = 0;
+  for (const NetId id : IdRange<NetId>(0)) {
+    (void)id;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "bgr/metrics/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+/// Full-flow integration over generated circuits: the paper's headline
+/// behaviours must hold in shape.
+class FlowProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Dataset dataset_ = generate_circuit(testutil::small_spec(GetParam()));
+};
+
+TEST_P(FlowProperty, BothModesComplete) {
+  const RunResult con = run_flow(dataset_, /*constrained=*/true);
+  const RunResult unc = run_flow(dataset_, /*constrained=*/false);
+  EXPECT_GT(con.delay_ps, 0.0);
+  EXPECT_GT(unc.delay_ps, 0.0);
+  EXPECT_GT(con.area_mm2, 0.0);
+  EXPECT_GT(con.length_mm, 0.0);
+  // The half-perimeter bound really is a lower bound on the final delay.
+  EXPECT_GE(con.delay_ps, con.lower_bound_ps);
+  EXPECT_GE(unc.delay_ps, unc.lower_bound_ps);
+}
+
+TEST_P(FlowProperty, ConstrainedModeDoesNotBlowUpArea) {
+  // Paper §5: "the area was almost unchanged".
+  const RunResult con = run_flow(dataset_, true);
+  const RunResult unc = run_flow(dataset_, false);
+  EXPECT_LT(con.area_mm2, unc.area_mm2 * 1.15);
+}
+
+TEST_P(FlowProperty, RunFlowIsRepeatable) {
+  const RunResult a = run_flow(dataset_, true);
+  const RunResult b = run_flow(dataset_, true);
+  EXPECT_DOUBLE_EQ(a.delay_ps, b.delay_ps);
+  EXPECT_DOUBLE_EQ(a.area_mm2, b.area_mm2);
+  EXPECT_DOUBLE_EQ(a.length_mm, b.length_mm);
+}
+
+TEST_P(FlowProperty, DatasetIsNotMutatedByRuns) {
+  const auto cells_before = dataset_.netlist.cell_count();
+  const auto width_before = dataset_.placement.width();
+  (void)run_flow(dataset_, true);
+  EXPECT_EQ(dataset_.netlist.cell_count(), cells_before);
+  EXPECT_EQ(dataset_.placement.width(), width_before);
+}
+
+TEST_P(FlowProperty, PhaseToggleAblationsRun) {
+  RouterOptions options;
+  options.enable_violation_recovery = false;
+  options.enable_delay_improvement = false;
+  options.enable_area_improvement = false;
+  const RunResult bare = run_flow(dataset_, true, options);
+  EXPECT_GT(bare.delay_ps, 0.0);
+  for (const PhaseStats& ph : bare.phases) {
+    if (ph.name != "initial") {
+      EXPECT_EQ(ph.deletions, 0);
+      EXPECT_EQ(ph.reroutes, 0);
+    }
+  }
+}
+
+TEST_P(FlowProperty, CriteriaAblationsRun) {
+  RouterOptions no_density;
+  no_density.use_density_criteria = false;
+  const RunResult a = run_flow(dataset_, true, no_density);
+  EXPECT_GT(a.delay_ps, 0.0);
+  RouterOptions no_delay;
+  no_delay.use_delay_criteria = false;
+  const RunResult b = run_flow(dataset_, true, no_delay);
+  EXPECT_GT(b.delay_ps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowProperty, ::testing::Values(101u, 202u));
+
+/// The paper's aggregate claim on its own datasets, checked in miniature:
+/// averaged over seeds, the constrained router must beat the unconstrained
+/// one on delay.
+TEST(FlowAggregate, ConstrainedBeatsUnconstrainedOnAverage) {
+  double gain = 0.0;
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    const Dataset ds = generate_circuit(testutil::small_spec(seed));
+    const RunResult con = run_flow(ds, true);
+    const RunResult unc = run_flow(ds, false);
+    gain += unc.delay_ps - con.delay_ps;
+  }
+  EXPECT_GT(gain, 0.0);
+}
+
+}  // namespace
+}  // namespace bgr

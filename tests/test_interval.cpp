@@ -1,0 +1,86 @@
+#include "bgr/common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgr/common/rng.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  IntInterval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0);
+}
+
+TEST(Interval, PointHasLengthOne) {
+  const auto iv = IntInterval::point(5);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.length(), 1);
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(4));
+}
+
+TEST(Interval, SpanningNormalizesOrder) {
+  const auto iv = IntInterval::spanning(9, 3);
+  EXPECT_EQ(iv.lo, 3);
+  EXPECT_EQ(iv.hi, 9);
+  EXPECT_EQ(iv.length(), 7);
+}
+
+TEST(Interval, OverlapCases) {
+  const IntInterval a{2, 5};
+  EXPECT_TRUE(a.overlaps({5, 8}));
+  EXPECT_TRUE(a.overlaps({0, 2}));
+  EXPECT_FALSE(a.overlaps({6, 8}));
+  EXPECT_FALSE(a.overlaps(IntInterval{}));
+}
+
+TEST(Interval, IntersectAndMerge) {
+  const IntInterval a{2, 6};
+  const IntInterval b{4, 9};
+  EXPECT_EQ(a.intersect(b), (IntInterval{4, 6}));
+  EXPECT_EQ(a.merge(b), (IntInterval{2, 9}));
+  EXPECT_TRUE(a.intersect({7, 9}).empty());
+  EXPECT_EQ(a.merge(IntInterval{}), a);
+}
+
+TEST(Interval, ContainsInterval) {
+  const IntInterval a{2, 8};
+  EXPECT_TRUE(a.contains(IntInterval{3, 7}));
+  EXPECT_TRUE(a.contains(IntInterval{2, 8}));
+  EXPECT_FALSE(a.contains(IntInterval{1, 5}));
+  EXPECT_TRUE(a.contains(IntInterval{}));  // empty in anything
+}
+
+TEST(Interval, ExpandedClamps) {
+  const IntInterval a{4, 6};
+  EXPECT_EQ(a.expanded(3, 0, 20), (IntInterval{1, 9}));
+  EXPECT_EQ(a.expanded(10, 0, 8), (IntInterval{0, 8}));
+}
+
+/// Property sweep: intersect is commutative and contained in both; merge
+/// contains both.
+class IntervalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalProperty, AlgebraHolds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto a = IntInterval::spanning(rng.uniform_i32(-50, 50),
+                                         rng.uniform_i32(-50, 50));
+    const auto b = IntInterval::spanning(rng.uniform_i32(-50, 50),
+                                         rng.uniform_i32(-50, 50));
+    EXPECT_EQ(a.intersect(b), b.intersect(a));
+    EXPECT_TRUE(a.contains(a.intersect(b)));
+    EXPECT_TRUE(b.contains(a.intersect(b)));
+    EXPECT_TRUE(a.merge(b).contains(a));
+    EXPECT_TRUE(a.merge(b).contains(b));
+    EXPECT_EQ(a.overlaps(b), !a.intersect(b).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,102 @@
+#include "bgr/io/design_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgr/io/table.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(DesignIo, TerminalRefRoundTrip) {
+  const Dataset ds = generate_circuit(testutil::small_spec(12));
+  int checked = 0;
+  for (const TerminalId t : ds.netlist.terminals()) {
+    if (checked >= 50) break;
+    const std::string ref = terminal_ref(ds.netlist, t);
+    EXPECT_EQ(find_terminal(ds.netlist, ref), t) << ref;
+    ++checked;
+  }
+  EXPECT_FALSE(find_terminal(ds.netlist, "pad:NOPE").valid());
+  EXPECT_FALSE(find_terminal(ds.netlist, "ghost.O").valid());
+}
+
+TEST(DesignIo, WriteReadRoundTrip) {
+  const Dataset original = generate_circuit(testutil::small_spec(13));
+  std::stringstream stream;
+  write_design(stream, original);
+  const Dataset loaded = read_design(stream);
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.netlist.cell_count(), original.netlist.cell_count());
+  EXPECT_EQ(loaded.netlist.net_count(), original.netlist.net_count());
+  EXPECT_EQ(loaded.netlist.terminal_count(), original.netlist.terminal_count());
+  EXPECT_EQ(loaded.placement.row_count(), original.placement.row_count());
+  EXPECT_EQ(loaded.placement.width(), original.placement.width());
+  ASSERT_EQ(loaded.constraints.size(), original.constraints.size());
+  for (std::size_t i = 0; i < loaded.constraints.size(); ++i) {
+    EXPECT_NEAR(loaded.constraints[i].limit_ps,
+                original.constraints[i].limit_ps, 1e-6);
+  }
+
+  // A second serialisation must be byte-identical to the first (stable
+  // canonical form).
+  std::stringstream again;
+  write_design(again, loaded);
+  EXPECT_EQ(stream.str(), again.str());
+}
+
+TEST(DesignIo, RoundTripPreservesDifferentialPairs) {
+  const Dataset original = generate_circuit(testutil::small_spec(14));
+  std::stringstream stream;
+  write_design(stream, original);
+  const Dataset loaded = read_design(stream);
+  std::int32_t pairs_orig = 0;
+  std::int32_t pairs_loaded = 0;
+  for (const NetId n : original.netlist.nets()) {
+    if (original.netlist.net(n).is_differential() &&
+        original.netlist.net(n).diff_primary) {
+      ++pairs_orig;
+    }
+  }
+  for (const NetId n : loaded.netlist.nets()) {
+    if (loaded.netlist.net(n).is_differential() &&
+        loaded.netlist.net(n).diff_primary) {
+      ++pairs_loaded;
+    }
+  }
+  EXPECT_EQ(pairs_loaded, pairs_orig);
+}
+
+TEST(DesignIo, RejectsGarbage) {
+  std::stringstream bad("hello world\n");
+  EXPECT_THROW((void)read_design(bad), CheckError);
+  std::stringstream bad2("bgr-design 1\nfrobnicate x y\nend\n");
+  EXPECT_THROW((void)read_design(bad2), CheckError);
+}
+
+TEST(DesignIo, FileHelpers) {
+  const Dataset original = generate_circuit(testutil::small_spec(15));
+  const std::string path = ::testing::TempDir() + "/bgr_design_test.txt";
+  save_design(path, original);
+  const Dataset loaded = load_design(path);
+  EXPECT_EQ(loaded.netlist.cell_count(), original.netlist.cell_count());
+  EXPECT_THROW((void)load_design("/nonexistent/nowhere.txt"), CheckError);
+}
+
+TEST(TextTable, FormatsAligned) {
+  TextTable table({"Data", "Delay", "Area"});
+  table.add_row({"C1P1", TextTable::fmt(1234.5, 1), TextTable::fmt(2.0, 3)});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("C1P1"), std::string::npos);
+  EXPECT_NE(out.find("1234.5"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "short"}), CheckError);
+}
+
+}  // namespace
+}  // namespace bgr

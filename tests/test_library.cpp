@@ -1,0 +1,111 @@
+#include "bgr/netlist/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+TEST(Library, DefaultLibraryHasAllTypes) {
+  const Library lib = Library::make_ecl_default();
+  for (const char* name : {"BUF1", "INV1", "NOR2", "NOR3", "XOR2", "MUX2",
+                           "DFF", "CKBUF", "DDRV", "DRCV", "FEED"}) {
+    EXPECT_TRUE(lib.find(name).valid()) << name;
+  }
+  EXPECT_FALSE(lib.find("NAND9").valid());
+}
+
+TEST(Library, FeedCellHasNoPins) {
+  const Library lib = Library::make_ecl_default();
+  const CellType& feed = lib.type(lib.find("FEED"));
+  EXPECT_TRUE(feed.is_feed());
+  EXPECT_EQ(feed.pin_count(), 0);
+  EXPECT_EQ(feed.width(), 1);
+}
+
+TEST(Library, RegisterArcsLaunchFromClock) {
+  const Library lib = Library::make_ecl_default();
+  const CellType& dff = lib.type(lib.find("DFF"));
+  EXPECT_TRUE(dff.is_register());
+  ASSERT_EQ(dff.arcs().size(), 1u);
+  const DelayArc& arc = dff.arcs().front();
+  EXPECT_EQ(dff.pin(arc.from).dir, PinDir::kClock);
+  EXPECT_EQ(dff.pin(arc.to).dir, PinDir::kOutput);
+  // D has no outgoing arc: it is a timing endpoint.
+  const PinId d = dff.find_pin("D");
+  for (const DelayArc& a : dff.arcs()) {
+    EXPECT_NE(a.from, d);
+  }
+}
+
+TEST(Library, CombinationalArcsCoverAllInputs) {
+  const Library lib = Library::make_ecl_default();
+  const CellType& nor3 = lib.type(lib.find("NOR3"));
+  EXPECT_EQ(nor3.arcs().size(), 3u);
+  for (const DelayArc& arc : nor3.arcs()) {
+    EXPECT_EQ(nor3.pin(arc.from).dir, PinDir::kInput);
+    EXPECT_GT(arc.t0_ps, 0.0);
+  }
+}
+
+TEST(Library, DifferentialPinsAreAdjacentColumns) {
+  const Library lib = Library::make_ecl_default();
+  const CellType& drv = lib.type(lib.find("DDRV"));
+  EXPECT_EQ(drv.pin(drv.find_pin("OC")).offset,
+            drv.pin(drv.find_pin("OT")).offset + 1);
+  const CellType& rcv = lib.type(lib.find("DRCV"));
+  EXPECT_EQ(rcv.pin(rcv.find_pin("IC")).offset,
+            rcv.pin(rcv.find_pin("IT")).offset + 1);
+}
+
+TEST(Library, PinOffsetsInsideCell) {
+  const Library lib = Library::make_ecl_default();
+  for (std::int32_t i = 0; i < lib.size(); ++i) {
+    const CellType& type = lib.type(CellTypeId{i});
+    for (const PinSpec& pin : type.pins()) {
+      EXPECT_GE(pin.offset, 0);
+      EXPECT_LT(pin.offset, type.width());
+    }
+  }
+}
+
+TEST(Library, OutputPinsCarryDriveFactors) {
+  const Library lib = Library::make_ecl_default();
+  for (std::int32_t i = 0; i < lib.size(); ++i) {
+    const CellType& type = lib.type(CellTypeId{i});
+    for (const PinSpec& pin : type.pins()) {
+      if (pin.dir == PinDir::kOutput) {
+        EXPECT_GT(pin.tf_ps_per_pf, 0.0) << type.name();
+        EXPECT_GT(pin.td_ps_per_pf, 0.0) << type.name();
+      } else {
+        EXPECT_GT(pin.fanin_cap_pf, 0.0) << type.name();
+      }
+    }
+  }
+}
+
+TEST(Library, ArcValidation) {
+  CellType type{"T", 2, false, false};
+  PinSpec in;
+  in.name = "I";
+  in.dir = PinDir::kInput;
+  const PinId i = type.add_pin(in);
+  PinSpec out;
+  out.name = "O";
+  out.dir = PinDir::kOutput;
+  out.offset = 1;
+  const PinId o = type.add_pin(out);
+  EXPECT_THROW(type.add_arc(o, i, 1.0), CheckError);  // backwards
+  type.add_arc(i, o, 5.0);
+  EXPECT_EQ(type.arcs().size(), 1u);
+}
+
+TEST(Library, PinOffsetOutsideCellRejected) {
+  CellType type{"T", 2, false, false};
+  PinSpec bad;
+  bad.name = "X";
+  bad.offset = 5;
+  EXPECT_THROW((void)type.add_pin(bad), CheckError);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "bgr/metrics/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+class BudgetProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Dataset dataset_ = generate_circuit(testutil::small_spec(GetParam()));
+};
+
+TEST_P(BudgetProperty, BudgetModeCompletesAndReducesToTrees) {
+  Netlist nl = dataset_.netlist;
+  RouterOptions options;
+  options.use_net_budgets = true;
+  GlobalRouter router(nl, dataset_.placement, dataset_.tech,
+                      dataset_.constraints, options);
+  const RouteOutcome outcome = router.run();
+  EXPECT_GT(outcome.total_length_um, 0.0);
+  for (const NetId n : nl.nets()) {
+    EXPECT_TRUE(router.net_graph(n).is_tree());
+  }
+}
+
+TEST_P(BudgetProperty, BudgetModeStillMeasuresPathConstraints) {
+  Netlist nl = dataset_.netlist;
+  RouterOptions options;
+  options.use_net_budgets = true;
+  GlobalRouter router(nl, dataset_.placement, dataset_.tech,
+                      dataset_.constraints, options);
+  (void)router.run();
+  // The analyzer carries the real path constraints in budget mode.
+  EXPECT_EQ(router.analyzer().constraint_count(),
+            static_cast<std::int32_t>(dataset_.constraints.size()));
+}
+
+TEST_P(BudgetProperty, BudgetModeBeatsUnconstrainedOnDelay) {
+  RouterOptions budget;
+  budget.use_net_budgets = true;
+  const RunResult with_budgets = run_flow(dataset_, true, budget);
+  const RunResult without = run_flow(dataset_, false);
+  // Budgets are a weaker signal than path constraints but must still help
+  // versus pure area-driven routing (allow a small tolerance: the two
+  // runs route different trees).
+  EXPECT_LT(with_budgets.delay_ps, without.delay_ps * 1.03);
+}
+
+TEST_P(BudgetProperty, DeterministicAcrossRuns) {
+  RouterOptions options;
+  options.use_net_budgets = true;
+  const RunResult a = run_flow(dataset_, true, options);
+  const RunResult b = run_flow(dataset_, true, options);
+  EXPECT_DOUBLE_EQ(a.delay_ps, b.delay_ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetProperty, ::testing::Values(61u, 62u));
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,122 @@
+#include "bgr/route/net_span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+using testutil::ChainCircuit;
+
+TEST(NetSpan, BothSidedPinReachesTwoChannels) {
+  ChainCircuit c;
+  const Placement pl = c.make_placement();
+  // g1.I0 on row 0: channels 0 (below) and 1 (above).
+  const auto terms = c.nl.net_terminals(c.n0);
+  const TerminalGeom geom = terminal_geom(c.nl, pl, terms[1]);
+  EXPECT_EQ(geom.chan_lo, 0);
+  EXPECT_EQ(geom.chan_hi, 1);
+  EXPECT_EQ(geom.column, 14);
+}
+
+TEST(NetSpan, PadGeom) {
+  ChainCircuit c;
+  Placement pl = c.make_placement();
+  pl.pad_site(c.pad_a).assigned_x = 7;
+  const TerminalGeom geom = terminal_geom(c.nl, pl, c.pad_a);
+  EXPECT_EQ(geom.column, 7);
+  EXPECT_EQ(geom.chan_lo, 2);  // top of a 2-row chip
+  EXPECT_EQ(geom.chan_hi, 2);
+}
+
+TEST(NetSpan, SameRowNetHasNoRequiredCrossing) {
+  ChainCircuit c;
+  const Placement pl = c.make_placement();
+  const NetSpan span = net_span(c.nl, pl, c.n0);  // g0 → g1, both row 0
+  EXPECT_EQ(span.chan_lo, 0);
+  EXPECT_EQ(span.chan_hi, 1);
+  EXPECT_EQ(span.row_lo(), 0);
+  EXPECT_EQ(span.row_hi(), 0);
+  EXPECT_FALSE(span.row_required(0));  // optional side-choice crossing
+}
+
+TEST(NetSpan, CrossRowNetStillOptionalWithBothSidedPins) {
+  ChainCircuit c;
+  const Placement pl = c.make_placement();
+  // n1: g1 on row 0 (channels 0-1), ff.D on row 1 (channels 1-2): they can
+  // meet in channel 1 without any crossing.
+  const NetSpan span = net_span(c.nl, pl, c.n1);
+  EXPECT_EQ(span.chan_lo, 0);
+  EXPECT_EQ(span.chan_hi, 2);
+  EXPECT_FALSE(span.row_required(0));
+  EXPECT_FALSE(span.row_required(1));
+}
+
+TEST(NetSpan, PadNetRequiresCrossings) {
+  ChainCircuit c;
+  Placement pl = c.make_placement();
+  pl.pad_site(c.pad_a).assigned_x = 5;
+  // Net a: pad at channel 2 (top), g0.I0 on row 0 (channels 0-1): row 1
+  // must be crossed.
+  const NetSpan span = net_span(c.nl, pl, c.a);
+  EXPECT_EQ(span.chan_lo, 0);
+  EXPECT_EQ(span.chan_hi, 2);
+  EXPECT_TRUE(span.row_required(1));
+  EXPECT_FALSE(span.row_required(0));
+  EXPECT_EQ(span.column_span, (IntInterval{2, 5}));
+}
+
+TEST(NetSpan, ColumnSpanIsTerminalHull) {
+  ChainCircuit c;
+  const Placement pl = c.make_placement();
+  const NetSpan span = net_span(c.nl, pl, c.n0);
+  EXPECT_EQ(span.column_span, (IntInterval{3, 14}));
+}
+
+TEST(NetSpan, SingleSidedPinReachesUpperChannelOnly) {
+  Netlist nl{Library::make_ecl_default()};
+  // A custom master whose input pin is only reachable from above.
+  Library lib = Library::make_ecl_default();
+  CellType custom{"ONESIDE", 2, false, false};
+  PinSpec in;
+  in.name = "I";
+  in.dir = PinDir::kInput;
+  in.offset = 0;
+  in.both_sides = false;
+  in.fanin_cap_pf = 0.02;
+  const PinId in_pin = custom.add_pin(in);
+  PinSpec out;
+  out.name = "O";
+  out.dir = PinDir::kOutput;
+  out.offset = 1;
+  out.tf_ps_per_pf = 100.0;
+  out.td_ps_per_pf = 200.0;
+  const PinId out_pin = custom.add_pin(out);
+  custom.add_arc(in_pin, out_pin, 50.0);
+  lib.add(std::move(custom));
+
+  Netlist nl2(std::move(lib));
+  const CellTypeId oneside = nl2.library().find("ONESIDE");
+  const CellTypeId buf = nl2.library().find("BUF1");
+  const CellId a = nl2.add_cell("a", buf);
+  const CellId b = nl2.add_cell("b", oneside);
+  const NetId n = nl2.add_net("n");
+  (void)nl2.connect(n, a, nl2.cell_type(a).find_pin("O"));
+  const TerminalId sink = nl2.connect(n, b, nl2.cell_type(b).find_pin("I"));
+  Placement pl(2, 12);
+  pl.place(nl2, a, RowId{0}, 0);
+  pl.place(nl2, b, RowId{1}, 4);
+
+  const TerminalGeom geom = terminal_geom(nl2, pl, sink);
+  EXPECT_EQ(geom.chan_lo, 2);  // only the channel above row 1
+  EXPECT_EQ(geom.chan_hi, 2);
+
+  // Net a(row 0, channels 0-1) → b.I (channel 2 only): crossing row 1 is
+  // now *required*.
+  const NetSpan span = net_span(nl2, pl, n);
+  EXPECT_TRUE(span.row_required(1));
+}
+
+}  // namespace
+}  // namespace bgr

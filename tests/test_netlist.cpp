@@ -1,0 +1,140 @@
+#include "bgr/netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+struct Fixture {
+  Netlist nl{Library::make_ecl_default()};
+  CellTypeId nor2 = nl.library().find("NOR2");
+  CellTypeId buf = nl.library().find("BUF1");
+
+  PinId pin(CellId c, const char* name) const {
+    return nl.cell_type(c).find_pin(name);
+  }
+};
+
+TEST(Netlist, ConnectOutputBecomesDriver) {
+  Fixture f;
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  const TerminalId t = f.nl.connect(n, g, f.pin(g, "O"));
+  EXPECT_EQ(f.nl.net(n).driver, t);
+  EXPECT_TRUE(f.nl.net(n).sinks.empty());
+}
+
+TEST(Netlist, TwoDriversRejected) {
+  Fixture f;
+  const CellId g0 = f.nl.add_cell("g0", f.nor2);
+  const CellId g1 = f.nl.add_cell("g1", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  (void)f.nl.connect(n, g0, f.pin(g0, "O"));
+  EXPECT_THROW((void)f.nl.connect(n, g1, f.pin(g1, "O")), CheckError);
+}
+
+TEST(Netlist, ValidateRejectsDriverlessNet) {
+  Fixture f;
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  (void)f.nl.connect(n, g, f.pin(g, "I0"));
+  EXPECT_THROW(f.nl.validate(), CheckError);
+}
+
+TEST(Netlist, ValidateRejectsSinklessNet) {
+  Fixture f;
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  (void)f.nl.connect(n, g, f.pin(g, "O"));
+  EXPECT_THROW(f.nl.validate(), CheckError);
+}
+
+TEST(Netlist, PadsActAsDriversAndSinks) {
+  Fixture f;
+  const CellId g = f.nl.add_cell("g", f.buf);
+  const NetId in = f.nl.add_net("in");
+  const NetId out = f.nl.add_net("out");
+  (void)f.nl.add_pad_input("A", in, 100.0, 200.0);
+  (void)f.nl.connect(in, g, f.pin(g, "I0"));
+  (void)f.nl.connect(out, g, f.pin(g, "O"));
+  (void)f.nl.add_pad_output("Y", out, 0.08);
+  f.nl.validate();
+  EXPECT_DOUBLE_EQ(f.nl.net_fanin_cap_pf(out), 0.08);
+  const auto factors = f.nl.net_driver_factors(in);
+  EXPECT_DOUBLE_EQ(factors.tf_ps_per_pf, 100.0);
+  EXPECT_DOUBLE_EQ(factors.td_ps_per_pf, 200.0);
+}
+
+TEST(Netlist, FaninCapSumsAllSinks) {
+  Fixture f;
+  const CellId d = f.nl.add_cell("d", f.buf);
+  const CellId g0 = f.nl.add_cell("g0", f.nor2);
+  const CellId g1 = f.nl.add_cell("g1", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  (void)f.nl.connect(n, d, f.pin(d, "O"));
+  (void)f.nl.connect(n, g0, f.pin(g0, "I0"));
+  (void)f.nl.connect(n, g1, f.pin(g1, "I1"));
+  // NOR2 inputs are 0.030 pF each in the default library.
+  EXPECT_NEAR(f.nl.net_fanin_cap_pf(n), 0.060, 1e-12);
+}
+
+TEST(Netlist, NetTerminalsDriverFirst) {
+  Fixture f;
+  const CellId d = f.nl.add_cell("d", f.buf);
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  (void)f.nl.connect(n, g, f.pin(g, "I0"));  // sink first on purpose
+  (void)f.nl.connect(n, d, f.pin(d, "O"));
+  const auto terms = f.nl.net_terminals(n);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], f.nl.net(n).driver);
+}
+
+TEST(Netlist, DifferentialPairValidated) {
+  Fixture f;
+  const CellTypeId ddrv = f.nl.library().find("DDRV");
+  const CellTypeId drcv = f.nl.library().find("DRCV");
+  const CellId drv = f.nl.add_cell("drv", ddrv);
+  const CellId rcv = f.nl.add_cell("rcv", drcv);
+  const NetId nt = f.nl.add_net("nt");
+  const NetId nc = f.nl.add_net("nc");
+  (void)f.nl.connect(nt, drv, f.pin(drv, "OT"));
+  (void)f.nl.connect(nc, drv, f.pin(drv, "OC"));
+  (void)f.nl.connect(nt, rcv, f.pin(rcv, "IT"));
+  (void)f.nl.connect(nc, rcv, f.pin(rcv, "IC"));
+  f.nl.make_differential(nt, nc);
+  EXPECT_TRUE(f.nl.net(nt).diff_primary);
+  EXPECT_FALSE(f.nl.net(nc).diff_primary);
+  EXPECT_EQ(f.nl.net(nt).diff_partner, nc);
+  EXPECT_EQ(f.nl.net(nc).diff_partner, nt);
+  f.nl.validate();
+}
+
+TEST(Netlist, DifferentialMismatchRejected) {
+  Fixture f;
+  const CellTypeId ddrv = f.nl.library().find("DDRV");
+  const CellTypeId drcv = f.nl.library().find("DRCV");
+  const CellId drv = f.nl.add_cell("drv", ddrv);
+  const CellId rcv0 = f.nl.add_cell("rcv0", drcv);
+  const CellId rcv1 = f.nl.add_cell("rcv1", drcv);
+  const NetId nt = f.nl.add_net("nt");
+  const NetId nc = f.nl.add_net("nc");
+  (void)f.nl.connect(nt, drv, f.pin(drv, "OT"));
+  (void)f.nl.connect(nc, drv, f.pin(drv, "OC"));
+  (void)f.nl.connect(nt, rcv0, f.pin(rcv0, "IT"));
+  (void)f.nl.connect(nc, rcv1, f.pin(rcv1, "IC"));  // different cell!
+  EXPECT_THROW(f.nl.make_differential(nt, nc), CheckError);
+}
+
+TEST(Netlist, TerminalNames) {
+  Fixture f;
+  const CellId g = f.nl.add_cell("gate7", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  const TerminalId t = f.nl.connect(n, g, f.pin(g, "I1"));
+  EXPECT_EQ(f.nl.terminal_name(t), "gate7.I1");
+  const TerminalId p = f.nl.add_pad_input("CLK", f.nl.add_net("x"), 1, 1);
+  EXPECT_EQ(f.nl.terminal_name(p), "CLK");
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,73 @@
+// Regression pins on the paper's headline claims, evaluated on the C1P1
+// dataset (the smallest full-scale preset, ~1 s per routing mode). These
+// are shape assertions with generous tolerances — they fail when a change
+// breaks the reproduction, not when a heuristic shifts by a percent.
+#include <gtest/gtest.h>
+
+#include "bgr/metrics/experiment.hpp"
+
+namespace bgr {
+namespace {
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static const RunResult& constrained() {
+    static const RunResult r = run_flow(dataset(), true);
+    return r;
+  }
+  static const RunResult& unconstrained() {
+    static const RunResult r = run_flow(dataset(), false);
+    return r;
+  }
+  static const Dataset& dataset() {
+    static const Dataset ds = make_dataset("C1P1");
+    return ds;
+  }
+};
+
+TEST_F(PaperShape, ConstrainedReducesCriticalDelay) {
+  // Paper Table 2: every constrained run beats its unconstrained twin.
+  EXPECT_LT(constrained().delay_ps, unconstrained().delay_ps);
+}
+
+TEST_F(PaperShape, ImprovementWithinPaperRange) {
+  // Paper: 0.56 % .. 23.5 %. Give margin on both sides.
+  const double gain = (unconstrained().delay_ps - constrained().delay_ps) /
+                      unconstrained().delay_ps * 100.0;
+  EXPECT_GT(gain, 0.2);
+  EXPECT_LT(gain, 30.0);
+}
+
+TEST_F(PaperShape, AreaAlmostUnchanged) {
+  // Paper: "the area was almost unchanged".
+  const double ratio = constrained().area_mm2 / unconstrained().area_mm2;
+  EXPECT_GT(ratio, 0.90);
+  EXPECT_LT(ratio, 1.10);
+}
+
+TEST_F(PaperShape, ConstrainedGapNearLowerBound) {
+  // Paper Table 3: constrained gaps below ~10 % or less than half the
+  // unconstrained gap. C1P1 lands in the ~10 % regime; pin loosely.
+  EXPECT_LT(constrained().gap_to_lower_bound_percent(), 18.0);
+  EXPECT_LT(constrained().gap_to_lower_bound_percent(),
+            unconstrained().gap_to_lower_bound_percent());
+}
+
+TEST_F(PaperShape, NoConstraintViolationsOnC1) {
+  EXPECT_EQ(constrained().violated_constraints, 0);
+}
+
+TEST_F(PaperShape, FeedCellInsertionEngaged) {
+  // The bipolar flow must have exercised §4.3 on this dataset.
+  EXPECT_GT(constrained().feed_cells_added, 0);
+  EXPECT_GT(constrained().widen_pitches, 0);
+}
+
+TEST_F(PaperShape, ConstrainedCostsMoreCpuThanUnconstrained) {
+  // The delay machinery has a real price (paper Table 2's CPU column shows
+  // the same asymmetry).
+  EXPECT_GT(constrained().cpu_s, unconstrained().cpu_s);
+}
+
+}  // namespace
+}  // namespace bgr

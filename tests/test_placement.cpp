@@ -1,0 +1,137 @@
+#include "bgr/layout/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+struct Fixture {
+  Netlist nl{Library::make_ecl_default()};
+  CellTypeId nor2 = nl.library().find("NOR2");  // width 3
+  CellTypeId feed = nl.library().find("FEED");  // width 1
+};
+
+TEST(Placement, PlaceAndQuery) {
+  Fixture f;
+  Placement pl(2, 20);
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  pl.place(f.nl, g, RowId{1}, 4);
+  EXPECT_TRUE(pl.is_placed(g));
+  EXPECT_EQ(pl.placed(g).row, RowId{1});
+  EXPECT_EQ(pl.placed(g).x, 4);
+  EXPECT_EQ(pl.placed(g).width, 3);
+  EXPECT_TRUE(pl.column_blocked(RowId{1}, 4));
+  EXPECT_TRUE(pl.column_blocked(RowId{1}, 6));
+  EXPECT_FALSE(pl.column_blocked(RowId{1}, 7));
+  EXPECT_FALSE(pl.column_blocked(RowId{0}, 4));
+}
+
+TEST(Placement, FeedCellDoesNotBlock) {
+  Fixture f;
+  Placement pl(1, 10);
+  const CellId fd = f.nl.add_cell("fd", f.feed);
+  pl.place(f.nl, fd, RowId{0}, 3);
+  EXPECT_FALSE(pl.column_blocked(RowId{0}, 3));
+}
+
+TEST(Placement, OverlapRejected) {
+  Fixture f;
+  Placement pl(1, 20);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  const CellId b = f.nl.add_cell("b", f.nor2);
+  pl.place(f.nl, a, RowId{0}, 4);
+  EXPECT_THROW(pl.place(f.nl, b, RowId{0}, 6), CheckError);
+  pl.place(f.nl, b, RowId{0}, 7);  // touching is fine
+}
+
+TEST(Placement, OutOfBoundsRejected) {
+  Fixture f;
+  Placement pl(1, 10);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  EXPECT_THROW(pl.place(f.nl, a, RowId{0}, 8), CheckError);
+}
+
+TEST(Placement, DoublePlacementRejected) {
+  Fixture f;
+  Placement pl(1, 20);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  pl.place(f.nl, a, RowId{0}, 0);
+  EXPECT_THROW(pl.place(f.nl, a, RowId{0}, 10), CheckError);
+}
+
+TEST(Placement, RowCellsSortedByX) {
+  Fixture f;
+  Placement pl(1, 30);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  const CellId b = f.nl.add_cell("b", f.nor2);
+  const CellId c = f.nl.add_cell("c", f.nor2);
+  pl.place(f.nl, b, RowId{0}, 10);
+  pl.place(f.nl, a, RowId{0}, 2);
+  pl.place(f.nl, c, RowId{0}, 20);
+  EXPECT_EQ(pl.row_cells(RowId{0}), (std::vector<CellId>{a, b, c}));
+}
+
+TEST(Placement, TerminalColumnUsesPinOffset) {
+  Fixture f;
+  Placement pl(1, 20);
+  const CellId g = f.nl.add_cell("g", f.nor2);
+  const NetId n = f.nl.add_net("n");
+  const PinId out = f.nl.cell_type(g).find_pin("O");  // offset 2 on NOR2
+  const TerminalId t = f.nl.connect(n, g, out);
+  pl.place(f.nl, g, RowId{0}, 5);
+  EXPECT_EQ(pl.terminal_column(f.nl, t),
+            5 + f.nl.cell_type(g).pin(out).offset);
+}
+
+TEST(Placement, ColumnFlags) {
+  Fixture f;
+  Placement pl(2, 10);
+  EXPECT_EQ(pl.column_flag(RowId{0}, 3), 0);
+  pl.set_column_flag(RowId{0}, 3, 2);
+  EXPECT_EQ(pl.column_flag(RowId{0}, 3), 2);
+  EXPECT_EQ(pl.column_flag(RowId{1}, 3), 0);
+  pl.clear_column_flags();
+  EXPECT_EQ(pl.column_flag(RowId{0}, 3), 0);
+}
+
+TEST(Placement, PadSites) {
+  Fixture f;
+  Placement pl(2, 40);
+  const NetId n = f.nl.add_net("n");
+  const TerminalId pad = f.nl.add_pad_input("A", n, 1, 1);
+  pl.place_pad(pad, true, IntInterval{5, 15});
+  EXPECT_FALSE(pl.pad_site(pad).assigned());
+  pl.pad_site(pad).assigned_x = 9;
+  EXPECT_TRUE(pl.pad_site(pad).assigned());
+  EXPECT_EQ(pl.terminal_column(f.nl, pad), 9);
+}
+
+TEST(Placement, ChipGeometry) {
+  Fixture f;
+  TechParams tech;
+  Placement pl(3, 100);
+  EXPECT_DOUBLE_EQ(pl.chip_width_um(tech), 300.0);
+  // 3 rows of 60 um plus 4 channels with (tracks+1)*3 um.
+  const std::vector<std::int32_t> tracks{9, 9, 9, 9};
+  EXPECT_DOUBLE_EQ(pl.chip_height_um(tech, tracks), 3 * 60.0 + 4 * 30.0);
+}
+
+TEST(Placement, ValidateFindsUnplacedCell) {
+  Fixture f;
+  Placement pl(1, 20);
+  (void)f.nl.add_cell("ghost", f.nor2);
+  EXPECT_THROW(pl.validate(f.nl), CheckError);
+}
+
+TEST(Placement, FreeColumnCount) {
+  Fixture f;
+  Placement pl(1, 10);
+  const CellId a = f.nl.add_cell("a", f.nor2);
+  pl.place(f.nl, a, RowId{0}, 0);
+  const CellId fd = f.nl.add_cell("fd", f.feed);
+  pl.place(f.nl, fd, RowId{0}, 5);
+  EXPECT_EQ(pl.free_column_count(RowId{0}), 7);  // 10 - 3 blocked
+}
+
+}  // namespace
+}  // namespace bgr

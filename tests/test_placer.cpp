@@ -1,0 +1,112 @@
+#include "bgr/place/force_placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+struct PlacerFixture {
+  Dataset ds = generate_circuit(testutil::small_spec(31));
+
+  PlacerRows run(std::int32_t passes, std::uint64_t seed = 5) const {
+    Rng rng(seed);
+    PlacerOptions options;
+    options.passes = passes;
+    return force_directed_rows(ds.netlist, 5, 5.0, {}, {}, rng, options);
+  }
+};
+
+TEST(ForcePlacer, EveryCellPlacedExactlyOnce) {
+  PlacerFixture f;
+  const PlacerRows rows = f.run(8);
+  std::vector<int> count(static_cast<std::size_t>(f.ds.netlist.cell_count()), 0);
+  for (const auto& row : rows.row_order) {
+    for (const CellId c : row) ++count[c.index()];
+  }
+  for (const int n : count) EXPECT_EQ(n, 1);
+}
+
+TEST(ForcePlacer, RowsBalancedByWidth) {
+  PlacerFixture f;
+  const PlacerRows rows = f.run(8);
+  std::vector<double> widths;
+  double total = 0.0;
+  for (const auto& row : rows.row_order) {
+    double w = 0.0;
+    for (const CellId c : row) w += f.ds.netlist.cell_type(c).width();
+    widths.push_back(w);
+    total += w;
+  }
+  const double share = total / static_cast<double>(widths.size());
+  for (const double w : widths) {
+    EXPECT_GT(w, share * 0.5);
+    EXPECT_LT(w, share * 1.5);
+  }
+}
+
+TEST(ForcePlacer, IterationImprovesHpwl) {
+  PlacerFixture f;
+  const double bad = ordering_hpwl(f.ds.netlist, f.run(0));
+  const double good = ordering_hpwl(f.ds.netlist, f.run(24));
+  EXPECT_LT(good, bad);
+}
+
+TEST(ForcePlacer, DeterministicInSeed) {
+  PlacerFixture f;
+  const PlacerRows a = f.run(12, 7);
+  const PlacerRows b = f.run(12, 7);
+  ASSERT_EQ(a.row_order.size(), b.row_order.size());
+  for (std::size_t r = 0; r < a.row_order.size(); ++r) {
+    EXPECT_EQ(a.row_order[r], b.row_order[r]);
+  }
+}
+
+TEST(ForcePlacer, HintsSeedRows) {
+  PlacerFixture f;
+  // Strong hints with zero passes must be honoured verbatim: cells hinted
+  // to level 0 land in the bottom rows.
+  const auto n_cells = static_cast<std::size_t>(f.ds.netlist.cell_count());
+  std::vector<double> level(n_cells, 0.0);
+  for (std::size_t i = n_cells / 2; i < n_cells; ++i) level[i] = 5.0;
+  Rng rng(3);
+  PlacerOptions options;
+  options.passes = 0;
+  const PlacerRows rows =
+      force_directed_rows(f.ds.netlist, 5, 5.0, level, {}, rng, options);
+  // The bottom rows must be dominated by low-hint cells.
+  int low_in_bottom = 0;
+  int total_bottom = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (const CellId c : rows.row_order[r]) {
+      ++total_bottom;
+      if (level[c.index()] == 0.0) ++low_in_bottom;
+    }
+  }
+  EXPECT_GT(low_in_bottom, total_bottom * 8 / 10);
+}
+
+TEST(ForcePlacer, OrderingHpwlSensibleOnHandCase) {
+  // Two connected cells in the same row adjacent vs far apart.
+  Netlist nl{Library::make_ecl_default()};
+  const CellTypeId buf = nl.library().find("BUF1");
+  const CellId a = nl.add_cell("a", buf);
+  const CellId b = nl.add_cell("b", buf);
+  const CellId c = nl.add_cell("c", buf);
+  const NetId n = nl.add_net("n");
+  (void)nl.connect(n, a, nl.cell_type(a).find_pin("O"));
+  (void)nl.connect(n, b, nl.cell_type(b).find_pin("I0"));
+  const NetId n2 = nl.add_net("n2");
+  (void)nl.connect(n2, b, nl.cell_type(b).find_pin("O"));
+  (void)nl.connect(n2, c, nl.cell_type(c).find_pin("I0"));
+
+  PlacerRows adjacent;
+  adjacent.row_order = {{a, b, c}};
+  PlacerRows split;
+  split.row_order = {{a, c, b}};
+  EXPECT_LT(ordering_hpwl(nl, adjacent), ordering_hpwl(nl, split));
+}
+
+}  // namespace
+}  // namespace bgr

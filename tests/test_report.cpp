@@ -1,0 +1,73 @@
+#include "bgr/metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "bgr/metrics/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+struct RoutedFixture {
+  Dataset ds = generate_circuit(testutil::small_spec(401));
+  Netlist nl = ds.netlist;
+  GlobalRouter router{nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{}};
+  RouteOutcome outcome = router.run();
+  ChannelStage channel{router};
+  RoutedFixture() { channel.run(); }
+};
+
+TEST(Report, CountsMatchNetlist) {
+  RoutedFixture f;
+  const RouteStats stats = collect_stats(f.router, f.channel);
+  EXPECT_EQ(stats.cells, f.nl.cell_count());
+  EXPECT_EQ(stats.nets, f.nl.net_count());
+  std::int32_t feeds = 0;
+  for (const CellId c : f.nl.cells()) {
+    if (f.nl.cell_type(c).is_feed()) ++feeds;
+  }
+  EXPECT_EQ(stats.feed_cells, feeds);
+  EXPECT_GT(stats.pads, 0);
+  EXPECT_GT(stats.max_fanout, 1);
+  EXPECT_GT(stats.mean_fanout, 0.9);
+}
+
+TEST(Report, LengthsConsistentWithChannelStage) {
+  RoutedFixture f;
+  const RouteStats stats = collect_stats(f.router, f.channel);
+  EXPECT_NEAR(stats.total_um, f.channel.total_detailed_length_um(), 1e-6);
+  EXPECT_GE(stats.max_um, stats.mean_um);
+  // Histogram covers every net exactly once.
+  const auto total = std::accumulate(stats.length_histogram.begin(),
+                                     stats.length_histogram.end(), 0);
+  EXPECT_EQ(total, stats.nets);
+  // The decile of the longest net is populated.
+  EXPECT_GE(stats.length_histogram.back(), 1);
+}
+
+TEST(Report, UtilisationWithinBounds) {
+  RoutedFixture f;
+  const RouteStats stats = collect_stats(f.router, f.channel);
+  EXPECT_GT(stats.max_tracks, 0);
+  EXPECT_GT(stats.track_utilisation, 0.3);
+  EXPECT_LE(stats.track_utilisation, 1.0 + 1e-9);
+}
+
+TEST(Report, PrintsEveryBlock) {
+  RoutedFixture f;
+  const RouteStats stats = collect_stats(f.router, f.channel);
+  std::ostringstream oss;
+  print_stats(oss, stats);
+  const std::string out = oss.str();
+  for (const char* needle :
+       {"cells", "nets", "wire length", "channel tracks", "timing"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace bgr

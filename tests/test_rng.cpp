@@ -1,0 +1,70 @@
+#include "bgr/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgr {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(Rng, GeometricCapped) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.geometric(0.5, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+}  // namespace
+}  // namespace bgr

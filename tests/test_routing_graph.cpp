@@ -1,0 +1,197 @@
+#include "bgr/route/routing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgr/common/rng.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+using testutil::ChainCircuit;
+
+struct Fixture {
+  ChainCircuit c;
+  Placement pl;
+  TechParams tech;
+  FeedthroughAssignment assignment{0};
+
+  Fixture() : pl(c.make_placement()), assignment(c.nl.net_count()) {
+    assign_external_pins(c.nl, pl);
+    const IdVector<NetId, double> order(
+        static_cast<std::size_t>(c.nl.net_count()), 0.0);
+    auto outcome = assign_feedthroughs(c.nl, pl, order, false);
+    BGR_CHECK(outcome.complete());
+    assignment = std::move(outcome.assignment);
+  }
+
+  RoutingGraph graph(NetId n) const {
+    return RoutingGraph(c.nl, pl, tech, assignment, n);
+  }
+};
+
+TEST(RoutingGraph, TerminalsConnected) {
+  Fixture f;
+  for (const NetId n : f.c.nl.nets()) {
+    const RoutingGraph g = f.graph(n);
+    EXPECT_TRUE(g.graph().connects(g.terminal_vertices()));
+    EXPECT_GE(g.terminal_vertices().size(), 2u);
+    EXPECT_GE(g.driver_vertex(), 0);
+  }
+}
+
+TEST(RoutingGraph, EdgeInfosAlignWithGraph) {
+  Fixture f;
+  const RoutingGraph g = f.graph(f.c.n0);
+  for (std::int32_t e = 0; e < g.graph().edge_count(); ++e) {
+    const RouteEdgeInfo& info = g.edge_info(e);
+    switch (info.kind) {
+      case RouteEdgeKind::kTrunk:
+        EXPECT_GT(info.span.length(), 1);
+        EXPECT_GT(info.length_um, 0.0);
+        break;
+      case RouteEdgeKind::kTermLink:
+        EXPECT_EQ(info.span.length(), 1);
+        EXPECT_DOUBLE_EQ(info.length_um, 0.0);
+        break;
+      case RouteEdgeKind::kFeed:
+        EXPECT_EQ(info.span.length(), 1);
+        EXPECT_DOUBLE_EQ(info.length_um, f.tech.row_cross_um());
+        break;
+    }
+  }
+}
+
+TEST(RoutingGraph, SameRowNetHasAlternatives) {
+  Fixture f;
+  // n0 joins two row-0 cells with both-sided pins: channels 0 and 1 give a
+  // cycle, so non-bridge edges exist.
+  const RoutingGraph g = f.graph(f.c.n0);
+  EXPECT_FALSE(g.non_bridge_edges().empty());
+  EXPECT_FALSE(g.is_tree());
+}
+
+TEST(RoutingGraph, DeletionKeepsTerminalsConnected) {
+  Fixture f;
+  RoutingGraph g = f.graph(f.c.n0);
+  while (!g.is_tree()) {
+    const auto candidates = g.non_bridge_edges();
+    ASSERT_FALSE(candidates.empty());
+    (void)g.delete_edge(candidates.front());
+    EXPECT_TRUE(g.graph().connects(g.terminal_vertices()));
+  }
+  // A tree has no deletable edges left.
+  EXPECT_TRUE(g.non_bridge_edges().empty());
+}
+
+TEST(RoutingGraph, DeleteBridgeRejected) {
+  Fixture f;
+  RoutingGraph g = f.graph(f.c.n0);
+  while (!g.is_tree()) {
+    (void)g.delete_edge(g.non_bridge_edges().front());
+  }
+  // Every remaining edge is a bridge now.
+  for (const auto e : g.alive_edges()) {
+    EXPECT_TRUE(g.is_bridge(e));
+    EXPECT_THROW((void)g.delete_edge(e), CheckError);
+  }
+}
+
+TEST(RoutingGraph, PruneRemovesDanglingBranches) {
+  Fixture f;
+  RoutingGraph g = f.graph(f.c.n0);
+  while (!g.is_tree()) {
+    (void)g.delete_edge(g.non_bridge_edges().front());
+  }
+  // After reduction every leaf vertex is a terminal.
+  const SmallGraph& sg = g.graph();
+  for (std::int32_t v = 0; v < sg.vertex_count(); ++v) {
+    if (!sg.vertex_alive(v)) continue;
+    if (sg.degree(v) == 1) {
+      EXPECT_EQ(g.vertex_info(v).kind, RouteVertexKind::kTerminal);
+    }
+  }
+}
+
+TEST(RoutingGraph, TentativeLengthNeverBelowFinal) {
+  Fixture f;
+  RoutingGraph g = f.graph(f.c.a);
+  const double initial = g.tentative_length_um();
+  while (!g.is_tree()) {
+    (void)g.delete_edge(g.non_bridge_edges().front());
+  }
+  // Deleting edges can only lengthen (or keep) the shortest-path tree.
+  EXPECT_GE(g.tentative_length_um() + 1e-9, initial);
+  // On a tree the tentative tree is the tree itself.
+  EXPECT_NEAR(g.tentative_length_um(), g.alive_length_um(), 1e-9);
+}
+
+TEST(RoutingGraph, SkipEdgeEvaluatesHypothetically) {
+  Fixture f;
+  RoutingGraph g = f.graph(f.c.n0);
+  const auto candidates = g.non_bridge_edges();
+  ASSERT_FALSE(candidates.empty());
+  const double before = g.tentative_length_um();
+  const double with_skip = g.tentative_length_um(candidates.front());
+  EXPECT_GE(with_skip + 1e-9, before);
+  // The graph itself is unchanged.
+  EXPECT_TRUE(g.graph().edge_alive(candidates.front()));
+}
+
+TEST(RoutingGraph, EstimatedLengthIncludesAllowances) {
+  Fixture f;
+  const RoutingGraph g = f.graph(f.c.n0);
+  const double est = g.estimated_length_um();
+  const double phys = g.tentative_length_um();
+  // Two terminals → at least 2 × channel-depth allowance.
+  EXPECT_GE(est, phys + 2.0 * f.tech.channel_depth_est_um - 1e-9);
+}
+
+TEST(RoutingGraph, PadNetUsesAssignedCrossings) {
+  Fixture f;
+  const RoutingGraph g = f.graph(f.c.a);
+  // Net a requires crossing row 1 (pad on top, sink on row 0): at least
+  // one feed edge must exist.
+  bool has_feed = false;
+  for (const auto e : g.alive_edges()) {
+    has_feed = has_feed || g.edge_info(e).kind == RouteEdgeKind::kFeed;
+  }
+  EXPECT_TRUE(has_feed);
+}
+
+TEST(RoutingGraph, DifferentialShadowMirrors) {
+  // Build a small differential design and check mirrored construction.
+  Netlist nl{Library::make_ecl_default()};
+  const CellTypeId ddrv = nl.library().find("DDRV");
+  const CellTypeId drcv = nl.library().find("DRCV");
+  const CellId drv = nl.add_cell("drv", ddrv);
+  const CellId rcv = nl.add_cell("rcv", drcv);
+  const NetId nt = nl.add_net("nt");
+  const NetId nc = nl.add_net("nc");
+  auto pin = [&](CellId c, const char* p) { return nl.cell_type(c).find_pin(p); };
+  (void)nl.connect(nt, drv, pin(drv, "OT"));
+  (void)nl.connect(nc, drv, pin(drv, "OC"));
+  (void)nl.connect(nt, rcv, pin(rcv, "IT"));
+  (void)nl.connect(nc, rcv, pin(rcv, "IC"));
+  nl.make_differential(nt, nc);
+  Placement pl(3, 14);
+  pl.place(nl, drv, RowId{0}, 0);
+  pl.place(nl, rcv, RowId{2}, 6);
+  IdVector<NetId, double> order(2, 0.0);
+  auto outcome = assign_feedthroughs(nl, pl, order, false);
+  ASSERT_TRUE(outcome.complete());
+  TechParams tech;
+  const RoutingGraph primary(nl, pl, tech, outcome.assignment, nt);
+  const RoutingGraph shadow(nl, pl, tech, outcome.assignment, nc, nt, 1);
+  ASSERT_EQ(primary.graph().edge_count(), shadow.graph().edge_count());
+  for (std::int32_t e = 0; e < primary.graph().edge_count(); ++e) {
+    EXPECT_EQ(primary.edge_info(e).kind, shadow.edge_info(e).kind);
+    EXPECT_EQ(primary.edge_info(e).channel, shadow.edge_info(e).channel);
+    // Shadow spans sit exactly one column to the right.
+    EXPECT_EQ(primary.edge_info(e).span.lo + 1, shadow.edge_info(e).span.lo);
+    EXPECT_EQ(primary.edge_info(e).span.hi + 1, shadow.edge_info(e).span.hi);
+  }
+}
+
+}  // namespace
+}  // namespace bgr

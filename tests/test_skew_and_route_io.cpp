@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/io/route_io.hpp"
+#include "bgr/metrics/experiment.hpp"
+#include "bgr/metrics/skew.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+struct RoutedFixture {
+  Dataset ds = generate_circuit(testutil::small_spec(71));
+  Netlist nl = ds.netlist;
+  GlobalRouter router{nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{}};
+  RouteOutcome outcome = router.run();
+  ChannelStage channel{router};
+  RoutedFixture() { channel.run(); }
+};
+
+TEST(ClockSkew, ReportsEveryMultiPitchNet) {
+  RoutedFixture f;
+  const auto report = clock_skew_report(f.router);
+  std::int32_t expected = 0;
+  for (const NetId n : f.nl.nets()) {
+    if (f.nl.net(n).pitch_width > 1) ++expected;
+  }
+  EXPECT_EQ(static_cast<std::int32_t>(report.size()), expected);
+  for (const ClockNetSkew& entry : report) {
+    EXPECT_GT(entry.pitch_width, 1);
+    EXPECT_GT(entry.fanout, 0);
+    EXPECT_GE(entry.skew_ps(), 0.0);
+    EXPECT_GE(entry.max_wire_ps, entry.min_wire_ps);
+  }
+}
+
+TEST(ClockSkew, MultiPitchReducesSkew) {
+  RoutedFixture f;
+  for (const ClockNetSkew& entry : clock_skew_report(f.router)) {
+    if (entry.fanout < 2) continue;
+    // Same tree, lower resistance per unit: skew must not grow. (Cap grows
+    // by w while resistance falls by w: the wire term scales down.)
+    EXPECT_LE(entry.skew_ps(), entry.skew_1pitch_ps + 1e-9) << entry.name;
+  }
+}
+
+TEST(RouteIo, DumpContainsEveryNetAndChannel) {
+  RoutedFixture f;
+  std::ostringstream oss;
+  write_route(oss, f.router, f.channel);
+  const std::string dump = oss.str();
+  EXPECT_NE(dump.find("bgr-route 1"), std::string::npos);
+  EXPECT_NE(dump.find("end"), std::string::npos);
+  for (const NetId n : f.nl.nets()) {
+    EXPECT_NE(dump.find("tree " + f.nl.net(n).name + " "), std::string::npos)
+        << f.nl.net(n).name;
+  }
+  for (std::int32_t c = 0; c < f.channel.channel_count(); ++c) {
+    EXPECT_NE(dump.find("channel " + std::to_string(c) + " tracks"),
+              std::string::npos);
+  }
+}
+
+TEST(RouteIo, TrackRecordsMatchPlans) {
+  RoutedFixture f;
+  std::ostringstream oss;
+  write_route(oss, f.router, f.channel);
+  // Count `track` records; must equal the total number of segments.
+  std::size_t expected = 0;
+  for (std::int32_t c = 0; c < f.channel.channel_count(); ++c) {
+    expected += f.channel.plan(c).segments.size();
+  }
+  std::size_t count = 0;
+  std::istringstream iss(oss.str());
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.rfind("track ", 0) == 0) ++count;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(SequentialBaseline, RunsAndReducesAllNets) {
+  const Dataset ds = generate_circuit(testutil::small_spec(72));
+  Netlist nl = ds.netlist;
+  RouterOptions options;
+  options.concurrent_initial = false;
+  GlobalRouter router(nl, ds.placement, ds.tech, ds.constraints, options);
+  const RouteOutcome outcome = router.run();
+  EXPECT_GT(outcome.total_length_um, 0.0);
+  for (const NetId n : nl.nets()) {
+    EXPECT_TRUE(router.net_graph(n).is_tree());
+  }
+  // Differential pairs stay mirrored in sequential mode too.
+  for (const NetId n : nl.nets()) {
+    const Net& net = nl.net(n);
+    if (!net.is_differential() || !net.diff_primary) continue;
+    const RoutingGraph& a = router.net_graph(n);
+    const RoutingGraph& b = router.net_graph(net.diff_partner);
+    for (std::int32_t e = 0; e < a.graph().edge_count(); ++e) {
+      EXPECT_EQ(a.graph().edge_alive(e), b.graph().edge_alive(e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,97 @@
+#pragma once
+
+// Shared hand-built fixtures for the unit tests. The delay numbers below
+// are worked out from the default ECL library:
+//   BUF1: T0 70, Tf 120, Td 260, Fin 0.025
+//   NOR2: T0 95, Tf 150, Td 300, Fin 0.030
+//   DFF:  CK→Q T0 180, Q Tf 140 / Td 300, Fin(D) 0.035, Fin(CK) 0.030
+#include <vector>
+
+#include "bgr/gen/generator.hpp"
+#include "bgr/layout/placement.hpp"
+#include "bgr/netlist/netlist.hpp"
+#include "bgr/timing/analyzer.hpp"
+
+namespace bgr::testutil {
+
+/// PI A → g0(BUF1) → g1(NOR2, second input PI B) → ff(DFF).D;
+/// pad CK → ff.CK; ff.Q → pad PO.
+/// Zero-wire path delays: A→D = 176.35 ps, CK→PO = 187 ps.
+struct ChainCircuit {
+  Netlist nl{Library::make_ecl_default()};
+  CellId g0, g1, ff;
+  NetId a, b, ck, n0, n1, q;
+  TerminalId pad_a, pad_b, pad_ck, pad_po;
+  TerminalId d_term;  // ff.D sink terminal
+
+  ChainCircuit() {
+    const Library& lib = nl.library();
+    g0 = nl.add_cell("g0", lib.find("BUF1"));
+    g1 = nl.add_cell("g1", lib.find("NOR2"));
+    ff = nl.add_cell("ff", lib.find("DFF"));
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    ck = nl.add_net("ck");
+    n0 = nl.add_net("n0");
+    n1 = nl.add_net("n1");
+    q = nl.add_net("q");
+    pad_a = nl.add_pad_input("A", a, 100.0, 220.0);
+    pad_b = nl.add_pad_input("B", b, 100.0, 220.0);
+    pad_ck = nl.add_pad_input("CK", ck, 60.0, 140.0);
+    auto pin = [&](CellId c, const char* name) {
+      return nl.cell_type(c).find_pin(name);
+    };
+    (void)nl.connect(a, g0, pin(g0, "I0"));
+    (void)nl.connect(n0, g0, pin(g0, "O"));
+    (void)nl.connect(n0, g1, pin(g1, "I0"));
+    (void)nl.connect(b, g1, pin(g1, "I1"));
+    (void)nl.connect(n1, g1, pin(g1, "O"));
+    d_term = nl.connect(n1, ff, pin(ff, "D"));
+    (void)nl.connect(ck, ff, pin(ff, "CK"));
+    (void)nl.connect(q, ff, pin(ff, "Q"));
+    pad_po = nl.add_pad_output("PO", q, 0.05);
+    nl.validate();
+  }
+
+  /// Placement on 2 rows used by the layout-dependent tests.
+  Placement make_placement() {
+    Placement pl(2, 30);
+    pl.place(nl, g0, RowId{0}, 2);
+    pl.place(nl, g1, RowId{0}, 14);
+    pl.place(nl, ff, RowId{1}, 8);
+    const CellId fd0 = nl.add_cell("fd0", nl.library().find("FEED"));
+    const CellId fd1 = nl.add_cell("fd1", nl.library().find("FEED"));
+    const CellId fd2 = nl.add_cell("fd2", nl.library().find("FEED"));
+    pl.place(nl, fd0, RowId{0}, 8);
+    pl.place(nl, fd1, RowId{0}, 20);
+    pl.place(nl, fd2, RowId{1}, 20);
+    for (const TerminalId t : nl.terminals()) {
+      const Terminal& term = nl.terminal(t);
+      if (term.kind == TerminalKind::kCellPin) continue;
+      pl.place_pad(t, term.kind == TerminalKind::kPadIn, IntInterval{0, 29});
+    }
+    return pl;
+  }
+
+  /// Zero-wire delays of the two end-to-end paths.
+  static constexpr double kPathADelayPs = 176.35;  // A → ff.D
+  static constexpr double kPathCkDelayPs = 187.0;  // CK → PO
+};
+
+/// Small generator spec for fast end-to-end property tests.
+inline CircuitSpec small_spec(std::uint64_t seed) {
+  CircuitSpec spec;
+  spec.name = "S" + std::to_string(seed);
+  spec.seed = seed;
+  spec.rows = 5;
+  spec.target_cells = 120;
+  spec.levels = 6;
+  spec.primary_inputs = 6;
+  spec.primary_outputs = 6;
+  spec.diff_pairs = 2;
+  spec.clock_buffers = 1;
+  spec.path_constraints = 8;
+  return spec;
+}
+
+}  // namespace bgr::testutil

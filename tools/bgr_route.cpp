@@ -1,0 +1,175 @@
+// Command-line front end to the router: routes a `bgr-design 1` file (or a
+// built-in dataset given as @NAME) and reports delay, area, length and the
+// per-phase statistics; optionally saves the routed result.
+//
+//   bgr_route <design.txt | @C1P1> [options]
+//     --unconstrained     drop the path constraints (area-only baseline)
+//     --rc                use the Elmore RC delay model extension
+//     --sequential        sequential (net-at-a-time) initial routing
+//     --no-improve        skip the §3.5 improvement phases
+//     --save-route FILE   write the routed trees/tracks (bgr-route 1)
+//     --save-design FILE  write the (possibly feed-cell-extended) design
+//     --skew              print the multi-pitch clock skew report
+//     --map               render the chip map and congestion chart
+//     --svg FILE          draw the routed chip as an SVG
+//     --verify            run the signoff checks on the result
+//     --stats             print design statistics
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/io/design_io.hpp"
+#include "bgr/io/route_io.hpp"
+#include "bgr/io/ascii_art.hpp"
+#include "bgr/channel/geometry.hpp"
+#include "bgr/verify/verifier.hpp"
+#include "bgr/metrics/skew.hpp"
+#include "bgr/metrics/report.hpp"
+#include "bgr/common/stopwatch.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
+               "[--rc] [--sequential] [--no-improve] [--save-route FILE] "
+               "[--save-design FILE] [--skew]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgr;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string input = argv[1];
+  RouterOptions options;
+  bool constrained = true;
+  bool print_skew = false;
+  bool print_map = false;
+  bool run_verify = false;
+  bool print_stats_flag = false;
+  std::string svg_path;
+  std::string save_route_path;
+  std::string save_design_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--unconstrained") {
+      constrained = false;
+    } else if (arg == "--rc") {
+      options.delay_model = DelayModel::kElmoreRC;
+    } else if (arg == "--sequential") {
+      options.concurrent_initial = false;
+    } else if (arg == "--no-improve") {
+      options.enable_violation_recovery = false;
+      options.enable_delay_improvement = false;
+      options.enable_area_improvement = false;
+    } else if (arg == "--skew") {
+      print_skew = true;
+    } else if (arg == "--map") {
+      print_map = true;
+    } else if (arg == "--verify") {
+      run_verify = true;
+    } else if (arg == "--stats") {
+      print_stats_flag = true;
+    } else if (arg == "--svg" && i + 1 < argc) {
+      svg_path = argv[++i];
+    } else if (arg == "--save-route" && i + 1 < argc) {
+      save_route_path = argv[++i];
+    } else if (arg == "--save-design" && i + 1 < argc) {
+      save_design_path = argv[++i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    Dataset design = input.rfind('@', 0) == 0 ? make_dataset(input.substr(1))
+                                              : load_design(input);
+    std::printf("design %s: %d cells, %d nets, %zu constraints\n",
+                design.name.c_str(), design.netlist.cell_count(),
+                design.netlist.net_count(), design.constraints.size());
+
+    options.use_constraints = constrained;
+    Stopwatch watch;
+    GlobalRouter router(design.netlist, std::move(design.placement),
+                        design.tech, design.constraints, options);
+    const RouteOutcome outcome = router.run();
+    ChannelStage channel(router);
+    channel.run();
+    const double delay = channel.apply_and_critical_delay_ps(
+        router.delay_graph(), options.delay_model);
+    const double seconds = watch.seconds();
+
+    for (const PhaseStats& ph : outcome.phases) {
+      std::printf("phase %-16s deletions %6lld reroutes %5lld crit %8.1f ps "
+                  "sumCM %6lld (%.2fs)\n",
+                  ph.name.c_str(), static_cast<long long>(ph.deletions),
+                  static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
+                  static_cast<long long>(ph.sum_max_density), ph.seconds);
+    }
+    std::printf("feed cells added %d (chip +%d pitches)\n",
+                outcome.feed_cells_added, outcome.widen_pitches);
+    std::printf("result: delay %.1f ps, area %.4f mm2, length %.2f mm, "
+                "violations %d, cpu %.2f s\n",
+                delay, channel.chip_area_mm2(),
+                channel.total_detailed_length_um() / 1000.0,
+                outcome.violated_constraints, seconds);
+
+    if (print_map) {
+      std::printf("\nchip map ('#' logic, '.' feed, 'O' pad):\n");
+      render_placement(std::cout, design.netlist, router.placement());
+      std::printf("\nchannel congestion (relative to each channel's C_M):\n");
+      render_congestion(std::cout, router);
+    }
+    if (print_skew) {
+      for (const ClockNetSkew& entry : clock_skew_report(router)) {
+        std::printf("clock %-10s pitch %d fanout %3d skew %6.2f ps "
+                    "(at 1 pitch it would be %6.2f ps)\n",
+                    entry.name.c_str(), entry.pitch_width, entry.fanout,
+                    entry.skew_ps(), entry.skew_1pitch_ps);
+      }
+    }
+    if (print_stats_flag) {
+      print_stats(std::cout, collect_stats(router, channel));
+    }
+    if (run_verify) {
+      const RouteVerifier verifier(router, &channel);
+      const auto issues = verifier.run();
+      if (issues.empty()) {
+        std::printf("verify: clean (no findings)\n");
+      }
+      for (const VerifyIssue& issue : issues) {
+        std::printf("verify %s [%s]: %s\n",
+                    issue.severity == VerifyIssue::Severity::kError ? "ERROR"
+                                                                    : "warn ",
+                    issue.check.c_str(), issue.message.c_str());
+      }
+      if (RouteVerifier::has_errors(issues)) return 1;
+    }
+    if (!svg_path.empty()) {
+      write_svg(svg_path, router, channel);
+      std::printf("SVG drawing written to %s\n", svg_path.c_str());
+    }
+    if (!save_route_path.empty()) {
+      save_route(save_route_path, router, channel);
+      std::printf("routed result written to %s\n", save_route_path.c_str());
+    }
+    if (!save_design_path.empty()) {
+      Dataset routed{design.name, design.spec, design.netlist,
+                     router.placement(), design.constraints, design.tech};
+      save_design(save_design_path, routed);
+      std::printf("design written to %s\n", save_design_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
