@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_improvement.dir/bench_ablation_improvement.cpp.o"
+  "CMakeFiles/bench_ablation_improvement.dir/bench_ablation_improvement.cpp.o.d"
+  "bench_ablation_improvement"
+  "bench_ablation_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

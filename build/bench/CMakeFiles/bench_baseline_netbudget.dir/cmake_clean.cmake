@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_netbudget.dir/bench_baseline_netbudget.cpp.o"
+  "CMakeFiles/bench_baseline_netbudget.dir/bench_baseline_netbudget.cpp.o.d"
+  "bench_baseline_netbudget"
+  "bench_baseline_netbudget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_netbudget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_sequential.dir/bench_baseline_sequential.cpp.o"
+  "CMakeFiles/bench_baseline_sequential.dir/bench_baseline_sequential.cpp.o.d"
+  "bench_baseline_sequential"
+  "bench_baseline_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

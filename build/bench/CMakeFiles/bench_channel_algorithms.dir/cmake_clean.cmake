@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_channel_algorithms.dir/bench_channel_algorithms.cpp.o"
+  "CMakeFiles/bench_channel_algorithms.dir/bench_channel_algorithms.cpp.o.d"
+  "bench_channel_algorithms"
+  "bench_channel_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_skew.dir/bench_clock_skew.cpp.o"
+  "CMakeFiles/bench_clock_skew.dir/bench_clock_skew.cpp.o.d"
+  "bench_clock_skew"
+  "bench_clock_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedcell.dir/bench_feedcell.cpp.o"
+  "CMakeFiles/bench_feedcell.dir/bench_feedcell.cpp.o.d"
+  "bench_feedcell"
+  "bench_feedcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_delay_model.dir/bench_fig1_delay_model.cpp.o"
+  "CMakeFiles/bench_fig1_delay_model.dir/bench_fig1_delay_model.cpp.o.d"
+  "bench_fig1_delay_model"
+  "bench_fig1_delay_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_delay_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_delay_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_phases.dir/bench_fig2_phases.cpp.o"
+  "CMakeFiles/bench_fig2_phases.dir/bench_fig2_phases.cpp.o.d"
+  "bench_fig2_phases"
+  "bench_fig2_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

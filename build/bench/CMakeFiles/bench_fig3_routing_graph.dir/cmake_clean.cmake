@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_routing_graph.dir/bench_fig3_routing_graph.cpp.o"
+  "CMakeFiles/bench_fig3_routing_graph.dir/bench_fig3_routing_graph.cpp.o.d"
+  "bench_fig3_routing_graph"
+  "bench_fig3_routing_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_routing_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

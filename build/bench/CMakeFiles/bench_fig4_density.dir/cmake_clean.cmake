@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_density.dir/bench_fig4_density.cpp.o"
+  "CMakeFiles/bench_fig4_density.dir/bench_fig4_density.cpp.o.d"
+  "bench_fig4_density"
+  "bench_fig4_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

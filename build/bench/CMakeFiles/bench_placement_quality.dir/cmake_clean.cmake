@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_quality.dir/bench_placement_quality.cpp.o"
+  "CMakeFiles/bench_placement_quality.dir/bench_placement_quality.cpp.o.d"
+  "bench_placement_quality"
+  "bench_placement_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

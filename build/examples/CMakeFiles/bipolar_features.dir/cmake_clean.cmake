@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipolar_features.dir/bipolar_features.cpp.o"
+  "CMakeFiles/bipolar_features.dir/bipolar_features.cpp.o.d"
+  "bipolar_features"
+  "bipolar_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipolar_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

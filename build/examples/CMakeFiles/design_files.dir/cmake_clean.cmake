@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_files.dir/design_files.cpp.o"
+  "CMakeFiles/design_files.dir/design_files.cpp.o.d"
+  "design_files"
+  "design_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bgr/common")
+subdirs("bgr/graph")
+subdirs("bgr/netlist")
+subdirs("bgr/layout")
+subdirs("bgr/place")
+subdirs("bgr/timing")
+subdirs("bgr/route")
+subdirs("bgr/channel")
+subdirs("bgr/verify")
+subdirs("bgr/gen")
+subdirs("bgr/io")
+subdirs("bgr/metrics")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_channel.dir/channel_router.cpp.o"
+  "CMakeFiles/bgr_channel.dir/channel_router.cpp.o.d"
+  "CMakeFiles/bgr_channel.dir/geometry.cpp.o"
+  "CMakeFiles/bgr_channel.dir/geometry.cpp.o.d"
+  "libbgr_channel.a"
+  "libbgr_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

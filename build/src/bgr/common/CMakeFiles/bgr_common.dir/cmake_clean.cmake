@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_common.dir/check.cpp.o"
+  "CMakeFiles/bgr_common.dir/check.cpp.o.d"
+  "CMakeFiles/bgr_common.dir/log.cpp.o"
+  "CMakeFiles/bgr_common.dir/log.cpp.o.d"
+  "libbgr_common.a"
+  "libbgr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

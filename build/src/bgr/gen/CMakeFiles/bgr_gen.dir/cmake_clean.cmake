@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_gen.dir/generator.cpp.o"
+  "CMakeFiles/bgr_gen.dir/generator.cpp.o.d"
+  "libbgr_gen.a"
+  "libbgr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

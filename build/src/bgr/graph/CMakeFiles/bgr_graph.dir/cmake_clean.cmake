@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_graph.dir/dag.cpp.o"
+  "CMakeFiles/bgr_graph.dir/dag.cpp.o.d"
+  "CMakeFiles/bgr_graph.dir/small_graph.cpp.o"
+  "CMakeFiles/bgr_graph.dir/small_graph.cpp.o.d"
+  "libbgr_graph.a"
+  "libbgr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_io.dir/ascii_art.cpp.o"
+  "CMakeFiles/bgr_io.dir/ascii_art.cpp.o.d"
+  "CMakeFiles/bgr_io.dir/design_io.cpp.o"
+  "CMakeFiles/bgr_io.dir/design_io.cpp.o.d"
+  "CMakeFiles/bgr_io.dir/route_io.cpp.o"
+  "CMakeFiles/bgr_io.dir/route_io.cpp.o.d"
+  "libbgr_io.a"
+  "libbgr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

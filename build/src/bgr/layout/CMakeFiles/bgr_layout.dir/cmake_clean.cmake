@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_layout.dir/feed_insertion.cpp.o"
+  "CMakeFiles/bgr_layout.dir/feed_insertion.cpp.o.d"
+  "CMakeFiles/bgr_layout.dir/placement.cpp.o"
+  "CMakeFiles/bgr_layout.dir/placement.cpp.o.d"
+  "libbgr_layout.a"
+  "libbgr_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgr_layout.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/bgr_metrics.dir/experiment.cpp.o.d"
+  "CMakeFiles/bgr_metrics.dir/report.cpp.o"
+  "CMakeFiles/bgr_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/bgr_metrics.dir/skew.cpp.o"
+  "CMakeFiles/bgr_metrics.dir/skew.cpp.o.d"
+  "libbgr_metrics.a"
+  "libbgr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

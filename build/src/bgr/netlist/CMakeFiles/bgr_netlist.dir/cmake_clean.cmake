@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_netlist.dir/library.cpp.o"
+  "CMakeFiles/bgr_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/bgr_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/bgr_netlist.dir/netlist.cpp.o.d"
+  "libbgr_netlist.a"
+  "libbgr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

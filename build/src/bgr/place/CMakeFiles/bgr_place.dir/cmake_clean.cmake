@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_place.dir/force_placer.cpp.o"
+  "CMakeFiles/bgr_place.dir/force_placer.cpp.o.d"
+  "libbgr_place.a"
+  "libbgr_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

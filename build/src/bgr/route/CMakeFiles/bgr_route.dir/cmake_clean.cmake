@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_route.dir/assign.cpp.o"
+  "CMakeFiles/bgr_route.dir/assign.cpp.o.d"
+  "CMakeFiles/bgr_route.dir/density.cpp.o"
+  "CMakeFiles/bgr_route.dir/density.cpp.o.d"
+  "CMakeFiles/bgr_route.dir/net_span.cpp.o"
+  "CMakeFiles/bgr_route.dir/net_span.cpp.o.d"
+  "CMakeFiles/bgr_route.dir/router.cpp.o"
+  "CMakeFiles/bgr_route.dir/router.cpp.o.d"
+  "CMakeFiles/bgr_route.dir/routing_graph.cpp.o"
+  "CMakeFiles/bgr_route.dir/routing_graph.cpp.o.d"
+  "libbgr_route.a"
+  "libbgr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

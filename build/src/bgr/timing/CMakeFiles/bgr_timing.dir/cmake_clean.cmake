@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_timing.dir/analyzer.cpp.o"
+  "CMakeFiles/bgr_timing.dir/analyzer.cpp.o.d"
+  "CMakeFiles/bgr_timing.dir/delay_graph.cpp.o"
+  "CMakeFiles/bgr_timing.dir/delay_graph.cpp.o.d"
+  "CMakeFiles/bgr_timing.dir/lower_bound.cpp.o"
+  "CMakeFiles/bgr_timing.dir/lower_bound.cpp.o.d"
+  "libbgr_timing.a"
+  "libbgr_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgr/verify/verifier.cpp" "src/bgr/verify/CMakeFiles/bgr_verify.dir/verifier.cpp.o" "gcc" "src/bgr/verify/CMakeFiles/bgr_verify.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgr/route/CMakeFiles/bgr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/channel/CMakeFiles/bgr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/timing/CMakeFiles/bgr_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/graph/CMakeFiles/bgr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/layout/CMakeFiles/bgr_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/netlist/CMakeFiles/bgr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/common/CMakeFiles/bgr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

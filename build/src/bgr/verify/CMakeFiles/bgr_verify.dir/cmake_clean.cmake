@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_verify.dir/verifier.cpp.o"
+  "CMakeFiles/bgr_verify.dir/verifier.cpp.o.d"
+  "libbgr_verify.a"
+  "libbgr_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_art.dir/test_ascii_art.cpp.o"
+  "CMakeFiles/test_ascii_art.dir/test_ascii_art.cpp.o.d"
+  "test_ascii_art"
+  "test_ascii_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assign.cpp" "tests/CMakeFiles/test_assign.dir/test_assign.cpp.o" "gcc" "tests/CMakeFiles/test_assign.dir/test_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgr/metrics/CMakeFiles/bgr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/io/CMakeFiles/bgr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/verify/CMakeFiles/bgr_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/channel/CMakeFiles/bgr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/route/CMakeFiles/bgr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/gen/CMakeFiles/bgr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/timing/CMakeFiles/bgr_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/layout/CMakeFiles/bgr_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/place/CMakeFiles/bgr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/netlist/CMakeFiles/bgr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/graph/CMakeFiles/bgr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgr/common/CMakeFiles/bgr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_vcg.dir/test_channel_vcg.cpp.o"
+  "CMakeFiles/test_channel_vcg.dir/test_channel_vcg.cpp.o.d"
+  "test_channel_vcg"
+  "test_channel_vcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_vcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_criteria.dir/test_criteria.cpp.o"
+  "CMakeFiles/test_criteria.dir/test_criteria.cpp.o.d"
+  "test_criteria"
+  "test_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag.dir/test_dag.cpp.o"
+  "CMakeFiles/test_dag.dir/test_dag.cpp.o.d"
+  "test_dag"
+  "test_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

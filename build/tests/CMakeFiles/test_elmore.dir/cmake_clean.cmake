@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elmore.dir/test_elmore.cpp.o"
+  "CMakeFiles/test_elmore.dir/test_elmore.cpp.o.d"
+  "test_elmore"
+  "test_elmore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elmore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feed_insertion.dir/test_feed_insertion.cpp.o"
+  "CMakeFiles/test_feed_insertion.dir/test_feed_insertion.cpp.o.d"
+  "test_feed_insertion"
+  "test_feed_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feed_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

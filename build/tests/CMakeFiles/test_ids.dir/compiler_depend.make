@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ids.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower_bound.dir/test_lower_bound.cpp.o"
+  "CMakeFiles/test_lower_bound.dir/test_lower_bound.cpp.o.d"
+  "test_lower_bound"
+  "test_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

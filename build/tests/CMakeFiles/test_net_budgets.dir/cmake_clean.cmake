@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_budgets.dir/test_net_budgets.cpp.o"
+  "CMakeFiles/test_net_budgets.dir/test_net_budgets.cpp.o.d"
+  "test_net_budgets"
+  "test_net_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_span.dir/test_net_span.cpp.o"
+  "CMakeFiles/test_net_span.dir/test_net_span.cpp.o.d"
+  "test_net_span"
+  "test_net_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_shape.dir/test_paper_shape.cpp.o"
+  "CMakeFiles/test_paper_shape.dir/test_paper_shape.cpp.o.d"
+  "test_paper_shape"
+  "test_paper_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placer.dir/test_placer.cpp.o"
+  "CMakeFiles/test_placer.dir/test_placer.cpp.o.d"
+  "test_placer"
+  "test_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

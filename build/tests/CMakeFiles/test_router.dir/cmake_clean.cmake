@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router.dir/test_router.cpp.o"
+  "CMakeFiles/test_router.dir/test_router.cpp.o.d"
+  "test_router"
+  "test_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

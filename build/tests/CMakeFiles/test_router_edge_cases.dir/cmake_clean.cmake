@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_edge_cases.dir/test_router_edge_cases.cpp.o"
+  "CMakeFiles/test_router_edge_cases.dir/test_router_edge_cases.cpp.o.d"
+  "test_router_edge_cases"
+  "test_router_edge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_graph.dir/test_routing_graph.cpp.o"
+  "CMakeFiles/test_routing_graph.dir/test_routing_graph.cpp.o.d"
+  "test_routing_graph"
+  "test_routing_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

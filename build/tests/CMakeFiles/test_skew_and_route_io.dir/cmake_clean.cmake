@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skew_and_route_io.dir/test_skew_and_route_io.cpp.o"
+  "CMakeFiles/test_skew_and_route_io.dir/test_skew_and_route_io.cpp.o.d"
+  "test_skew_and_route_io"
+  "test_skew_and_route_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skew_and_route_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

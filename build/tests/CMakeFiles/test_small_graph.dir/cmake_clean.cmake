@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_graph.dir/test_small_graph.cpp.o"
+  "CMakeFiles/test_small_graph.dir/test_small_graph.cpp.o.d"
+  "test_small_graph"
+  "test_small_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sta_properties.dir/test_sta_properties.cpp.o"
+  "CMakeFiles/test_sta_properties.dir/test_sta_properties.cpp.o.d"
+  "test_sta_properties"
+  "test_sta_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sta_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

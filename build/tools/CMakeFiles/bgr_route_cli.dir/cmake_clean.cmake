@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgr_route_cli.dir/bgr_route.cpp.o"
+  "CMakeFiles/bgr_route_cli.dir/bgr_route.cpp.o.d"
+  "bgr_route"
+  "bgr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgr_route_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
