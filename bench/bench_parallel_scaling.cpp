@@ -1,0 +1,111 @@
+// Thread-scaling study of the exec/ subsystem: routes the largest
+// generated design at 1/2/4/8 threads, reports per-phase wall time and the
+// speedup of the initial-routing phase, and cross-checks that every thread
+// count produced a bit-identical RouteOutcome (the determinism contract).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgr/route/router.hpp"
+
+namespace {
+
+using namespace bgr;
+
+struct ScalingRun {
+  std::int32_t threads = 0;
+  double initial_s = 0.0;
+  double phases_total_s = 0.0;
+  RouteOutcome outcome;
+};
+
+/// A design larger than the C3 preset so the parallel regions have
+/// something to chew on; still deterministic in the seed.
+CircuitSpec big_spec() {
+  CircuitSpec spec = c3_spec();
+  spec.name = "SCALE";
+  spec.target_cells = spec.target_cells * 2;
+  spec.rows = spec.rows + 4;
+  spec.path_constraints = spec.path_constraints * 2;
+  return spec;
+}
+
+ScalingRun route_once(const CircuitSpec& spec, std::int32_t threads) {
+  Dataset design = generate_circuit(spec);  // fresh: routing mutates it
+  RouterOptions options;
+  options.threads = threads;
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, options);
+  ScalingRun run;
+  run.threads = threads;
+  run.outcome = router.run();
+  for (const PhaseStats& ph : run.outcome.phases) {
+    run.phases_total_s += ph.seconds;
+    if (ph.name == "initial") run.initial_s = ph.seconds;
+  }
+  return run;
+}
+
+bool outcomes_identical(const RouteOutcome& a, const RouteOutcome& b) {
+  if (a.critical_delay_ps != b.critical_delay_ps) return false;
+  if (a.total_length_um != b.total_length_um) return false;
+  if (a.violated_constraints != b.violated_constraints) return false;
+  if (a.worst_margin_ps != b.worst_margin_ps) return false;
+  if (a.feed_cells_added != b.feed_cells_added) return false;
+  if (a.phases.size() != b.phases.size()) return false;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    if (a.phases[i].deletions != b.phases[i].deletions) return false;
+    if (a.phases[i].sum_max_density != b.phases[i].sum_max_density)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("parallel scaling: exec/ threads vs routing wall time");
+  bench::print_substitution_note();
+  const CircuitSpec spec = big_spec();
+  {
+    const Dataset d = generate_circuit(spec);
+    std::printf("design %s: %d cells, %d nets, %zu constraints "
+                "(hardware threads: %d)\n",
+                d.name.c_str(), d.netlist.cell_count(), d.netlist.net_count(),
+                d.constraints.size(),
+                ExecContext::hardware_threads());
+  }
+
+  std::vector<ScalingRun> runs;
+  for (const std::int32_t threads : {1, 2, 4, 8}) {
+    runs.push_back(route_once(spec, threads));
+    const ScalingRun& r = runs.back();
+    std::printf("threads %2d: initial %7.3fs, all phases %7.3fs, "
+                "crit %8.1f ps, length %9.1f um\n",
+                r.threads, r.initial_s, r.phases_total_s,
+                r.outcome.critical_delay_ps, r.outcome.total_length_um);
+  }
+
+  const ScalingRun& base = runs.front();
+  std::printf("\nspeedup vs 1 thread (initial routing / all phases):\n");
+  for (const ScalingRun& r : runs) {
+    std::printf("  threads %2d: %5.2fx / %5.2fx\n", r.threads,
+                r.initial_s > 0.0 ? base.initial_s / r.initial_s : 0.0,
+                r.phases_total_s > 0.0 ? base.phases_total_s / r.phases_total_s
+                                       : 0.0);
+  }
+
+  bool deterministic = true;
+  for (const ScalingRun& r : runs) {
+    if (!outcomes_identical(base.outcome, r.outcome)) {
+      std::printf("DETERMINISM VIOLATION at %d threads\n", r.threads);
+      deterministic = false;
+    }
+  }
+  std::printf(deterministic
+                  ? "determinism: RouteOutcome bit-identical across 1/2/4/8 "
+                    "threads\n"
+                  : "determinism: FAILED\n");
+  return deterministic ? 0 : 1;
+}

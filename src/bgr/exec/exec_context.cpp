@@ -1,0 +1,91 @@
+#include "bgr/exec/exec_context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+ExecContext::ExecContext(std::int32_t threads)
+    : threads_(std::max<std::int32_t>(threads, 1)) {}
+
+ExecContext::~ExecContext() = default;
+
+std::int32_t ExecContext::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<std::int32_t>(static_cast<std::int32_t>(hw), 1);
+}
+
+void ExecContext::ensure_pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+namespace {
+
+/// Shared state of one parallel region. Held by shared_ptr so a pool
+/// worker that loses the race for the last chunk can still touch the
+/// counters after the caller has returned.
+struct Region {
+  explicit Region(std::int64_t n,
+                  const std::function<void(std::int64_t)>& body)
+      : total(n), fn(&body) {}
+
+  std::atomic<std::int64_t> next{0};
+  std::int64_t total;
+  const std::function<void(std::int64_t)>* fn;  // outlives the region wait
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::int64_t done = 0;
+  std::exception_ptr error;
+
+  void work() {
+    while (true) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) break;
+      std::exception_ptr caught;
+      try {
+        (*fn)(c);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (caught && !error) error = caught;
+      if (++done == total) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ExecContext::run_chunks(std::int64_t chunk_count,
+                             const std::function<void(std::int64_t)>& chunk_fn) {
+  if (chunk_count <= 0) return;
+  ++stats_.regions;
+  stats_.chunks += chunk_count;
+  if (serial() || chunk_count == 1) {
+    ++stats_.serial_regions;
+    for (std::int64_t c = 0; c < chunk_count; ++c) chunk_fn(c);
+    return;
+  }
+
+  ensure_pool();
+  auto region = std::make_shared<Region>(chunk_count, chunk_fn);
+  const std::int64_t helpers =
+      std::min<std::int64_t>(threads_ - 1, chunk_count - 1);
+  for (std::int64_t i = 0; i < helpers; ++i) {
+    pool_->submit([region] { region->work(); });
+  }
+  region->work();  // the calling thread always participates
+
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->done_cv.wait(lock, [&] { return region->done == region->total; });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace bgr

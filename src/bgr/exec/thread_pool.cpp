@@ -1,0 +1,48 @@
+#include "bgr/exec/thread_pool.hpp"
+
+#include "bgr/common/check.hpp"
+
+namespace bgr {
+
+ThreadPool::ThreadPool(std::int32_t workers) {
+  BGR_CHECK(workers >= 0);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  BGR_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BGR_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions are the region's job (see ExecContext::run_chunks)
+  }
+}
+
+}  // namespace bgr

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bgr {
+
+/// Fixed-size worker pool behind the exec/ parallel primitives. submit()
+/// enqueues a callable and never blocks; workers drain the queue until the
+/// pool is destroyed. Destruction finishes every task already submitted
+/// before joining (a parallel region enqueues its chunk loops and then
+/// waits on its own completion latch, so nothing may be dropped).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::int32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::int32_t worker_count() const {
+    return static_cast<std::int32_t>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace bgr

@@ -76,6 +76,12 @@ const ChannelDensityParams& DensityMap::channel_params(
   return ch.params;
 }
 
+void DensityMap::refresh_params() const {
+  for (std::int32_t c = 0; c < channel_count(); ++c) {
+    (void)channel_params(c);
+  }
+}
+
 EdgeDensityParams DensityMap::edge_params(std::int32_t channel,
                                           IntInterval span) const {
   const Channel& ch = channels_.at(static_cast<std::size_t>(channel));

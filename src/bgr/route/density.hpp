@@ -50,6 +50,10 @@ class DensityMap {
 
   [[nodiscard]] const ChannelDensityParams& channel_params(
       std::int32_t channel) const;
+  /// Eagerly recomputes every dirty channel's cached params. Call before
+  /// reading channel_params() from several threads: afterwards (and until
+  /// the next mutation) the accessor is a pure read.
+  void refresh_params() const;
   [[nodiscard]] EdgeDensityParams edge_params(std::int32_t channel,
                                               IntInterval span) const;
   [[nodiscard]] std::uint64_t version(std::int32_t channel) const {

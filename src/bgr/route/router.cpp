@@ -6,8 +6,21 @@
 
 #include "bgr/common/log.hpp"
 #include "bgr/common/stopwatch.hpp"
+#include "bgr/exec/parallel.hpp"
 
 namespace bgr {
+
+namespace {
+
+/// Minimum *stale* score count before the warm-up fans out; below this the
+/// serial lazy path is cheaper. Purely a performance knob — warmed and
+/// lazily computed keys are identical.
+constexpr std::int64_t kParallelScoreMin = 32;
+/// Candidates per warm-up chunk (scoring one edge walks constraint arcs
+/// and density charts, so chunks stay small for load balance).
+constexpr std::int64_t kScoreGrain = 16;
+
+}  // namespace
 
 GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
                            TechParams tech,
@@ -17,7 +30,10 @@ GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
       placement_(std::move(placement)),
       tech_(tech),
       options_(options),
-      constraints_(std::move(constraints)) {}
+      constraints_(std::move(constraints)),
+      exec_(std::make_unique<ExecContext>(
+          options.threads == 0 ? ExecContext::hardware_threads()
+                               : options.threads)) {}
 
 GlobalRouter::~GlobalRouter() = default;
 
@@ -54,15 +70,30 @@ void GlobalRouter::build_all_graphs() {
   scores_.clear();
   scores_.resize(static_cast<std::size_t>(netlist_.net_count()));
   net_version_.assign(static_cast<std::size_t>(netlist_.net_count()), 0);
+  // Each G_r(n) depends only on the (const) netlist, placement and
+  // feedthrough assignment, so all nets build concurrently — the shadow of
+  // a differential pair reads its primary's *assignment*, not its graph.
+  parallel_for(
+      *exec_, netlist_.net_count(),
+      [&](std::int64_t i) {
+        const NetId n{static_cast<std::int32_t>(i)};
+        const Net& net = netlist_.net(n);
+        if (net.is_differential() && !net.diff_primary) {
+          graphs_[n] = std::make_unique<RoutingGraph>(
+              netlist_, placement_, tech_, *assignment_, n, net.diff_partner,
+              1);
+        } else {
+          graphs_[n] = std::make_unique<RoutingGraph>(netlist_, placement_,
+                                                      tech_, *assignment_, n);
+        }
+      },
+      /*grain=*/1);
+  // Pre-size the score caches so the parallel warm-up never resizes a
+  // vector another thread is reading.
   for (const NetId n : netlist_.nets()) {
-    const Net& net = netlist_.net(n);
-    if (net.is_differential() && !net.diff_primary) {
-      graphs_[n] = std::make_unique<RoutingGraph>(
-          netlist_, placement_, tech_, *assignment_, n, net.diff_partner, 1);
-    } else {
-      graphs_[n] = std::make_unique<RoutingGraph>(netlist_, placement_, tech_,
-                                                  *assignment_, n);
-    }
+    scores_[n].assign(
+        static_cast<std::size_t>(graphs_[n]->graph().edge_count()),
+        ScoreCache{});
   }
   // Differential pairs must be homogeneous so edge ids mirror one-to-one.
   for (const NetId n : netlist_.nets()) {
@@ -239,6 +270,39 @@ const SelectionKey& GlobalRouter::cached_key(NetId net, std::int32_t edge) {
   return sc.key;
 }
 
+bool GlobalRouter::score_is_fresh(NetId net, std::int32_t edge) const {
+  const auto& vec = scores_[net];
+  const ScoreCache& sc = vec[static_cast<std::size_t>(edge)];
+  return sc.valid && sc.stamp == stamp_for(net, edge);
+}
+
+void GlobalRouter::warm_scores(const std::vector<Candidate>& candidates) {
+  if (exec_->serial()) return;
+  // After the first few deletions most keys are still fresh (the stamps
+  // localize invalidation to the touched nets/channels), so fan out only
+  // over the stale ones; the lazy serial path covers stragglers.
+  stale_.clear();
+  for (const Candidate& c : candidates) {
+    const RoutingGraph& g = *graphs_[c.net];
+    if (!g.graph().edge_alive(c.edge) || g.is_bridge(c.edge)) continue;
+    if (!score_is_fresh(c.net, c.edge)) stale_.push_back(c);
+  }
+  const auto n = static_cast<std::int64_t>(stale_.size());
+  if (n < kParallelScoreMin) return;
+  // Everything the scorers read is frozen for the duration: graphs,
+  // densities and timing only change in commit_delete (serial). The lazy
+  // channel-params cache is the one mutable read path — flush it now so
+  // channel_params() is a pure read from the workers.
+  density_->refresh_params();
+  parallel_for(
+      *exec_, n,
+      [&](std::int64_t i) {
+        const Candidate& c = stale_[static_cast<std::size_t>(i)];
+        (void)cached_key(c.net, c.edge);  // unique (net, edge) per slot
+      },
+      kScoreGrain);
+}
+
 void GlobalRouter::delete_in_graph(NetId net, std::int32_t edge) {
   RoutingGraph& g = *graphs_[net];
   const std::int32_t w = net_density_width(net);
@@ -335,6 +399,11 @@ void GlobalRouter::initial_routing(PhaseStats& stats) {
   }
 
   while (true) {
+    // Score all surviving candidates in parallel, then pick the winner in
+    // the serial scan below — first smallest key wins, which is the same
+    // deterministic (score, net, edge) tie-break the pure serial loop
+    // applies, so edge-deletion order is independent of the thread count.
+    warm_scores(candidates);
     std::size_t write = 0;
     std::size_t best_index = 0;
     bool have_best = false;
@@ -360,9 +429,13 @@ void GlobalRouter::initial_routing(PhaseStats& stats) {
 }
 
 void GlobalRouter::reduce_net_to_tree(NetId net, PhaseStats& stats) {
+  std::vector<Candidate> warm;
   while (true) {
     const auto candidates = graphs_[net]->non_bridge_edges();
     if (candidates.empty()) break;
+    warm.clear();
+    for (const auto e : candidates) warm.push_back(Candidate{net, e});
+    warm_scores(warm);
     std::int32_t best = -1;
     SelectionKey best_key;
     for (const auto e : candidates) {
@@ -391,7 +464,9 @@ void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
       graphs_[member] = std::make_unique<RoutingGraph>(
           netlist_, placement_, tech_, *assignment_, member, net, 1);
     }
-    scores_[member].clear();
+    scores_[member].assign(
+        static_cast<std::size_t>(graphs_[member]->graph().edge_count()),
+        ScoreCache{});
     register_graph_density(member);
     refresh_net_estimate(member);
   }
@@ -529,9 +604,12 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
     PhaseStats stats;
     stats.name = name;
+    const ExecStats exec_before = exec_->stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
+    stats.exec_regions = exec_->stats().regions - exec_before.regions;
+    stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };
@@ -565,11 +643,14 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   RouteOutcome outcome;
   PhaseStats stats;
   stats.name = "eco_reroute";
+  const ExecStats exec_before = exec_->stats();
   Stopwatch watch;
   for (const NetId n : nets) {
     reroute_net(n, stats);
   }
   stats.seconds = watch.seconds();
+  stats.exec_regions = exec_->stats().regions - exec_before.regions;
+  stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
   finish_phase(stats);
   outcome.phases.push_back(stats);
 
@@ -597,7 +678,8 @@ RouteOutcome GlobalRouter::run() {
   delay_graph_ = std::make_unique<DelayGraph>(netlist_);
   analyzer_ = std::make_unique<TimingAnalyzer>(
       *delay_graph_,
-      options_.use_constraints ? constraints_ : std::vector<PathConstraint>{});
+      options_.use_constraints ? constraints_ : std::vector<PathConstraint>{},
+      exec_.get());
 
   // §3.1: net ordering by static slack (zero interconnection capacitance —
   // caps are zero-initialised), then external pin & feedthrough assignment
@@ -620,9 +702,12 @@ RouteOutcome GlobalRouter::run() {
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
     PhaseStats stats;
     stats.name = name;
+    const ExecStats exec_before = exec_->stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
+    stats.exec_regions = exec_->stats().regions - exec_before.regions;
+    stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };

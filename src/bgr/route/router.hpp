@@ -6,6 +6,7 @@
 
 #include "bgr/common/ids.hpp"
 #include "bgr/common/tech.hpp"
+#include "bgr/exec/exec_context.hpp"
 #include "bgr/layout/placement.hpp"
 #include "bgr/netlist/netlist.hpp"
 #include "bgr/route/assign.hpp"
@@ -53,6 +54,12 @@ struct RouterOptions {
   bool use_density_criteria = true;
   /// Maximum rip-up/re-route sweeps per improvement phase.
   std::int32_t improvement_passes = 2;
+  /// Worker threads for the exec/ subsystem: per-net routing-graph
+  /// construction, candidate-edge criteria scoring, and the levelized STA
+  /// sweeps. 1 (the default) is the strict serial path; any N produces a
+  /// bit-identical RouteOutcome (see DESIGN.md, "Execution model &
+  /// determinism"). 0 means hardware concurrency.
+  std::int32_t threads = 1;
 };
 
 /// Per-phase record for the Fig. 2 pipeline report.
@@ -64,6 +71,9 @@ struct PhaseStats {
   double critical_delay_ps = 0.0;
   std::int64_t sum_max_density = 0;
   double seconds = 0.0;
+  /// exec/ activity inside the phase (0 when running serially).
+  std::int64_t exec_regions = 0;
+  std::int64_t exec_chunks = 0;
 };
 
 struct RouteOutcome {
@@ -135,8 +145,14 @@ class GlobalRouter {
   void refresh_net_estimate(NetId net);
   [[nodiscard]] std::int32_t net_density_width(NetId net) const;
   [[nodiscard]] std::uint64_t stamp_for(NetId net, std::int32_t edge) const;
+  [[nodiscard]] bool score_is_fresh(NetId net, std::int32_t edge) const;
   [[nodiscard]] SelectionKey compute_key(NetId net, std::int32_t edge) const;
   [[nodiscard]] const SelectionKey& cached_key(NetId net, std::int32_t edge);
+  /// Parallel score warm-up: fills the per-edge key caches for all alive
+  /// non-bridge candidates so the (serial) winner scan only reads. A pure
+  /// cache fill — values are exactly what the scan would compute lazily —
+  /// so thread count cannot change the selected edge.
+  void warm_scores(const std::vector<Candidate>& candidates);
   void commit_delete(NetId net, std::int32_t edge, PhaseStats& stats);
   void delete_in_graph(NetId net, std::int32_t edge);
   /// Deletes edges of one net until its graph is a tree (local loop used by
@@ -160,6 +176,7 @@ class GlobalRouter {
   TechParams tech_;
   RouterOptions options_;
   std::vector<PathConstraint> constraints_;
+  std::unique_ptr<ExecContext> exec_;
 
   std::unique_ptr<DelayGraph> delay_graph_;
   std::unique_ptr<TimingAnalyzer> analyzer_;
@@ -167,6 +184,7 @@ class GlobalRouter {
   std::unique_ptr<DensityMap> density_;
   IdVector<NetId, std::unique_ptr<RoutingGraph>> graphs_;
   IdVector<NetId, std::vector<ScoreCache>> scores_;
+  std::vector<Candidate> stale_;  // warm_scores scratch, reused across calls
   IdVector<NetId, std::uint64_t> net_version_;
   IdVector<NetId, double> net_budget_ps_;  // kNetBudgets mode only
   IdVector<NetId, double> extra_um_;       // back-annotated length corrections

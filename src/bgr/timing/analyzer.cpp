@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "bgr/exec/parallel.hpp"
+
 namespace bgr {
 
 double penalty(double margin_ps, double limit_ps) {
@@ -13,8 +15,11 @@ double penalty(double margin_ps, double limit_ps) {
 }
 
 TimingAnalyzer::TimingAnalyzer(DelayGraph& delay_graph,
-                               std::vector<PathConstraint> constraints)
-    : delay_graph_(&delay_graph), constraints_(std::move(constraints)) {
+                               std::vector<PathConstraint> constraints,
+                               ExecContext* exec)
+    : delay_graph_(&delay_graph),
+      exec_(exec),
+      constraints_(std::move(constraints)) {
   const Netlist& netlist = delay_graph_->netlist();
   const Dag& dag = delay_graph_->dag();
   states_.resize(constraints_.size());
@@ -55,9 +60,10 @@ TimingAnalyzer::TimingAnalyzer(DelayGraph& delay_graph,
   update_all();
 }
 
-void TimingAnalyzer::recompute(ConstraintId p) {
+void TimingAnalyzer::recompute(ConstraintId p, ExecContext* inner_exec) {
   ConstraintState& st = states_[p.index()];
-  st.lp = delay_graph_->dag().longest_from(st.source_vertices, st.mask);
+  st.lp =
+      delay_graph_->dag().longest_from(st.source_vertices, st.mask, inner_exec);
   double critical = 0.0;
   for (const auto v : st.sink_vertices) {
     const double d = st.lp[static_cast<std::size_t>(v)];
@@ -67,11 +73,25 @@ void TimingAnalyzer::recompute(ConstraintId p) {
 }
 
 void TimingAnalyzer::update_for_net(NetId net) {
-  for (const ConstraintId p : constraints_of_net_[net]) recompute(p);
+  // Usually one or two constraints: levelize within the sweep rather than
+  // fanning out across constraints.
+  for (const ConstraintId p : constraints_of_net_[net]) recompute(p, exec_);
 }
 
 void TimingAnalyzer::update_all() {
-  for (const ConstraintId p : constraints()) recompute(p);
+  const auto n = static_cast<std::int64_t>(constraints_.size());
+  if (exec_ != nullptr && !exec_->serial() && n > 1) {
+    // One chunk per constraint; each recompute writes only its own state
+    // and margin slot. Sweeps stay serial inside to avoid nested regions.
+    parallel_for(
+        *exec_, n,
+        [&](std::int64_t i) {
+          recompute(ConstraintId{static_cast<std::int32_t>(i)}, nullptr);
+        },
+        /*grain=*/1);
+    return;
+  }
+  for (const ConstraintId p : constraints()) recompute(p, exec_);
 }
 
 double TimingAnalyzer::worst_margin_ps() const {
@@ -145,7 +165,7 @@ std::vector<NetId> TimingAnalyzer::critical_path_nets(ConstraintId p) const {
   const Dag& dag = delay_graph_->dag();
   const double critical = critical_delay_ps(p);
   // ls(v): longest distance to any sink inside the mask.
-  const auto ls = dag.longest_to(st.sink_vertices, st.mask);
+  const auto ls = dag.longest_to(st.sink_vertices, st.mask, exec_);
   std::vector<NetId> out;
   for (const auto arc : st.net_arc_ids) {
     const Dag::Edge& e = dag.edge(arc);
@@ -170,7 +190,7 @@ IdVector<NetId, double> TimingAnalyzer::net_slacks() const {
   for (const ConstraintId p : constraints()) {
     const ConstraintState& st = states_[p.index()];
     const double limit = constraints_[p.index()].limit_ps;
-    const auto ls = dag.longest_to(st.sink_vertices, st.mask);
+    const auto ls = dag.longest_to(st.sink_vertices, st.mask, exec_);
     for (const auto arc : st.net_arc_ids) {
       const Dag::Edge& e = dag.edge(arc);
       const double lp_v = st.lp[static_cast<std::size_t>(e.from)];

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bgr/common/ids.hpp"
+#include "bgr/exec/exec_context.hpp"
 #include "bgr/timing/delay_graph.hpp"
 
 namespace bgr {
@@ -33,8 +34,13 @@ struct DelayCriteria {
 /// the router's edge-selection heuristics need.
 class TimingAnalyzer {
  public:
+  /// `exec` (optional, not owned) parallelizes update_all across
+  /// constraints and the longest-path sweeps within topological levels;
+  /// results are bit-identical to the serial analyzer for any thread
+  /// count. Must outlive the analyzer when given.
   TimingAnalyzer(DelayGraph& delay_graph,
-                 std::vector<PathConstraint> constraints);
+                 std::vector<PathConstraint> constraints,
+                 ExecContext* exec = nullptr);
 
   [[nodiscard]] DelayGraph& delay_graph() { return *delay_graph_; }
   [[nodiscard]] const DelayGraph& delay_graph() const { return *delay_graph_; }
@@ -110,9 +116,12 @@ class TimingAnalyzer {
     std::vector<std::int32_t> net_arc_ids;  // dag edges of member nets in mask
   };
 
-  void recompute(ConstraintId p);
+  /// `inner_exec` levelizes the longest-path sweep; pass nullptr when the
+  /// caller already parallelizes across constraints (no nested regions).
+  void recompute(ConstraintId p, ExecContext* inner_exec);
 
   DelayGraph* delay_graph_;
+  ExecContext* exec_ = nullptr;  // not owned; nullptr → serial
   std::vector<PathConstraint> constraints_;
   std::vector<ConstraintState> states_;
   std::vector<double> margins_;

@@ -7,6 +7,10 @@
 //     --rc                use the Elmore RC delay model extension
 //     --sequential        sequential (net-at-a-time) initial routing
 //     --no-improve        skip the §3.5 improvement phases
+//     --threads N         exec/ worker threads (1 = serial, 0 = hardware);
+//                         the result is bit-identical for any N
+//     --repeat K          route K times (fresh design each run) and report
+//                         per-run and best wall times
 //     --save-route FILE   write the routed trees/tracks (bgr-route 1)
 //     --save-design FILE  write the (possibly feed-cell-extended) design
 //     --skew              print the multi-pitch clock skew report
@@ -14,10 +18,13 @@
 //     --svg FILE          draw the routed chip as an SVG
 //     --verify            run the signoff checks on the result
 //     --stats             print design statistics
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bgr/channel/channel_router.hpp"
 #include "bgr/io/design_io.hpp"
@@ -34,8 +41,24 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
-               "[--rc] [--sequential] [--no-improve] [--save-route FILE] "
-               "[--save-design FILE] [--skew]\n");
+               "[--rc] [--sequential] [--no-improve] [--threads N] "
+               "[--repeat K] [--save-route FILE] [--save-design FILE] "
+               "[--skew]\n");
+}
+
+/// Per-phase wall-time table: every phase of the pipeline with its own
+/// time, its share of the routing total, and the exec/ activity inside it.
+void print_phase_times(const bgr::RouteOutcome& outcome) {
+  double total = 0.0;
+  for (const bgr::PhaseStats& ph : outcome.phases) total += ph.seconds;
+  std::printf("phase times (routing total %.3fs):\n", total);
+  for (const bgr::PhaseStats& ph : outcome.phases) {
+    const double share = total > 0.0 ? 100.0 * ph.seconds / total : 0.0;
+    std::printf("  %-16s %8.3fs %5.1f%%  regions %5lld  chunks %7lld\n",
+                ph.name.c_str(), ph.seconds, share,
+                static_cast<long long>(ph.exec_regions),
+                static_cast<long long>(ph.exec_chunks));
+  }
 }
 
 }  // namespace
@@ -54,6 +77,7 @@ int main(int argc, char** argv) {
   bool print_map = false;
   bool run_verify = false;
   bool print_stats_flag = false;
+  int repeat = 1;
   std::string svg_path;
   std::string save_route_path;
   std::string save_design_path;
@@ -69,6 +93,18 @@ int main(int argc, char** argv) {
       options.enable_violation_recovery = false;
       options.enable_delay_improvement = false;
       options.enable_area_improvement = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      if (options.threads < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) {
+        std::fprintf(stderr, "error: --repeat must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--skew") {
       print_skew = true;
     } else if (arg == "--map") {
@@ -90,46 +126,85 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Dataset design = input.rfind('@', 0) == 0 ? make_dataset(input.substr(1))
-                                              : load_design(input);
-    std::printf("design %s: %d cells, %d nets, %zu constraints\n",
-                design.name.c_str(), design.netlist.cell_count(),
-                design.netlist.net_count(), design.constraints.size());
+    auto load = [&]() {
+      return input.rfind('@', 0) == 0 ? make_dataset(input.substr(1))
+                                      : load_design(input);
+    };
 
-    options.use_constraints = constrained;
-    Stopwatch watch;
-    GlobalRouter router(design.netlist, std::move(design.placement),
-                        design.tech, design.constraints, options);
-    const RouteOutcome outcome = router.run();
-    ChannelStage channel(router);
-    channel.run();
-    const double delay = channel.apply_and_critical_delay_ps(
-        router.delay_graph(), options.delay_model);
-    const double seconds = watch.seconds();
+    // The router inserts feed cells into the netlist it routes, so every
+    // repeat starts from a freshly loaded design.
+    std::unique_ptr<Dataset> design;
+    std::unique_ptr<GlobalRouter> router;
+    std::unique_ptr<ChannelStage> channel;
+    RouteOutcome outcome;
+    double delay = 0.0;
+    double best_seconds = 0.0;
+    for (int run = 0; run < repeat; ++run) {
+      channel.reset();  // tear down dependents before their design
+      router.reset();
+      design = std::make_unique<Dataset>(load());
+      if (run == 0) {
+        std::printf("design %s: %d cells, %d nets, %zu constraints "
+                    "(threads %d)\n",
+                    design->name.c_str(), design->netlist.cell_count(),
+                    design->netlist.net_count(), design->constraints.size(),
+                    options.threads == 0 ? bgr::ExecContext::hardware_threads()
+                                         : options.threads);
+      }
+      options.use_constraints = constrained;
+      Stopwatch watch;
+      router = std::make_unique<GlobalRouter>(
+          design->netlist, std::move(design->placement), design->tech,
+          design->constraints, options);
+      outcome = router->run();
+      channel = std::make_unique<ChannelStage>(*router);
+      channel->run();
+      delay = channel->apply_and_critical_delay_ps(router->delay_graph(),
+                                                   options.delay_model);
+      const double seconds = watch.seconds();
+      best_seconds = run == 0 ? seconds : std::min(best_seconds, seconds);
 
-    for (const PhaseStats& ph : outcome.phases) {
-      std::printf("phase %-16s deletions %6lld reroutes %5lld crit %8.1f ps "
-                  "sumCM %6lld (%.2fs)\n",
-                  ph.name.c_str(), static_cast<long long>(ph.deletions),
-                  static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
-                  static_cast<long long>(ph.sum_max_density), ph.seconds);
+      if (repeat > 1) {
+        std::printf("run %d/%d: %.3fs (routing phases %.3fs)\n", run + 1,
+                    repeat, seconds, [&] {
+                      double t = 0.0;
+                      for (const PhaseStats& ph : outcome.phases)
+                        t += ph.seconds;
+                      return t;
+                    }());
+      }
+      if (run + 1 == repeat) {
+        for (const PhaseStats& ph : outcome.phases) {
+          std::printf(
+              "phase %-16s deletions %6lld reroutes %5lld crit %8.1f ps "
+              "sumCM %6lld\n",
+              ph.name.c_str(), static_cast<long long>(ph.deletions),
+              static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
+              static_cast<long long>(ph.sum_max_density));
+        }
+        print_phase_times(outcome);
+        std::printf("feed cells added %d (chip +%d pitches)\n",
+                    outcome.feed_cells_added, outcome.widen_pitches);
+        std::printf("result: delay %.1f ps, area %.4f mm2, length %.2f mm, "
+                    "violations %d, cpu %.2f s%s\n",
+                    delay, channel->chip_area_mm2(),
+                    channel->total_detailed_length_um() / 1000.0,
+                    outcome.violated_constraints, seconds,
+                    repeat > 1 ? " (last run)" : "");
+        if (repeat > 1) {
+          std::printf("best of %d runs: %.3f s\n", repeat, best_seconds);
+        }
+      }
     }
-    std::printf("feed cells added %d (chip +%d pitches)\n",
-                outcome.feed_cells_added, outcome.widen_pitches);
-    std::printf("result: delay %.1f ps, area %.4f mm2, length %.2f mm, "
-                "violations %d, cpu %.2f s\n",
-                delay, channel.chip_area_mm2(),
-                channel.total_detailed_length_um() / 1000.0,
-                outcome.violated_constraints, seconds);
 
     if (print_map) {
       std::printf("\nchip map ('#' logic, '.' feed, 'O' pad):\n");
-      render_placement(std::cout, design.netlist, router.placement());
+      render_placement(std::cout, design->netlist, router->placement());
       std::printf("\nchannel congestion (relative to each channel's C_M):\n");
-      render_congestion(std::cout, router);
+      render_congestion(std::cout, *router);
     }
     if (print_skew) {
-      for (const ClockNetSkew& entry : clock_skew_report(router)) {
+      for (const ClockNetSkew& entry : clock_skew_report(*router)) {
         std::printf("clock %-10s pitch %d fanout %3d skew %6.2f ps "
                     "(at 1 pitch it would be %6.2f ps)\n",
                     entry.name.c_str(), entry.pitch_width, entry.fanout,
@@ -137,10 +212,10 @@ int main(int argc, char** argv) {
       }
     }
     if (print_stats_flag) {
-      print_stats(std::cout, collect_stats(router, channel));
+      print_stats(std::cout, collect_stats(*router, *channel));
     }
     if (run_verify) {
-      const RouteVerifier verifier(router, &channel);
+      const RouteVerifier verifier(*router, channel.get());
       const auto issues = verifier.run();
       if (issues.empty()) {
         std::printf("verify: clean (no findings)\n");
@@ -154,16 +229,16 @@ int main(int argc, char** argv) {
       if (RouteVerifier::has_errors(issues)) return 1;
     }
     if (!svg_path.empty()) {
-      write_svg(svg_path, router, channel);
+      write_svg(svg_path, *router, *channel);
       std::printf("SVG drawing written to %s\n", svg_path.c_str());
     }
     if (!save_route_path.empty()) {
-      save_route(save_route_path, router, channel);
+      save_route(save_route_path, *router, *channel);
       std::printf("routed result written to %s\n", save_route_path.c_str());
     }
     if (!save_design_path.empty()) {
-      Dataset routed{design.name, design.spec, design.netlist,
-                     router.placement(), design.constraints, design.tech};
+      Dataset routed{design->name, design->spec, design->netlist,
+                     router->placement(), design->constraints, design->tech};
       save_design(save_design_path, routed);
       std::printf("design written to %s\n", save_design_path.c_str());
     }
