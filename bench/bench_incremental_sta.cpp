@@ -1,0 +1,136 @@
+// Incremental vs full STA inside the edge-deletion loop: routes the
+// largest generated design twice — once with per-constraint full re-sweeps
+// (the original behavior) and once with dirty-cone propagation — and
+// reports wall time, relaxation counts and their ratio. The two runs must
+// produce a bit-identical RouteOutcome; the incremental engine must relax
+// at least 3x fewer vertices per deletion step, or the bench fails.
+// Results land in BENCH_incremental_sta.json for trend tracking.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgr/common/stopwatch.hpp"
+#include "bgr/route/router.hpp"
+
+namespace {
+
+using namespace bgr;
+
+struct StaRun {
+  bool incremental = false;
+  double route_s = 0.0;
+  std::int64_t deletions = 0;
+  std::int64_t relaxations = 0;
+  std::int64_t dirty_vertices = 0;
+  std::int64_t updates = 0;
+  RouteOutcome outcome;
+};
+
+StaRun route_once(const CircuitSpec& spec, bool incremental) {
+  Dataset design = generate_circuit(spec);  // fresh: routing mutates it
+  RouterOptions options;
+  options.incremental_sta = incremental;
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, options);
+  StaRun run;
+  run.incremental = incremental;
+  Stopwatch sw;
+  run.outcome = router.run();
+  run.route_s = sw.seconds();
+  for (const PhaseStats& ph : run.outcome.phases) {
+    run.deletions += ph.deletions;
+    run.relaxations += ph.sta_relaxations;
+    run.dirty_vertices += ph.sta_dirty_vertices;
+    run.updates += ph.sta_updates;
+  }
+  return run;
+}
+
+void print_run(const StaRun& r) {
+  std::printf("%-12s route %7.3fs  deletions %6lld  relaxations %10lld "
+              " (%8.1f per deletion)\n",
+              r.incremental ? "incremental" : "full-sweep", r.route_s,
+              static_cast<long long>(r.deletions),
+              static_cast<long long>(r.relaxations),
+              r.deletions > 0
+                  ? static_cast<double>(r.relaxations) /
+                        static_cast<double>(r.deletions)
+                  : 0.0);
+}
+
+void emit_json(const CircuitSpec& spec, const StaRun& full,
+               const StaRun& inc, double ratio, bool identical) {
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "incremental_sta");
+  json.field("design", spec.name);
+  json.begin_array("modes");
+  for (const StaRun* r : {&full, &inc}) {
+    json.begin_element();
+    json.field("mode", r->incremental ? "incremental" : "full");
+    json.field("route_seconds", r->route_s);
+    json.field("deletions", r->deletions);
+    json.field("relaxations", r->relaxations);
+    json.field("dirty_vertices", r->dirty_vertices);
+    json.field("sta_updates", r->updates);
+    json.field("critical_delay_ps", r->outcome.critical_delay_ps);
+    json.field("total_length_um", r->outcome.total_length_um);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("relaxations_per_deletion_ratio", ratio);
+  json.field("wall_speedup",
+             inc.route_s > 0.0 ? full.route_s / inc.route_s : 0.0);
+  json.field("outcomes_identical", identical);
+  json.end_object();
+  json.save("BENCH_incremental_sta.json");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("incremental STA: dirty-cone vs full re-sweeps");
+  bench::print_substitution_note();
+  CircuitSpec spec = c3_spec();  // the largest generated preset
+  {
+    const Dataset d = generate_circuit(spec);
+    std::printf("design %s: %d cells, %d nets, %zu constraints\n",
+                d.name.c_str(), d.netlist.cell_count(), d.netlist.net_count(),
+                d.constraints.size());
+  }
+
+  const StaRun full = route_once(spec, /*incremental=*/false);
+  const StaRun inc = route_once(spec, /*incremental=*/true);
+  print_run(full);
+  print_run(inc);
+
+  const bool identical = bench::outcomes_identical(full.outcome, inc.outcome);
+  const double per_del_full =
+      full.deletions > 0 ? static_cast<double>(full.relaxations) /
+                               static_cast<double>(full.deletions)
+                         : 0.0;
+  const double per_del_inc =
+      inc.deletions > 0 ? static_cast<double>(inc.relaxations) /
+                              static_cast<double>(inc.deletions)
+                        : 0.0;
+  const double ratio = per_del_inc > 0.0 ? per_del_full / per_del_inc : 0.0;
+  std::printf("\nrelaxations per deletion: full %.1f vs incremental %.1f "
+              "(%.1fx fewer)\n",
+              per_del_full, per_del_inc, ratio);
+  std::printf("wall speedup: %.2fx\n",
+              inc.route_s > 0.0 ? full.route_s / inc.route_s : 0.0);
+  std::printf(identical ? "outcome: bit-identical across both modes\n"
+                        : "outcome: MISMATCH between modes\n");
+  emit_json(spec, full, inc, ratio, identical);
+
+  if (!identical) {
+    std::printf("FAIL: incremental and full-sweep outcomes differ\n");
+    return 1;
+  }
+  if (ratio < 3.0) {
+    std::printf("FAIL: expected >=3x fewer relaxations per deletion\n");
+    return 1;
+  }
+  return 0;
+}

@@ -47,19 +47,32 @@ ScalingRun route_once(const CircuitSpec& spec, std::int32_t threads) {
   return run;
 }
 
-bool outcomes_identical(const RouteOutcome& a, const RouteOutcome& b) {
-  if (a.critical_delay_ps != b.critical_delay_ps) return false;
-  if (a.total_length_um != b.total_length_um) return false;
-  if (a.violated_constraints != b.violated_constraints) return false;
-  if (a.worst_margin_ps != b.worst_margin_ps) return false;
-  if (a.feed_cells_added != b.feed_cells_added) return false;
-  if (a.phases.size() != b.phases.size()) return false;
-  for (std::size_t i = 0; i < a.phases.size(); ++i) {
-    if (a.phases[i].deletions != b.phases[i].deletions) return false;
-    if (a.phases[i].sum_max_density != b.phases[i].sum_max_density)
-      return false;
+/// BENCH_parallel_scaling.json: per-thread wall times and speedups, so the
+/// scaling trajectory is machine-readable across commits.
+void emit_json(const CircuitSpec& spec, const std::vector<ScalingRun>& runs,
+               bool deterministic) {
+  const ScalingRun& base = runs.front();
+  bench::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "parallel_scaling");
+  json.field("design", spec.name);
+  json.begin_array("runs");
+  for (const ScalingRun& r : runs) {
+    json.begin_element();
+    json.field("threads", r.threads);
+    json.field("initial_seconds", r.initial_s);
+    json.field("phases_total_seconds", r.phases_total_s);
+    json.field("initial_speedup",
+               r.initial_s > 0.0 ? base.initial_s / r.initial_s : 0.0);
+    json.field("total_speedup", r.phases_total_s > 0.0
+                                    ? base.phases_total_s / r.phases_total_s
+                                    : 0.0);
+    json.end_object();
   }
-  return true;
+  json.end_array();
+  json.field("deterministic", deterministic);
+  json.end_object();
+  json.save("BENCH_parallel_scaling.json");
 }
 
 }  // namespace
@@ -98,7 +111,7 @@ int main() {
 
   bool deterministic = true;
   for (const ScalingRun& r : runs) {
-    if (!outcomes_identical(base.outcome, r.outcome)) {
+    if (!bench::outcomes_identical(base.outcome, r.outcome)) {
       std::printf("DETERMINISM VIOLATION at %d threads\n", r.threads);
       deterministic = false;
     }
@@ -107,5 +120,6 @@ int main() {
                   ? "determinism: RouteOutcome bit-identical across 1/2/4/8 "
                     "threads\n"
                   : "determinism: FAILED\n");
+  emit_json(spec, runs, deterministic);
   return deterministic ? 0 : 1;
 }

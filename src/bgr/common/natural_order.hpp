@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace bgr {
+
+/// Natural ("version-style") string ordering: runs of digits compare by
+/// numeric value, everything else byte-wise, so "n2" < "n10" < "n100".
+///
+/// The router uses net *names* — not raw ids — wherever a processing order
+/// needs a deterministic tie-break: names survive a relabeling of the
+/// netlist, which makes the routed result invariant under net/cell-id
+/// permutation (a property the metamorphic tests pin down). Natural order
+/// is chosen over plain lexicographic order so that generated designs,
+/// whose names carry creation indices ("n0", "n1", …, "n12"), keep their
+/// familiar creation-order processing sequence.
+[[nodiscard]] inline bool natural_less(std::string_view a, std::string_view b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (std::isdigit(ca) && std::isdigit(cb)) {
+      // Skip leading zeros, then compare the digit runs numerically:
+      // shorter run is smaller; equal lengths compare digit-wise.
+      std::size_t za = i;
+      std::size_t zb = j;
+      while (za < a.size() && a[za] == '0') ++za;
+      while (zb < b.size() && b[zb] == '0') ++zb;
+      std::size_t ea = za;
+      std::size_t eb = zb;
+      while (ea < a.size() && std::isdigit(static_cast<unsigned char>(a[ea])))
+        ++ea;
+      while (eb < b.size() && std::isdigit(static_cast<unsigned char>(b[eb])))
+        ++eb;
+      if (ea - za != eb - zb) return ea - za < eb - zb;
+      for (std::size_t k = 0; k < ea - za; ++k) {
+        if (a[za + k] != b[zb + k]) return a[za + k] < b[zb + k];
+      }
+      // Numerically equal: fewer leading zeros first, then continue.
+      if (za - i != zb - j) return za - i < zb - j;
+      i = ea;
+      j = eb;
+      continue;
+    }
+    if (ca != cb) return ca < cb;
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
+
+/// Leading non-digit run of a name — its family prefix ("q17" → "q",
+/// "ck_root" → "ck_root").
+[[nodiscard]] inline std::string_view name_family(std::string_view s) {
+  std::size_t n = 0;
+  while (n < s.size() && !std::isdigit(static_cast<unsigned char>(s[n]))) ++n;
+  return s.substr(0, n);
+}
+
+/// The router's canonical net processing order: name families in
+/// *descending* lexicographic order, then natural order inside a family.
+/// For the generated designs this walks register outputs ("q*"), primary
+/// inputs ("pi*"), internal logic ("n*") and finally differential/clock
+/// nets, each family in creation order — the rough topological sweep the
+/// routing heuristics are tuned for — while depending only on names, so
+/// routed results survive a relabeling of the netlist (metamorphic tests).
+[[nodiscard]] inline bool processing_order_less(std::string_view a,
+                                                std::string_view b) {
+  const std::string_view fa = name_family(a);
+  const std::string_view fb = name_family(b);
+  if (fa != fb) return fa > fb;
+  return natural_less(a, b);
+}
+
+}  // namespace bgr

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "bgr/common/log.hpp"
+#include "bgr/common/natural_order.hpp"
 
 namespace bgr {
 
@@ -28,14 +29,24 @@ std::int32_t net_center_column(const Netlist& netlist,
   return static_cast<std::int32_t>(sum / std::max<std::int64_t>(count, 1));
 }
 
-/// Net processing order: ascending key, ties by id for determinism.
+/// Net processing order: ascending key, wide (multi-pitch) groups first on
+/// ties so they still find contiguous columns, then the canonical
+/// name-based order (natural_order.hpp). The tie keys — unlike the raw
+/// ids — survive a relabeling of the netlist, so the assignment (and
+/// everything downstream of it) is invariant under net/cell-id
+/// permutation. The name order matters most in the unconstrained
+/// baseline, where every key ties and it alone sets the sweep.
 std::vector<NetId> ordered_nets(const Netlist& netlist,
                                 const IdVector<NetId, double>& order) {
   std::vector<NetId> nets;
   nets.reserve(static_cast<std::size_t>(netlist.net_count()));
   for (const NetId n : netlist.nets()) nets.push_back(n);
   std::stable_sort(nets.begin(), nets.end(), [&](NetId a, NetId b) {
-    return order.at(a) < order.at(b);
+    if (order.at(a) != order.at(b)) return order.at(a) < order.at(b);
+    const std::int32_t wa = netlist.net(a).pitch_width;
+    const std::int32_t wb = netlist.net(b).pitch_width;
+    if (wa != wb) return wa > wb;
+    return processing_order_less(netlist.net(a).name, netlist.net(b).name);
   });
   return nets;
 }

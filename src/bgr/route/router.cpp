@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "bgr/common/log.hpp"
+#include "bgr/common/natural_order.hpp"
 #include "bgr/common/stopwatch.hpp"
 #include "bgr/exec/parallel.hpp"
 
@@ -112,7 +113,6 @@ void GlobalRouter::build_all_graphs() {
     refresh_net_estimate(n);
   }
   analyzer_->update_all();
-  ++timing_version_;
 }
 
 void GlobalRouter::register_graph_density(NetId net) {
@@ -157,7 +157,6 @@ void GlobalRouter::refresh_net_estimate(NetId net) {
   }
   if (timing_active_for(net)) {
     analyzer_->update_for_net(net);
-    ++timing_version_;
   }
   ++net_version_[net];
 }
@@ -168,9 +167,19 @@ std::uint64_t GlobalRouter::stamp_for(NetId net, std::int32_t edge) const {
   std::uint64_t stamp = net_version_[net];
   const Net& n = netlist_.net(net);
   if (n.is_differential()) stamp += net_version_[n.diff_partner];
-  if (timing_active_for(net) ||
-      (n.is_differential() && timing_active_for(n.diff_partner))) {
-    stamp += timing_version_ * 0x10000ULL;
+  // Timing staleness is keyed off the dirty-net set: only the versions of
+  // the constraints this net (and its differential partner) belongs to
+  // enter the stamp, so an update that left a constraint's arrival times
+  // untouched invalidates nothing. Every component is monotone, so a sum
+  // can never reproduce an older stamp.
+  if (options_.use_constraints) {
+    auto add_timing = [&](NetId member) {
+      for (const ConstraintId p : analyzer_->constraints_of_net(member)) {
+        stamp += analyzer_->version(p) * 0x10000ULL;
+      }
+    };
+    add_timing(net);
+    if (n.is_differential()) add_timing(n.diff_partner);
   }
   if (info.kind == RouteEdgeKind::kFeed) {
     stamp += density_->version(info.channel);
@@ -333,6 +342,7 @@ void GlobalRouter::commit_delete(NetId net, std::int32_t edge,
     refresh_net_estimate(n.diff_partner);
   }
   ++stats.deletions;
+  if (options_.deletion_observer) options_.deletion_observer(net, edge);
 }
 
 void GlobalRouter::compute_net_budgets() {
@@ -381,7 +391,9 @@ void GlobalRouter::initial_routing(PhaseStats& stats) {
       order.push_back(n);
     }
     std::stable_sort(order.begin(), order.end(), [&](NetId a, NetId b) {
-      return slacks.at(a) < slacks.at(b);
+      if (slacks.at(a) != slacks.at(b)) return slacks.at(a) < slacks.at(b);
+      // Names, not ids: relabeling-invariant order (natural_order.hpp).
+      return natural_less(netlist_.net(a).name, netlist_.net(b).name);
     });
     for (const NetId n : order) {
       reduce_net_to_tree(n, stats);
@@ -414,7 +426,18 @@ void GlobalRouter::initial_routing(PhaseStats& stats) {
       if (!g.graph().edge_alive(c.edge) || g.is_bridge(c.edge)) continue;
       const SelectionKey& key = cached_key(c.net, c.edge);
       candidates[write] = c;
-      if (!have_best || key_less(key, best_key, order_)) {
+      bool take = !have_best || key_less(key, best_key, order_);
+      if (!take && !key_less(best_key, key, order_)) {
+        // Exact key tie: break on (net name, edge) instead of the scan
+        // order, which follows raw net ids — names survive a relabeling
+        // of the netlist, so the deletion order (and thus the routed
+        // result) is invariant under net-id permutation.
+        const Candidate& b = candidates[best_index];
+        const std::string& cn = netlist_.net(c.net).name;
+        const std::string& bn = netlist_.net(b.net).name;
+        take = natural_less(cn, bn) || (cn == bn && c.edge < b.edge);
+      }
+      if (take) {
         best_key = key;
         best_index = write;
         have_best = true;
@@ -568,8 +591,13 @@ void GlobalRouter::improve_area(PhaseStats& stats) {
       if (at_peak) entries.push_back(Entry{n, best});
     }
     std::stable_sort(entries.begin(), entries.end(),
-                     [](const Entry& a, const Entry& b) {
-                       return a.congestion > b.congestion;
+                     [&](const Entry& a, const Entry& b) {
+                       if (a.congestion != b.congestion) {
+                         return a.congestion > b.congestion;
+                       }
+                       // Name tie-break: relabeling-invariant order.
+                       return netlist_.net(a.net).name <
+                              netlist_.net(b.net).name;
                      });
     for (const Entry& entry : entries) {
       reroute_net(entry.net, stats);
@@ -598,18 +626,22 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
     refresh_net_estimate(n);
   }
   analyzer_->update_all();
-  ++timing_version_;
 
   RouteOutcome outcome;
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
     PhaseStats stats;
     stats.name = name;
     const ExecStats exec_before = exec_->stats();
+    const StaStats sta_before = analyzer_->sta_stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
     stats.exec_regions = exec_->stats().regions - exec_before.regions;
     stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
+    const StaStats& sta = analyzer_->sta_stats();
+    stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
+    stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
+    stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };
@@ -644,6 +676,7 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   PhaseStats stats;
   stats.name = "eco_reroute";
   const ExecStats exec_before = exec_->stats();
+  const StaStats sta_before = analyzer_->sta_stats();
   Stopwatch watch;
   for (const NetId n : nets) {
     reroute_net(n, stats);
@@ -651,6 +684,10 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   stats.seconds = watch.seconds();
   stats.exec_regions = exec_->stats().regions - exec_before.regions;
   stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
+  const StaStats& sta = analyzer_->sta_stats();
+  stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
+  stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
+  stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
   finish_phase(stats);
   outcome.phases.push_back(stats);
 
@@ -679,7 +716,7 @@ RouteOutcome GlobalRouter::run() {
   analyzer_ = std::make_unique<TimingAnalyzer>(
       *delay_graph_,
       options_.use_constraints ? constraints_ : std::vector<PathConstraint>{},
-      exec_.get());
+      exec_.get(), options_.incremental_sta);
 
   // §3.1: net ordering by static slack (zero interconnection capacitance —
   // caps are zero-initialised), then external pin & feedthrough assignment
@@ -703,11 +740,16 @@ RouteOutcome GlobalRouter::run() {
     PhaseStats stats;
     stats.name = name;
     const ExecStats exec_before = exec_->stats();
+    const StaStats sta_before = analyzer_->sta_stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
     stats.exec_regions = exec_->stats().regions - exec_before.regions;
     stats.exec_chunks = exec_->stats().chunks - exec_before.chunks;
+    const StaStats& sta = analyzer_->sta_stats();
+    stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
+    stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
+    stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,17 @@ struct RouterOptions {
   bool use_density_criteria = true;
   /// Maximum rip-up/re-route sweeps per improvement phase.
   std::int32_t improvement_passes = 2;
+  /// Incremental STA: after every net-estimate change, re-relax only the
+  /// dirty cone of the net's wiring arcs instead of re-sweeping every
+  /// touched constraint graph. Arrival times, margins, slacks — and hence
+  /// the RouteOutcome — are bit-identical either way; `false` keeps the
+  /// full re-sweeps of the original implementation.
+  bool incremental_sta = true;
+  /// Test hook: called after every committed edge deletion (differential
+  /// pairs fire once, for the primary). Used by the differential STA test
+  /// to cross-check incremental state after each step; leave empty in
+  /// production use.
+  std::function<void(NetId, std::int32_t)> deletion_observer;
   /// Worker threads for the exec/ subsystem: per-net routing-graph
   /// construction, candidate-edge criteria scoring, and the levelized STA
   /// sweeps. 1 (the default) is the strict serial path; any N produces a
@@ -74,6 +86,13 @@ struct PhaseStats {
   /// exec/ activity inside the phase (0 when running serially).
   std::int64_t exec_regions = 0;
   std::int64_t exec_chunks = 0;
+  /// Timing-engine activity inside the phase: dirty-cone propagations run,
+  /// total dirty-cone size (vertices re-relaxed incrementally), and total
+  /// vertex relaxations including full sweeps. All deterministic — they
+  /// depend on values, never on thread count or wall time.
+  std::int64_t sta_updates = 0;
+  std::int64_t sta_dirty_vertices = 0;
+  std::int64_t sta_relaxations = 0;
 };
 
 struct RouteOutcome {
@@ -133,11 +152,6 @@ class GlobalRouter {
     NetId net;
     std::int32_t edge;
   };
-  struct ScoreCache {
-    SelectionKey key;
-    std::uint64_t stamp = 0;  // combined version at computation time
-    bool valid = false;
-  };
 
   void build_all_graphs();
   void register_graph_density(NetId net);
@@ -188,7 +202,6 @@ class GlobalRouter {
   IdVector<NetId, std::uint64_t> net_version_;
   IdVector<NetId, double> net_budget_ps_;  // kNetBudgets mode only
   IdVector<NetId, double> extra_um_;       // back-annotated length corrections
-  std::uint64_t timing_version_ = 0;
   CriteriaOrder order_ = CriteriaOrder::kDelayFirst;
   bool ran_ = false;
   std::int32_t feed_cells_added_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "bgr/common/natural_order.hpp"
 #include "bgr/exec/parallel.hpp"
 
 namespace bgr {
@@ -16,14 +17,16 @@ double penalty(double margin_ps, double limit_ps) {
 
 TimingAnalyzer::TimingAnalyzer(DelayGraph& delay_graph,
                                std::vector<PathConstraint> constraints,
-                               ExecContext* exec)
+                               ExecContext* exec, bool incremental)
     : delay_graph_(&delay_graph),
       exec_(exec),
+      incremental_(incremental),
       constraints_(std::move(constraints)) {
   const Netlist& netlist = delay_graph_->netlist();
   const Dag& dag = delay_graph_->dag();
   states_.resize(constraints_.size());
   margins_.assign(constraints_.size(), 0.0);
+  versions_.assign(constraints_.size(), 0);
   constraints_of_net_.assign(static_cast<std::size_t>(netlist.net_count()), {});
   nets_of_constraint_.resize(constraints_.size());
 
@@ -56,14 +59,23 @@ TimingAnalyzer::TimingAnalyzer(DelayGraph& delay_graph,
         nets_of_constraint_[i].push_back(n);
       }
     }
+    st.is_source.assign(static_cast<std::size_t>(dag.vertex_count()), 0);
+    for (const auto v : st.source_vertices) {
+      if (st.mask[static_cast<std::size_t>(v)]) {
+        st.is_source[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    st.mask_size = static_cast<std::int64_t>(
+        std::count(st.mask.begin(), st.mask.end(), true));
+  }
+  if (incremental_ && !constraints_.empty()) {
+    propagator_ = std::make_unique<DirtyPropagator>(dag);
   }
   update_all();
 }
 
-void TimingAnalyzer::recompute(ConstraintId p, ExecContext* inner_exec) {
-  ConstraintState& st = states_[p.index()];
-  st.lp =
-      delay_graph_->dag().longest_from(st.source_vertices, st.mask, inner_exec);
+void TimingAnalyzer::refresh_margin(ConstraintId p) {
+  const ConstraintState& st = states_[p.index()];
   double critical = 0.0;
   for (const auto v : st.sink_vertices) {
     const double d = st.lp[static_cast<std::size_t>(v)];
@@ -72,14 +84,54 @@ void TimingAnalyzer::recompute(ConstraintId p, ExecContext* inner_exec) {
   margins_[p.index()] = constraints_[p.index()].limit_ps - critical;
 }
 
+void TimingAnalyzer::recompute(ConstraintId p, ExecContext* inner_exec) {
+  ConstraintState& st = states_[p.index()];
+  st.lp =
+      delay_graph_->dag().longest_from(st.source_vertices, st.mask, inner_exec);
+  refresh_margin(p);
+  ++versions_[p.index()];
+}
+
 void TimingAnalyzer::update_for_net(NetId net) {
-  // Usually one or two constraints: levelize within the sweep rather than
-  // fanning out across constraints.
-  for (const ConstraintId p : constraints_of_net_[net]) recompute(p, exec_);
+  const auto& members = constraints_of_net_[net];
+  if (members.empty()) return;
+  if (!incremental_) {
+    // Usually one or two constraints: levelize within the sweep rather
+    // than fanning out across constraints.
+    for (const ConstraintId p : members) {
+      recompute(p, exec_);
+      ++stats_.full_sweeps;
+      stats_.full_vertices += states_[p.index()].mask_size;
+    }
+    return;
+  }
+  // Dirty-cone propagation: only the heads of the net's wiring arcs (the
+  // vertices whose pull reads the changed weights) seed the re-relaxation.
+  const Dag& dag = delay_graph_->dag();
+  seed_scratch_.clear();
+  for (const auto arc : delay_graph_->net_arcs(net)) {
+    seed_scratch_.push_back(dag.edge(arc).to);
+  }
+  for (const ConstraintId p : members) {
+    ConstraintState& st = states_[p.index()];
+    const DirtyPropagator::Result res = propagator_->propagate(
+        seed_scratch_, st.mask, st.is_source, st.lp, exec_);
+    ++stats_.incremental_updates;
+    stats_.dirty_seeds += res.seeds;
+    stats_.dirty_vertices += res.relaxed;
+    if (res.any_change) {
+      // Margin and downstream scores depend only on lp — untouched values
+      // mean the constraint (and its score-cache version) stays put.
+      refresh_margin(p);
+      ++versions_[p.index()];
+    }
+  }
 }
 
 void TimingAnalyzer::update_all() {
   const auto n = static_cast<std::int64_t>(constraints_.size());
+  stats_.full_sweeps += n;
+  for (const ConstraintState& st : states_) stats_.full_vertices += st.mask_size;
   if (exec_ != nullptr && !exec_->serial() && n > 1) {
     // One chunk per constraint; each recompute writes only its own state
     // and margin slot. Sweeps stay serial inside to avoid nested regions.
@@ -179,6 +231,14 @@ std::vector<NetId> TimingAnalyzer::critical_path_nets(ConstraintId p) const {
       }
     }
   }
+  // The arc scan above walks nets in id order; reroute passes consume this
+  // list in sequence, so sort it by the same relabeling-invariant key the
+  // assignment sweep uses (natural_order.hpp) to keep routed results
+  // independent of net numbering.
+  std::stable_sort(out.begin(), out.end(), [&](NetId a, NetId b) {
+    return processing_order_less(delay_graph_->netlist().net(a).name,
+                                 delay_graph_->netlist().net(b).name);
+  });
   return out;
 }
 

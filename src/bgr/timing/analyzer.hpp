@@ -3,9 +3,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bgr/common/ids.hpp"
 #include "bgr/exec/exec_context.hpp"
 #include "bgr/timing/delay_graph.hpp"
+#include "bgr/timing/incremental.hpp"
 
 namespace bgr {
 
@@ -38,9 +41,15 @@ class TimingAnalyzer {
   /// constraints and the longest-path sweeps within topological levels;
   /// results are bit-identical to the serial analyzer for any thread
   /// count. Must outlive the analyzer when given.
+  ///
+  /// `incremental` switches update_for_net from full per-constraint
+  /// re-sweeps to dirty-cone propagation (DirtyPropagator): only the
+  /// fanout of the changed net's wiring arcs is re-relaxed, and margins
+  /// are refreshed from the cached lp values. Arrival times, margins and
+  /// slacks are bit-identical to the full sweeps in either mode.
   TimingAnalyzer(DelayGraph& delay_graph,
                  std::vector<PathConstraint> constraints,
-                 ExecContext* exec = nullptr);
+                 ExecContext* exec = nullptr, bool incremental = false);
 
   [[nodiscard]] DelayGraph& delay_graph() { return *delay_graph_; }
   [[nodiscard]] const DelayGraph& delay_graph() const { return *delay_graph_; }
@@ -74,6 +83,21 @@ class TimingAnalyzer {
 
   [[nodiscard]] double margin_ps(ConstraintId p) const {
     return margins_.at(p.index());
+  }
+  /// Cached arrival times lp(v) of the constraint subgraph G_d(P)
+  /// (kMinusInf outside the mask / unreachable). Exposed for the
+  /// differential cross-checks of the incremental engine.
+  [[nodiscard]] const std::vector<double>& longest_prefix(ConstraintId p) const {
+    return states_.at(p.index()).lp;
+  }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+  [[nodiscard]] const StaStats& sta_stats() const { return stats_; }
+  /// Monotone per-constraint change counter: bumped whenever the
+  /// constraint's lp values or margin may have changed. Score caches key
+  /// their timing staleness off the versions of the constraints their net
+  /// belongs to — the dirty-net set — instead of one global stamp.
+  [[nodiscard]] std::uint64_t version(ConstraintId p) const {
+    return versions_.at(p.index());
   }
   [[nodiscard]] double critical_delay_ps(ConstraintId p) const {
     return constraints_.at(p.index()).limit_ps - margins_.at(p.index());
@@ -114,17 +138,27 @@ class TimingAnalyzer {
     std::vector<bool> mask;       // G_d(P) support in G_D
     std::vector<double> lp;       // longest from sources within mask
     std::vector<std::int32_t> net_arc_ids;  // dag edges of member nets in mask
+    std::vector<char> is_source;  // in-mask source flags (propagator input)
+    std::int64_t mask_size = 0;   // vertices of G_d(P), for sweep accounting
   };
 
   /// `inner_exec` levelizes the longest-path sweep; pass nullptr when the
   /// caller already parallelizes across constraints (no nested regions).
   void recompute(ConstraintId p, ExecContext* inner_exec);
 
+  /// Refreshes margins_[p] from the cached lp values of the constraint.
+  void refresh_margin(ConstraintId p);
+
   DelayGraph* delay_graph_;
   ExecContext* exec_ = nullptr;  // not owned; nullptr → serial
+  bool incremental_ = false;
   std::vector<PathConstraint> constraints_;
   std::vector<ConstraintState> states_;
   std::vector<double> margins_;
+  std::vector<std::uint64_t> versions_;
+  std::unique_ptr<DirtyPropagator> propagator_;  // incremental mode only
+  std::vector<std::int32_t> seed_scratch_;
+  StaStats stats_;
   IdVector<NetId, std::vector<ConstraintId>> constraints_of_net_;
   std::vector<std::vector<NetId>> nets_of_constraint_;
 };

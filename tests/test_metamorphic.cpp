@@ -1,0 +1,217 @@
+// Metamorphic properties of the router and the timing analyzer:
+//  * relabeling — permuting cell and net identities of a design must yield
+//    an isomorphic routed result (same total length, margins, density
+//    profile once relabeled back);
+//  * constraint scaling — multiplying every δ_P by a constant shifts each
+//    margin by exactly (c − 1)·δ_P, since M(P) = δ_P − critical and the
+//    critical delay does not depend on the limits.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bgr/common/rng.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+namespace {
+
+CircuitSpec meta_spec(std::uint64_t seed) {
+  CircuitSpec spec;
+  spec.name = "META" + std::to_string(seed);
+  spec.seed = seed;
+  spec.rows = 5;
+  spec.target_cells = 80;
+  spec.levels = 6;
+  spec.primary_inputs = 6;
+  spec.primary_outputs = 6;
+  spec.diff_pairs = 2;
+  spec.clock_buffers = 1;
+  spec.path_constraints = 10;
+  return spec;
+}
+
+/// Rebuilds the dataset with cells and nets renumbered by the given
+/// permutations (new id i holds what old id perm[i] held). Terminals are
+/// renumbered implicitly by the rebuild order; constraints and pad sites
+/// are remapped. The result describes the *same* physical design.
+Dataset relabel(const Dataset& d, const std::vector<std::int32_t>& cell_perm,
+                const std::vector<std::int32_t>& net_perm) {
+  const Netlist& old = d.netlist;
+  Netlist netlist(old.library());
+  std::vector<CellId> cell_map(static_cast<std::size_t>(old.cell_count()));
+  for (const std::int32_t o : cell_perm) {
+    const CellId old_id{o};
+    cell_map[static_cast<std::size_t>(o)] =
+        netlist.add_cell(old.cell(old_id).name, old.cell(old_id).type);
+  }
+  std::vector<NetId> net_map(static_cast<std::size_t>(old.net_count()));
+  for (const std::int32_t o : net_perm) {
+    const NetId old_id{o};
+    net_map[static_cast<std::size_t>(o)] =
+        netlist.add_net(old.net(old_id).name, old.net(old_id).pitch_width);
+  }
+
+  // Terminals in their *original global creation order* so each keeps its
+  // TerminalId (the pad-assignment pass processes pads in TerminalId order,
+  // a documented processing order, not an identity the relabeling is meant
+  // to scramble). Only the nets and cells they attach to are renumbered.
+  std::vector<TerminalId> term_map(static_cast<std::size_t>(old.terminal_count()),
+                                   TerminalId::invalid());
+  for (std::int32_t ti = 0; ti < old.terminal_count(); ++ti) {
+    const TerminalId t{ti};
+    const Terminal& term = old.terminal(t);
+    const NetId new_net = net_map[static_cast<std::size_t>(term.net.value())];
+    TerminalId mapped = TerminalId::invalid();
+    switch (term.kind) {
+      case TerminalKind::kCellPin:
+        mapped = netlist.connect(new_net,
+                                 cell_map[static_cast<std::size_t>(
+                                     term.cell.value())],
+                                 term.pin);
+        break;
+      case TerminalKind::kPadIn:
+        mapped = netlist.add_pad_input(term.pad_name, new_net,
+                                       term.pad_tf_ps_per_pf,
+                                       term.pad_td_ps_per_pf);
+        break;
+      case TerminalKind::kPadOut:
+        mapped = netlist.add_pad_output(term.pad_name, new_net,
+                                        term.pad_cap_pf);
+        break;
+    }
+    term_map[static_cast<std::size_t>(t.value())] = mapped;
+  }
+  for (const NetId n : old.nets()) {
+    const Net& net = old.net(n);
+    if (net.is_differential() && net.diff_primary) {
+      netlist.make_differential(net_map[static_cast<std::size_t>(n.value())],
+                                net_map[static_cast<std::size_t>(
+                                    net.diff_partner.value())]);
+    }
+  }
+
+  Placement placement(d.placement.row_count(), d.placement.width());
+  for (const CellId c : old.cells()) {
+    const PlacedCell& pc = d.placement.placed(c);
+    placement.place(netlist, cell_map[static_cast<std::size_t>(c.value())],
+                    pc.row, pc.x);
+  }
+  for (const auto& [pad, site] : d.placement.pad_sites()) {
+    placement.place_pad(term_map[static_cast<std::size_t>(pad.value())],
+                        site.top, site.window);
+  }
+
+  std::vector<PathConstraint> constraints;
+  for (const PathConstraint& pc : d.constraints) {
+    PathConstraint mapped;
+    mapped.name = pc.name;
+    mapped.limit_ps = pc.limit_ps;
+    for (const TerminalId t : pc.sources) {
+      mapped.sources.push_back(term_map[static_cast<std::size_t>(t.value())]);
+    }
+    for (const TerminalId t : pc.sinks) {
+      mapped.sinks.push_back(term_map[static_cast<std::size_t>(t.value())]);
+    }
+    constraints.push_back(std::move(mapped));
+  }
+
+  return Dataset{d.name + "_relabel", d.spec,
+                 std::move(netlist), std::move(placement),
+                 std::move(constraints), d.tech};
+}
+
+std::vector<std::int32_t> random_permutation(std::int32_t n, Rng& rng) {
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::int32_t i = n - 1; i > 0; --i) {
+    const std::int32_t j = rng.uniform_i32(0, i);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+struct Routed {
+  RouteOutcome outcome;
+  std::vector<double> margins;
+  std::vector<std::int32_t> channel_c_max;
+};
+
+Routed route(Dataset design) {
+  RouterOptions options;
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, options);
+  Routed r;
+  r.outcome = router.run();
+  for (const ConstraintId p : router.analyzer().constraints()) {
+    r.margins.push_back(router.analyzer().margin_ps(p));
+  }
+  for (std::int32_t c = 0; c < router.density().channel_count(); ++c) {
+    r.channel_c_max.push_back(router.density().channel_params(c).c_max);
+  }
+  return r;
+}
+
+TEST(Metamorphic, RelabelingYieldsIsomorphicRouteOutcome) {
+  for (const std::uint64_t seed : {2u, 9u, 14u}) {
+    const Dataset design = generate_circuit(meta_spec(seed));
+    Rng rng(seed * 1000 + 7);
+    const auto cell_perm = random_permutation(design.netlist.cell_count(), rng);
+    const auto net_perm = random_permutation(design.netlist.net_count(), rng);
+    const Dataset relabeled = relabel(design, cell_perm, net_perm);
+
+    const Routed a = route(design);
+    const Routed b = route(relabeled);
+
+    EXPECT_EQ(a.outcome.total_length_um, b.outcome.total_length_um)
+        << "seed " << seed;
+    EXPECT_EQ(a.outcome.critical_delay_ps, b.outcome.critical_delay_ps)
+        << "seed " << seed;
+    EXPECT_EQ(a.outcome.worst_margin_ps, b.outcome.worst_margin_ps)
+        << "seed " << seed;
+    EXPECT_EQ(a.outcome.violated_constraints, b.outcome.violated_constraints);
+    EXPECT_EQ(a.outcome.feed_cells_added, b.outcome.feed_cells_added);
+    // Constraint order is preserved by the relabeling, so margins compare
+    // slot by slot; the density profile is per physical channel, which the
+    // relabeling does not move.
+    EXPECT_EQ(a.margins, b.margins) << "seed " << seed;
+    EXPECT_EQ(a.channel_c_max, b.channel_c_max) << "seed " << seed;
+  }
+}
+
+TEST(Metamorphic, ScalingConstraintLimitsShiftsMargins) {
+  for (const std::uint64_t seed : {4u, 13u}) {
+    const Dataset design = generate_circuit(meta_spec(seed));
+    const double scale = 1.75;
+
+    DelayGraph graph_a(design.netlist);
+    DelayGraph graph_b(design.netlist);
+    // Arbitrary but identical wiring capacitances on both graphs.
+    Rng rng(seed);
+    for (const NetId n : design.netlist.nets()) {
+      const double cap = rng.uniform_real(0.05, 1.5);
+      graph_a.set_net_cap(n, cap);
+      graph_b.set_net_cap(n, cap);
+    }
+    std::vector<PathConstraint> scaled = design.constraints;
+    for (PathConstraint& pc : scaled) pc.limit_ps *= scale;
+
+    const TimingAnalyzer base(graph_a, design.constraints);
+    const TimingAnalyzer shifted(graph_b, scaled);
+    ASSERT_EQ(base.constraint_count(), shifted.constraint_count());
+    for (const ConstraintId p : base.constraints()) {
+      const double limit = design.constraints[p.index()].limit_ps;
+      // M'(P) = c·δ − critical, computed exactly as the analyzer does.
+      const double critical = limit - base.margin_ps(p);
+      EXPECT_EQ(shifted.margin_ps(p), limit * scale - critical)
+          << "constraint " << p.index() << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgr

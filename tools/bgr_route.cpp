@@ -7,6 +7,11 @@
 //     --rc                use the Elmore RC delay model extension
 //     --sequential        sequential (net-at-a-time) initial routing
 //     --no-improve        skip the §3.5 improvement phases
+//     --incremental-sta {on,off}
+//                         dirty-cone incremental arrival-time updates (on,
+//                         the default) or full per-constraint re-sweeps
+//                         (off, the original behavior); the routed result
+//                         is bit-identical either way
 //     --threads N         exec/ worker threads (1 = serial, 0 = hardware);
 //                         the result is bit-identical for any N
 //     --repeat K          route K times (fresh design each run) and report
@@ -41,7 +46,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
-               "[--rc] [--sequential] [--no-improve] [--threads N] "
+               "[--rc] [--sequential] [--no-improve] "
+               "[--incremental-sta on|off] [--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
                "[--skew]\n");
 }
@@ -89,6 +95,16 @@ int main(int argc, char** argv) {
       options.delay_model = DelayModel::kElmoreRC;
     } else if (arg == "--sequential") {
       options.concurrent_initial = false;
+    } else if (arg == "--incremental-sta" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "on") {
+        options.incremental_sta = true;
+      } else if (mode == "off") {
+        options.incremental_sta = false;
+      } else {
+        std::fprintf(stderr, "error: --incremental-sta must be on or off\n");
+        return 2;
+      }
     } else if (arg == "--no-improve") {
       options.enable_violation_recovery = false;
       options.enable_delay_improvement = false;
@@ -177,10 +193,12 @@ int main(int argc, char** argv) {
         for (const PhaseStats& ph : outcome.phases) {
           std::printf(
               "phase %-16s deletions %6lld reroutes %5lld crit %8.1f ps "
-              "sumCM %6lld\n",
+              "sumCM %6lld dirty %8lld relax %9lld\n",
               ph.name.c_str(), static_cast<long long>(ph.deletions),
               static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
-              static_cast<long long>(ph.sum_max_density));
+              static_cast<long long>(ph.sum_max_density),
+              static_cast<long long>(ph.sta_dirty_vertices),
+              static_cast<long long>(ph.sta_relaxations));
         }
         print_phase_times(outcome);
         std::printf("feed cells added %d (chip +%d pitches)\n",
