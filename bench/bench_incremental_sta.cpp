@@ -61,30 +61,27 @@ void print_run(const StaRun& r) {
 
 void emit_json(const CircuitSpec& spec, const StaRun& full,
                const StaRun& inc, double ratio, bool identical) {
-  bench::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "incremental_sta");
-  json.field("design", spec.name);
-  json.begin_array("modes");
+  RunReport report("bench.incremental_sta");
+  report.section("design").set("name", spec.name);
+  JsonValue& modes = report.section("modes");
   for (const StaRun* r : {&full, &inc}) {
-    json.begin_element();
-    json.field("mode", r->incremental ? "incremental" : "full");
-    json.field("route_seconds", r->route_s);
-    json.field("deletions", r->deletions);
-    json.field("relaxations", r->relaxations);
-    json.field("dirty_vertices", r->dirty_vertices);
-    json.field("sta_updates", r->updates);
-    json.field("critical_delay_ps", r->outcome.critical_delay_ps);
-    json.field("total_length_um", r->outcome.total_length_um);
-    json.end_object();
+    JsonValue entry;
+    entry.set("mode", r->incremental ? "incremental" : "full");
+    entry.set("route_seconds", r->route_s);
+    entry.set("deletions", r->deletions);
+    entry.set("relaxations", r->relaxations);
+    entry.set("dirty_vertices", r->dirty_vertices);
+    entry.set("sta_updates", r->updates);
+    entry.set("critical_delay_ps", r->outcome.critical_delay_ps);
+    entry.set("total_length_um", r->outcome.total_length_um);
+    modes.push_back(std::move(entry));
   }
-  json.end_array();
-  json.field("relaxations_per_deletion_ratio", ratio);
-  json.field("wall_speedup",
+  JsonValue& result = report.section("result");
+  result.set("relaxations_per_deletion_ratio", ratio);
+  result.set("wall_speedup",
              inc.route_s > 0.0 ? full.route_s / inc.route_s : 0.0);
-  json.field("outcomes_identical", identical);
-  json.end_object();
-  json.save("BENCH_incremental_sta.json");
+  result.set("outcomes_identical", identical);
+  bench::save_report(report, "BENCH_incremental_sta.json");
 }
 
 }  // namespace

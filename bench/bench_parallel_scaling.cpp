@@ -52,27 +52,23 @@ ScalingRun route_once(const CircuitSpec& spec, std::int32_t threads) {
 void emit_json(const CircuitSpec& spec, const std::vector<ScalingRun>& runs,
                bool deterministic) {
   const ScalingRun& base = runs.front();
-  bench::JsonWriter json;
-  json.begin_object();
-  json.field("bench", "parallel_scaling");
-  json.field("design", spec.name);
-  json.begin_array("runs");
+  RunReport report("bench.parallel_scaling");
+  report.section("design").set("name", spec.name);
+  JsonValue& out = report.section("runs");
   for (const ScalingRun& r : runs) {
-    json.begin_element();
-    json.field("threads", r.threads);
-    json.field("initial_seconds", r.initial_s);
-    json.field("phases_total_seconds", r.phases_total_s);
-    json.field("initial_speedup",
-               r.initial_s > 0.0 ? base.initial_s / r.initial_s : 0.0);
-    json.field("total_speedup", r.phases_total_s > 0.0
-                                    ? base.phases_total_s / r.phases_total_s
-                                    : 0.0);
-    json.end_object();
+    JsonValue entry;
+    entry.set("threads", static_cast<std::int64_t>(r.threads));
+    entry.set("initial_seconds", r.initial_s);
+    entry.set("phases_total_seconds", r.phases_total_s);
+    entry.set("initial_speedup",
+              r.initial_s > 0.0 ? base.initial_s / r.initial_s : 0.0);
+    entry.set("total_speedup", r.phases_total_s > 0.0
+                                   ? base.phases_total_s / r.phases_total_s
+                                   : 0.0);
+    out.push_back(std::move(entry));
   }
-  json.end_array();
-  json.field("deterministic", deterministic);
-  json.end_object();
-  json.save("BENCH_parallel_scaling.json");
+  report.section("result").set("deterministic", deterministic);
+  bench::save_report(report, "BENCH_parallel_scaling.json");
 }
 
 }  // namespace

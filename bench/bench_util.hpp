@@ -2,14 +2,12 @@
 
 // Shared helpers for the benchmark/reproduction binaries.
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "bgr/gen/generator.hpp"
 #include "bgr/io/table.hpp"
+#include "bgr/obs/run_report.hpp"
 #include "bgr/route/router.hpp"
 
 namespace bgr::bench {
@@ -26,82 +24,14 @@ inline void print_substitution_note() {
                "not absolute values)\n";
 }
 
-/// Tiny JSON emitter for the BENCH_*.json perf-trajectory files. Handles
-/// the flat-ish objects the benches need (nested objects/arrays, string and
-/// numeric fields) without pulling in a JSON dependency. Values are written
-/// with enough precision to round-trip a double.
-class JsonWriter {
- public:
-  void begin_object() { open('{'); }
-  void end_object() { close('}'); }
-  void begin_array(const std::string& key) { item_key(key); open('['); }
-  void end_array() { close(']'); }
-  void begin_object(const std::string& key) { item_key(key); open('{'); }
-  /// Begins an unkeyed object (an array element).
-  void begin_element() { comma(); open_raw('{'); }
-
-  void field(const std::string& key, const std::string& value) {
-    item_key(key);
-    out_ << '"' << escaped(value) << '"';
-  }
-  void field(const std::string& key, const char* value) {
-    field(key, std::string(value));
-  }
-  void field(const std::string& key, double value) {
-    item_key(key);
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    out_ << buf;
-  }
-  void field(const std::string& key, std::int64_t value) {
-    item_key(key);
-    out_ << value;
-  }
-  void field(const std::string& key, std::int32_t value) {
-    field(key, static_cast<std::int64_t>(value));
-  }
-  void field(const std::string& key, bool value) {
-    item_key(key);
-    out_ << (value ? "true" : "false");
-  }
-
-  /// Writes the finished document (plus trailing newline) to `path`.
-  void save(const std::string& path) const {
-    std::ofstream os(path);
-    os << out_.str() << "\n";
-    std::printf("wrote %s\n", path.c_str());
-  }
-
- private:
-  static std::string escaped(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-  void comma() {
-    if (!first_.empty() && !first_.back()) out_ << ", ";
-    if (!first_.empty()) first_.back() = false;
-  }
-  void item_key(const std::string& key) {
-    comma();
-    out_ << '"' << escaped(key) << "\": ";
-  }
-  void open(char c) { open_raw(c); }
-  void open_raw(char c) {
-    out_ << c;
-    first_.push_back(true);
-  }
-  void close(char c) {
-    first_.pop_back();
-    out_ << c;
-  }
-
-  std::ostringstream out_;
-  std::vector<bool> first_;
-};
+/// Writes a bench RunReport (plus trailing newline) to `path` and prints
+/// the customary "wrote" line. Benches build their BENCH_*.json documents
+/// through obs/RunReport so the perf trajectory shares the bgr_route
+/// schema (schema_version, kind, named sections).
+inline void save_report(const RunReport& report, const std::string& path) {
+  report.save(path);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Field-by-field equality of two routed results, phase stats included —
 /// the cross-check the determinism and incremental-STA benches both rely

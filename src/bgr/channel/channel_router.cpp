@@ -5,9 +5,35 @@
 #include <map>
 #include <set>
 
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
 #include "bgr/route/net_span.hpp"
 
 namespace bgr {
+
+namespace {
+
+/// Channel-stage totals: all recorded from the serial per-channel loop in
+/// ChannelStage::run(), so they are semantic. `track_overflow` sums
+/// max(0, tracks - density) over channels — tracks spent above the density
+/// lower bound.
+struct ChannelMetrics {
+  Counter& segments = MetricsRegistry::global().counter(
+      "channel.segments", MetricScope::kSemantic);
+  Counter& track_overflow = MetricsRegistry::global().counter(
+      "channel.track_overflow", MetricScope::kSemantic);
+  Counter& vcg_violations = MetricsRegistry::global().counter(
+      "channel.vcg_violations", MetricScope::kSemantic);
+  Histogram& tracks = MetricsRegistry::global().histogram(
+      "channel.tracks", MetricScope::kSemantic);
+};
+
+ChannelMetrics& channel_metrics() {
+  static ChannelMetrics* const m = new ChannelMetrics();
+  return *m;
+}
+
+}  // namespace
 
 std::int32_t left_edge_assign(std::vector<ChannelSegment>& segments) {
   std::stable_sort(segments.begin(), segments.end(),
@@ -409,10 +435,17 @@ void ChannelStage::assign_tracks(ChannelPlan& plan) const {
 void ChannelStage::run() {
   BGR_CHECK(!ran_);
   ran_ = true;
+  ScopedSpan span("channel_route", "channel");
   extract(router_);
   const TechParams& tech = router_.tech();
   for (auto& plan : plans_) {
     assign_tracks(plan);
+    channel_metrics().segments.add(
+        static_cast<std::int64_t>(plan.segments.size()));
+    channel_metrics().tracks.record(plan.tracks);
+    channel_metrics().track_overflow.add(
+        std::max<std::int32_t>(0, plan.tracks - plan.density));
+    channel_metrics().vcg_violations.add(plan.vcg_violations);
     // Vertical jog lengths: distance from the segment's track to the edge
     // each tap enters from. Track t (1-based) sits t * pitch above the
     // channel's bottom edge.

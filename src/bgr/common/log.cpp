@@ -1,12 +1,21 @@
 #include "bgr/common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+
+#include "bgr/obs/json.hpp"
 
 namespace bgr {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+// Serializes the stream write: without it, messages emitted by
+// thread-pool workers (e.g. a BGR_CHECK context dump racing a warning)
+// could interleave mid-line.
+std::mutex g_mutex;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -24,14 +33,49 @@ const char* prefix(LogLevel level) {
   return "";
 }
 
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+std::int64_t wall_ts_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_format(LogFormat format) { g_format.store(format); }
+
+LogFormat log_format() { return g_format.load(); }
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  if (g_format.load() == LogFormat::kJson) {
+    const std::string line = "{\"ts_us\": " + std::to_string(wall_ts_us()) +
+                             ", \"level\": \"" + level_name(level) +
+                             "\", \"msg\": \"" + json_escaped(message) + "\"}";
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "%s%s\n", prefix(level), message.c_str());
 }
 

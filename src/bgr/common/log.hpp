@@ -6,10 +6,20 @@ namespace bgr {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Output shape of the log sink: classic "[level] message" lines, or one
+/// JSON object per line ({"ts_us":..., "level":..., "msg":...}) for
+/// machine consumption (`bgr_route --log-format json`).
+enum class LogFormat { kText, kJson };
+
 /// Process-wide log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+void set_log_format(LogFormat format);
+[[nodiscard]] LogFormat log_format();
+
+/// Thread-safe: the emitting write is serialized, so messages from
+/// thread-pool workers can never interleave mid-line.
 void log_message(LogLevel level, const std::string& message);
 
 inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }

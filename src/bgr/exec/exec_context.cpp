@@ -8,8 +8,31 @@
 #include <thread>
 
 #include "bgr/common/check.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
 
 namespace bgr {
+
+namespace {
+
+/// Region/chunk totals depend on whether the serial fast paths fire
+/// (thread count 1 skips the score warm-up entirely), so they live in the
+/// nondeterministic namespace alongside the wall-time metrics.
+struct ExecMetrics {
+  Counter& regions = MetricsRegistry::global().counter(
+      "exec.regions", MetricScope::kNonDeterministic);
+  Counter& chunks = MetricsRegistry::global().counter(
+      "exec.chunks", MetricScope::kNonDeterministic);
+  Counter& items = MetricsRegistry::global().counter(
+      "exec.items", MetricScope::kNonDeterministic);
+};
+
+ExecMetrics& exec_metrics() {
+  static ExecMetrics* const m = new ExecMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ExecContext::ExecContext(std::int32_t threads)
     : threads_(std::max<std::int32_t>(threads, 1)) {}
@@ -25,6 +48,11 @@ void ExecContext::ensure_pool() {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
 
+void ExecContext::note_items(std::int64_t n) {
+  stats_.items += n;
+  exec_metrics().items.add(n);
+}
+
 namespace {
 
 /// Shared state of one parallel region. Held by shared_ptr so a pool
@@ -38,6 +66,7 @@ struct Region {
   std::atomic<std::int64_t> next{0};
   std::int64_t total;
   const std::function<void(std::int64_t)>* fn;  // outlives the region wait
+  bool traced = false;  // snapshot of Trace enablement at region entry
 
   std::mutex mutex;
   std::condition_variable done_cv;
@@ -50,7 +79,12 @@ struct Region {
       if (c >= total) break;
       std::exception_ptr caught;
       try {
-        (*fn)(c);
+        if (traced) {
+          ScopedSpan span("chunk", "exec");
+          (*fn)(c);
+        } else {
+          (*fn)(c);
+        }
       } catch (...) {
         caught = std::current_exception();
       }
@@ -68,6 +102,8 @@ void ExecContext::run_chunks(std::int64_t chunk_count,
   if (chunk_count <= 0) return;
   ++stats_.regions;
   stats_.chunks += chunk_count;
+  exec_metrics().regions.add(1);
+  exec_metrics().chunks.add(chunk_count);
   if (serial() || chunk_count == 1) {
     ++stats_.serial_regions;
     for (std::int64_t c = 0; c < chunk_count; ++c) chunk_fn(c);
@@ -75,7 +111,9 @@ void ExecContext::run_chunks(std::int64_t chunk_count,
   }
 
   ensure_pool();
+  ScopedSpan region_span("parallel_region", "exec");
   auto region = std::make_shared<Region>(chunk_count, chunk_fn);
+  region->traced = Trace::global().enabled();
   const std::int64_t helpers =
       std::min<std::int64_t>(threads_ - 1, chunk_count - 1);
   for (std::int64_t i = 0; i < helpers; ++i) {

@@ -53,8 +53,9 @@ class ExecContext {
   void run_chunks(std::int64_t chunk_count,
                   const std::function<void(std::int64_t)>& chunk_fn);
 
-  /// Stats bookkeeping used by parallel_for/parallel_reduce.
-  void note_items(std::int64_t n) { stats_.items += n; }
+  /// Stats bookkeeping used by parallel_for/parallel_reduce; also feeds
+  /// the process-wide `exec.items` metric.
+  void note_items(std::int64_t n);
 
  private:
   void ensure_pool();

@@ -1,8 +1,27 @@
 #include "bgr/exec/thread_pool.hpp"
 
 #include "bgr/common/check.hpp"
+#include "bgr/obs/metrics.hpp"
 
 namespace bgr {
+
+namespace {
+
+/// Queue-depth-at-submit distribution: how backed up the pool was every
+/// time a region handed it work. Scheduling-dependent by nature.
+Histogram& queue_depth_histogram() {
+  static Histogram& h = MetricsRegistry::global().histogram(
+      "exec.queue_depth", MetricScope::kNonDeterministic);
+  return h;
+}
+
+Counter& submitted_counter() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "exec.pool_tasks", MetricScope::kNonDeterministic);
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::int32_t workers) {
   BGR_CHECK(workers >= 0);
@@ -23,12 +42,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   BGR_CHECK(task != nullptr);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     BGR_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
     tasks_.push(std::move(task));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  submitted_counter().add(1);
+  queue_depth_histogram().record(static_cast<std::int64_t>(depth));
 }
 
 void ThreadPool::worker_loop() {

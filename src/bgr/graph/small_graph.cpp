@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "bgr/obs/metrics.hpp"
+
 namespace bgr {
 
 std::int32_t SmallGraph::add_vertex() {
@@ -133,6 +135,15 @@ std::vector<bool> SmallGraph::bridges() const {
 SmallGraph::ShortestPaths SmallGraph::dijkstra(std::int32_t source,
                                                std::int32_t skip_edge) const {
   BGR_CHECK(vertex_alive(source));
+  // Relaxation work is a pure function of the graph and its weights, so
+  // the totals are semantic even though scoring fans dijkstra calls out
+  // across threads; the inner loop accumulates locally and the counters
+  // take one atomic add per call.
+  static Counter& calls = MetricsRegistry::global().counter(
+      "graph.dijkstra_calls", MetricScope::kSemantic);
+  static Counter& relaxations = MetricsRegistry::global().counter(
+      "graph.dijkstra_relaxations", MetricScope::kSemantic);
+  std::int64_t relaxed = 0;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   ShortestPaths sp;
   sp.dist.assign(static_cast<std::size_t>(vertex_count()), kInf);
@@ -154,9 +165,12 @@ SmallGraph::ShortestPaths SmallGraph::dijkstra(std::int32_t source,
         sp.dist[static_cast<std::size_t>(w)] = nd;
         sp.parent_edge[static_cast<std::size_t>(w)] = e;
         heap.emplace(nd, w);
+        ++relaxed;
       }
     }
   }
+  calls.add(1);
+  relaxations.add(relaxed);
   return sp;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bgr/channel/channel_router.hpp"
+#include "bgr/obs/run_report.hpp"
 #include "bgr/route/router.hpp"
 
 namespace bgr {
@@ -39,5 +40,25 @@ struct RouteStats {
 
 /// Pretty-prints the statistics block.
 void print_stats(std::ostream& os, const RouteStats& stats);
+
+/// Run-scoped inputs to make_run_report() that only the caller knows:
+/// identity of the design, the end-to-end wall time, and the channel-stage
+/// (detailed) critical delay.
+struct RunReportInfo {
+  std::string design;
+  bool constrained = true;
+  double detailed_delay_ps = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds the `--metrics-out` document: design/options/result/stats are
+/// deterministic sections; phase entries keep their wall time and exec
+/// activity under a "wall" sub-object; the "run" section and
+/// "metrics.nondeterministic" hold everything scheduling-dependent (see
+/// RunReport for the layout contract that check_run_report.py enforces).
+[[nodiscard]] RunReport make_run_report(const GlobalRouter& router,
+                                        const ChannelStage& channel,
+                                        const RouteOutcome& outcome,
+                                        const RunReportInfo& info);
 
 }  // namespace bgr

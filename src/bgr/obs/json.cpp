@@ -1,0 +1,397 @@
+#include "bgr/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bgr {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string("JsonValue: not a ") + want);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::kInt) type_error("integer");
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) type_error("number");
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) type_error("string");
+  return string_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) type_error("array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  type_error("array or object");
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (kind_ != Kind::kArray) type_error("array");
+  return array_.at(i);
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) type_error("object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(v));
+  return object_.back().second;
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) type_error("object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) return existing;
+  }
+  object_.emplace_back(std::string(key), JsonValue());
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("JsonValue: missing key '" + std::string(key) +
+                             "'");
+  }
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) type_error("object");
+  return object_;
+}
+
+std::string json_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(indent + 2, ' ') : "";
+  const std::string close_pad = pretty ? std::string(indent, ' ') : "";
+  const char* sep = pretty ? ",\n" : ", ";
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_;
+      break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        os << "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      os << buf;
+      break;
+    }
+    case Kind::kString:
+      os << '"' << json_escaped(string_) << '"';
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << sep;
+        else if (pretty) os << '\n';
+        os << pad;
+        array_[i].write(os, pretty ? indent + 2 : -1);
+      }
+      if (pretty) os << '\n' << close_pad;
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) os << sep;
+        else if (pretty) os << '\n';
+        os << pad << '"' << json_escaped(object_[i].first) << "\": ";
+        object_[i].second.write(os, pretty ? indent + 2 : -1);
+      }
+      if (pretty) os << '\n' << close_pad;
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the full document.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what our own documents ever contain).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      if (is_double) return JsonValue(std::stod(token));
+      return JsonValue(static_cast<std::int64_t>(std::stoll(token)));
+    } catch (const std::exception&) {
+      fail("bad number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace bgr

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bgr {
+
+/// Minimal JSON document model for the observability layer: the run
+/// report, the Chrome trace emitter and the JSON log sink all build
+/// documents out of it, and the tests parse their own output back with
+/// json_parse() to validate schema and trace shape. Objects preserve
+/// insertion order so serialized reports are stable across runs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}                 // NOLINT
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}           // NOLINT
+  JsonValue(std::int32_t v) : JsonValue(static_cast<std::int64_t>(v)) {}  // NOLINT
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}           // NOLINT
+  JsonValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}  // NOLINT
+  JsonValue(const char* v) : JsonValue(std::string(v)) {}             // NOLINT
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  // ints convert
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access. push_back() turns a null value into an array.
+  void push_back(JsonValue v);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t i) const;
+
+  /// Object access. set()/operator[] turn a null value into an object;
+  /// set() replaces an existing key in place (order kept).
+  JsonValue& set(std::string_view key, JsonValue v);
+  JsonValue& operator[](std::string_view key);
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Serializes with 2-space indentation (indent < 0: single line).
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document; throws std::runtime_error (with an
+/// offset in the message) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Escapes a string for embedding inside a JSON string literal (quotes
+/// not included).
+[[nodiscard]] std::string json_escaped(std::string_view s);
+
+}  // namespace bgr

@@ -1,0 +1,146 @@
+#include "bgr/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace bgr {
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  const std::int32_t b = static_cast<std::int32_t>(std::bit_width(u));
+  buckets_[static_cast<std::size_t>(std::min<std::int32_t>(b, kBuckets - 1))]
+      .fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // min_/max_ start at the sentinel extremes, so the CAS loops are exact
+  // even when the first samples race.
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0;
+}
+
+std::int64_t Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0;
+}
+
+std::int64_t Histogram::bucket_lo(std::int32_t i) {
+  if (i <= 0) return 0;
+  return std::int64_t{1} << (i - 1);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(std::numeric_limits<std::int64_t>::min(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+JsonValue Histogram::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("count", count());
+  out.set("sum", sum());
+  out.set("min", min());
+  out.set("max", max());
+  JsonValue buckets = JsonValue::array();
+  for (std::int32_t i = 0; i < kBuckets; ++i) {
+    const std::int64_t n = bucket(i);
+    if (n == 0) continue;
+    JsonValue pair = JsonValue::array();
+    pair.push_back(bucket_lo(i));
+    pair.push_back(n);
+    buckets.push_back(std::move(pair));
+  }
+  out.set("buckets", std::move(buckets));
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, MetricScope scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) {
+      if (c->scope() != scope) {
+        throw std::runtime_error("metric '" + std::string(name) +
+                                 "' re-registered with a different scope");
+      }
+      return *c;
+    }
+  }
+  counters_.emplace_back(new Counter(std::string(name), scope));
+  return *counters_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      MetricScope scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) {
+      if (h->scope() != scope) {
+        throw std::runtime_error("metric '" + std::string(name) +
+                                 "' re-registered with a different scope");
+      }
+      return *h;
+    }
+  }
+  histograms_.emplace_back(new Histogram(std::string(name), scope));
+  return *histograms_.back();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& h : histograms_) h->reset();
+}
+
+JsonValue MetricsRegistry::scope_json(MetricScope scope) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, JsonValue>> rows;
+  for (const auto& c : counters_) {
+    if (c->scope() == scope) rows.emplace_back(c->name(), JsonValue(c->value()));
+  }
+  for (const auto& h : histograms_) {
+    if (h->scope() == scope) rows.emplace_back(h->name(), h->to_json());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  JsonValue out = JsonValue::object();
+  for (auto& [name, value] : rows) out.set(name, std::move(value));
+  return out;
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("semantic", scope_json(MetricScope::kSemantic));
+  out.set("nondeterministic", scope_json(MetricScope::kNonDeterministic));
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& c : counters_) out.push_back(c->name());
+  for (const auto& h : histograms_) out.push_back(h->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgr

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgr/obs/json.hpp"
+
+namespace bgr {
+
+/// Determinism contract of a metric (see DESIGN.md §9).
+///
+/// kSemantic values are pure functions of the input design and the
+/// algorithm options: bit-identical for any `--threads N`, any scheduling
+/// interleave, any wall-clock speed. The determinism ctest and
+/// tools/check_run_report.py enforce this across thread counts, so a
+/// counter may only be registered kSemantic when every increment is
+/// value-driven (edges deleted, vertices relaxed, ...), never
+/// schedule-driven (cache hits that depend on which thread got there
+/// first, queue depths, timings).
+enum class MetricScope { kSemantic, kNonDeterministic };
+
+/// Thread-safe monotonically named counter. add() is a single relaxed
+/// fetch_add — cheap enough for hot loops; hot inner loops should still
+/// accumulate locally and add once per call (see SmallGraph::dijkstra).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] MetricScope scope() const { return scope_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, MetricScope scope)
+      : name_(std::move(name)), scope_(scope) {}
+
+  std::string name_;
+  MetricScope scope_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Thread-safe power-of-two histogram over non-negative int64 samples:
+/// bucket i counts samples whose bit width is i (bucket 0 holds the value
+/// 0; negative samples clamp to 0). Tracks count, sum, min and max
+/// exactly; the buckets give the shape.
+class Histogram {
+ public:
+  static constexpr std::int32_t kBuckets = 64;
+
+  void record(std::int64_t v);
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Minimum / maximum recorded sample; 0 when empty.
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] std::int64_t bucket(std::int32_t i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::int64_t bucket_lo(std::int32_t i);
+  void reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] MetricScope scope() const { return scope_; }
+
+  /// {"count":N,"sum":S,"min":m,"max":M,"buckets":[[lo,count],...]} with
+  /// only the non-empty buckets listed.
+  [[nodiscard]] JsonValue to_json() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, MetricScope scope)
+      : name_(std::move(name)), scope_(scope) {}
+
+  std::string name_;
+  MetricScope scope_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // Sentinel extremes; the accessors report 0 while count() == 0.
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+};
+
+/// Registry of named counters and histograms. Registration is
+/// mutex-guarded and idempotent (same name → same object; re-registering
+/// with a different scope is an error); the returned references stay
+/// valid for the registry's lifetime, so hot call sites cache them in a
+/// local static. reset() zeroes every value but keeps the registrations.
+///
+/// global() is the process-wide instance every subsystem instruments;
+/// it is intentionally a leaked singleton so worker threads may still
+/// touch counters during static destruction.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name, MetricScope scope);
+  Histogram& histogram(std::string_view name, MetricScope scope);
+
+  void reset();
+
+  /// Name → value snapshot of one scope, sorted by name. Counters map to
+  /// their integer value, histograms to their to_json() object.
+  [[nodiscard]] JsonValue scope_json(MetricScope scope) const;
+  /// {"semantic": {...}, "nondeterministic": {...}}.
+  [[nodiscard]] JsonValue to_json() const;
+  /// Sorted names of every registered metric (both scopes).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr storage: atomics are immovable and addresses must be
+  // stable for the cached references at the instrumentation sites.
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bgr

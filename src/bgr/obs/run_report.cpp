@@ -1,0 +1,23 @@
+#include "bgr/obs/run_report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace bgr {
+
+RunReport::RunReport(std::string kind) {
+  root_ = JsonValue::object();
+  root_.set("schema_version", kRunReportSchemaVersion);
+  root_.set("kind", std::move(kind));
+}
+
+void RunReport::write(std::ostream& os) const { root_.write(os, 0); }
+
+void RunReport::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write run report " + path);
+  write(os);
+  os << "\n";
+}
+
+}  // namespace bgr

@@ -1,0 +1,119 @@
+#include "bgr/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace bgr {
+
+Trace& Trace::global() {
+  static Trace* const instance = new Trace();
+  return *instance;
+}
+
+void Trace::enable() {
+  t0_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Trace::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::int64_t Trace::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+Trace::ThreadBuf& Trace::local_buf() {
+  thread_local ThreadBuf* cached = nullptr;
+  if (cached == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuf>());
+    cached = buffers_.back().get();
+    cached->tid = static_cast<std::int32_t>(buffers_.size()) - 1;
+  }
+  return *cached;
+}
+
+std::int32_t Trace::current_thread_id() { return local_buf().tid; }
+
+void Trace::record_complete(std::string name, const char* category,
+                            std::int64_t ts_us, std::int64_t dur_us) {
+  ThreadBuf& buf = local_buf();
+  Event ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<Trace::Event> Trace::events() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;  // parents first
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+JsonValue Trace::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("displayTimeUnit", "ms");
+  JsonValue arr = JsonValue::array();
+
+  std::int32_t max_tid = -1;
+  for (const Event& ev : events()) {
+    JsonValue e = JsonValue::object();
+    e.set("name", ev.name);
+    e.set("cat", ev.category);
+    e.set("ph", "X");
+    e.set("ts", ev.ts_us);
+    e.set("dur", ev.dur_us);
+    e.set("pid", std::int64_t{1});
+    e.set("tid", ev.tid);
+    arr.push_back(std::move(e));
+    max_tid = std::max(max_tid, ev.tid);
+  }
+  for (std::int32_t tid = 0; tid <= max_tid; ++tid) {
+    JsonValue meta = JsonValue::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", std::int64_t{1});
+    meta.set("tid", tid);
+    JsonValue args = JsonValue::object();
+    args.set("name", tid == 0 ? std::string("main") :
+                                "worker-" + std::to_string(tid));
+    meta.set("args", std::move(args));
+    arr.push_back(std::move(meta));
+  }
+  doc.set("traceEvents", std::move(arr));
+  return doc;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write trace file " + path);
+  to_json().write(os, 0);
+  os << "\n";
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+}  // namespace bgr

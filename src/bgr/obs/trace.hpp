@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgr/obs/json.hpp"
+
+namespace bgr {
+
+/// Span-based tracer emitting Chrome trace-event JSON (loadable in
+/// Perfetto / chrome://tracing). Disabled by default; when disabled every
+/// instrumentation point costs one relaxed atomic load and nothing is
+/// recorded. When enabled, spans land in per-thread buffers (one
+/// uncontended mutex each) so pool workers never serialize against each
+/// other, and each buffer carries a small dense thread id.
+///
+/// global() is a leaked singleton for the same reason as
+/// MetricsRegistry::global(): pool workers may record during teardown.
+class Trace {
+ public:
+  struct Event {
+    std::string name;
+    const char* category;  // static string
+    std::int64_t ts_us;    // since enable()
+    std::int64_t dur_us;
+    std::int32_t tid;
+  };
+
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  [[nodiscard]] static Trace& global();
+
+  /// Starts recording; the enable() instant is timestamp 0.
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since enable() on the steady clock.
+  [[nodiscard]] std::int64_t now_us() const;
+
+  /// Records a complete ('X') event on the calling thread's buffer.
+  /// `category` must be a static string.
+  void record_complete(std::string name, const char* category,
+                       std::int64_t ts_us, std::int64_t dur_us);
+
+  /// Drains nothing: snapshots all recorded events sorted by
+  /// (ts, -dur, tid) — the order chrome://tracing expects and the
+  /// validity test checks nesting in.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with one 'X' entry per
+  /// span plus thread_name metadata records.
+  [[nodiscard]] JsonValue to_json() const;
+  void save(const std::string& path) const;
+
+  /// Drops all recorded events (buffers and thread ids survive).
+  void clear();
+
+  /// Dense id of the calling thread (0 = first thread seen).
+  [[nodiscard]] std::int32_t current_thread_id();
+
+ private:
+  struct ThreadBuf {
+    std::int32_t tid = 0;
+    std::mutex mutex;
+    std::vector<Event> events;
+  };
+
+  ThreadBuf& local_buf();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point t0_{};
+  mutable std::mutex mutex_;  // guards buffers_
+  std::vector<std::unique_ptr<ThreadBuf>> buffers_;
+};
+
+/// RAII span against Trace::global(). Construction snapshots the start
+/// time only when tracing is enabled; destruction records the complete
+/// event. Spans on one thread destruct LIFO, so per-thread events are
+/// strictly nested by construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, const char* category = "phase") {
+    if (!Trace::global().enabled()) return;
+    name_.assign(name);
+    category_ = category;
+    start_us_ = Trace::global().now_us();
+  }
+  ~ScopedSpan() {
+    if (start_us_ < 0) return;
+    Trace& trace = Trace::global();
+    trace.record_complete(std::move(name_), category_, start_us_,
+                          trace.now_us() - start_us_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_ = "";
+  std::int64_t start_us_ = -1;  // -1: tracing was off at construction
+};
+
+}  // namespace bgr

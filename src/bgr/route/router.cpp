@@ -8,10 +8,42 @@
 #include "bgr/common/natural_order.hpp"
 #include "bgr/common/stopwatch.hpp"
 #include "bgr/exec/parallel.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
 
 namespace bgr {
 
 namespace {
+
+/// Router metrics. Deletions, reroutes, graph builds and score-cache
+/// *misses* are semantic: the set of keys computed per selection round is
+/// identical whether the warm-up fans out or the serial scan fills them
+/// lazily. Cache *hits* are not — the parallel warm-up touches each
+/// warmed key a second time from the winner scan — so they sit in the
+/// nondeterministic namespace.
+struct RouteMetrics {
+  Counter& deleted_edges = MetricsRegistry::global().counter(
+      "route.deleted_edges", MetricScope::kSemantic);
+  Counter& reroutes = MetricsRegistry::global().counter(
+      "route.reroutes", MetricScope::kSemantic);
+  Counter& graphs_built = MetricsRegistry::global().counter(
+      "route.graphs_built", MetricScope::kSemantic);
+  Counter& score_miss = MetricsRegistry::global().counter(
+      "route.score_cache_miss", MetricScope::kSemantic);
+  Counter& score_hit = MetricsRegistry::global().counter(
+      "route.score_cache_hit", MetricScope::kNonDeterministic);
+  Counter& feed_cells = MetricsRegistry::global().counter(
+      "layout.feed_cells_added", MetricScope::kSemantic);
+  Counter& widen_pitches = MetricsRegistry::global().counter(
+      "layout.widen_pitches", MetricScope::kSemantic);
+  Histogram& graph_edges = MetricsRegistry::global().histogram(
+      "route.graph_edges", MetricScope::kSemantic);
+};
+
+RouteMetrics& route_metrics() {
+  static RouteMetrics* const m = new RouteMetrics();
+  return *m;
+}
 
 /// Minimum *stale* score count before the warm-up fans out; below this the
 /// serial lazy path is cheaper. Purely a performance knob — warmed and
@@ -66,6 +98,7 @@ std::int32_t GlobalRouter::net_density_width(NetId net) const {
 }
 
 void GlobalRouter::build_all_graphs() {
+  ScopedSpan span("build_graphs", "route");
   graphs_.clear();
   graphs_.resize(static_cast<std::size_t>(netlist_.net_count()));
   scores_.clear();
@@ -92,6 +125,8 @@ void GlobalRouter::build_all_graphs() {
   // Pre-size the score caches so the parallel warm-up never resizes a
   // vector another thread is reading.
   for (const NetId n : netlist_.nets()) {
+    route_metrics().graphs_built.add(1);
+    route_metrics().graph_edges.record(graphs_[n]->graph().edge_count());
     scores_[n].assign(
         static_cast<std::size_t>(graphs_[n]->graph().edge_count()),
         ScoreCache{});
@@ -272,9 +307,12 @@ const SelectionKey& GlobalRouter::cached_key(NetId net, std::int32_t edge) {
   ScoreCache& sc = vec[static_cast<std::size_t>(edge)];
   const std::uint64_t stamp = stamp_for(net, edge);
   if (!sc.valid || sc.stamp != stamp) {
+    route_metrics().score_miss.add(1);
     sc.key = compute_key(net, edge);
     sc.stamp = stamp;
     sc.valid = true;
+  } else {
+    route_metrics().score_hit.add(1);
   }
   return sc.key;
 }
@@ -342,6 +380,7 @@ void GlobalRouter::commit_delete(NetId net, std::int32_t edge,
     refresh_net_estimate(n.diff_partner);
   }
   ++stats.deletions;
+  route_metrics().deleted_edges.add(1);
   if (options_.deletion_observer) options_.deletion_observer(net, edge);
 }
 
@@ -487,6 +526,8 @@ void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
       graphs_[member] = std::make_unique<RoutingGraph>(
           netlist_, placement_, tech_, *assignment_, member, net, 1);
     }
+    route_metrics().graphs_built.add(1);
+    route_metrics().graph_edges.record(graphs_[member]->graph().edge_count());
     scores_[member].assign(
         static_cast<std::size_t>(graphs_[member]->graph().edge_count()),
         ScoreCache{});
@@ -495,6 +536,7 @@ void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
   }
   reduce_net_to_tree(net, stats);
   ++stats.reroutes;
+  route_metrics().reroutes.add(1);
 }
 
 void GlobalRouter::recover_violations(PhaseStats& stats) {
@@ -631,6 +673,7 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
     PhaseStats stats;
     stats.name = name;
+    ScopedSpan span(name, "phase");
     const ExecStats exec_before = exec_->stats();
     const StaStats sta_before = analyzer_->sta_stats();
     Stopwatch watch;
@@ -675,6 +718,7 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   RouteOutcome outcome;
   PhaseStats stats;
   stats.name = "eco_reroute";
+  ScopedSpan span(stats.name, "phase");
   const ExecStats exec_before = exec_->stats();
   const StaStats sta_before = analyzer_->sta_stats();
   Stopwatch watch;
@@ -727,6 +771,8 @@ RouteOutcome GlobalRouter::run() {
       std::make_unique<FeedthroughAssignment>(std::move(pipeline.assignment));
   feed_cells_added_ = pipeline.feed_cells_added;
   widen_pitches_ = pipeline.widen_pitches;
+  route_metrics().feed_cells.add(feed_cells_added_);
+  route_metrics().widen_pitches.add(widen_pitches_);
 
   density_ = std::make_unique<DensityMap>(placement_.channel_count(),
                                           placement_.width());
@@ -739,6 +785,7 @@ RouteOutcome GlobalRouter::run() {
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
     PhaseStats stats;
     stats.name = name;
+    ScopedSpan span(name, "phase");
     const ExecStats exec_before = exec_->stats();
     const StaStats sta_before = analyzer_->sta_stats();
     Stopwatch watch;

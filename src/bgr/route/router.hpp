@@ -137,6 +137,7 @@ class GlobalRouter {
 
   [[nodiscard]] const Placement& placement() const { return placement_; }
   [[nodiscard]] const TechParams& tech() const { return tech_; }
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
   [[nodiscard]] const DensityMap& density() const { return *density_; }
   [[nodiscard]] const TimingAnalyzer& analyzer() const { return *analyzer_; }
   [[nodiscard]] DelayGraph& delay_graph() { return *delay_graph_; }

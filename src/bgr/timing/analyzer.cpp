@@ -6,8 +6,38 @@
 
 #include "bgr/common/natural_order.hpp"
 #include "bgr/exec/parallel.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
 
 namespace bgr {
+
+namespace {
+
+/// STA work totals. Like StaStats, every add happens outside parallel
+/// regions (update_all accounts for the whole sweep up front; propagate
+/// results are consumed on the calling thread), so the totals are a pure
+/// function of the design and options — semantic.
+struct StaMetrics {
+  Counter& full_sweeps = MetricsRegistry::global().counter(
+      "sta.full_sweeps", MetricScope::kSemantic);
+  Counter& full_vertices = MetricsRegistry::global().counter(
+      "sta.full_vertices", MetricScope::kSemantic);
+  Counter& incremental_updates = MetricsRegistry::global().counter(
+      "sta.incremental_updates", MetricScope::kSemantic);
+  Counter& dirty_seeds = MetricsRegistry::global().counter(
+      "sta.dirty_seeds", MetricScope::kSemantic);
+  Counter& dirty_vertices = MetricsRegistry::global().counter(
+      "sta.dirty_vertices", MetricScope::kSemantic);
+  Histogram& dirty_cone = MetricsRegistry::global().histogram(
+      "sta.dirty_cone_size", MetricScope::kSemantic);
+};
+
+StaMetrics& sta_metrics() {
+  static StaMetrics* const m = new StaMetrics();
+  return *m;
+}
+
+}  // namespace
 
 double penalty(double margin_ps, double limit_ps) {
   BGR_CHECK(limit_ps > 0.0);
@@ -102,6 +132,8 @@ void TimingAnalyzer::update_for_net(NetId net) {
       recompute(p, exec_);
       ++stats_.full_sweeps;
       stats_.full_vertices += states_[p.index()].mask_size;
+      sta_metrics().full_sweeps.add(1);
+      sta_metrics().full_vertices.add(states_[p.index()].mask_size);
     }
     return;
   }
@@ -119,6 +151,10 @@ void TimingAnalyzer::update_for_net(NetId net) {
     ++stats_.incremental_updates;
     stats_.dirty_seeds += res.seeds;
     stats_.dirty_vertices += res.relaxed;
+    sta_metrics().incremental_updates.add(1);
+    sta_metrics().dirty_seeds.add(res.seeds);
+    sta_metrics().dirty_vertices.add(res.relaxed);
+    sta_metrics().dirty_cone.record(res.relaxed);
     if (res.any_change) {
       // Margin and downstream scores depend only on lp — untouched values
       // mean the constraint (and its score-cache version) stays put.
@@ -129,9 +165,14 @@ void TimingAnalyzer::update_for_net(NetId net) {
 }
 
 void TimingAnalyzer::update_all() {
+  ScopedSpan span("sta_update_all", "sta");
   const auto n = static_cast<std::int64_t>(constraints_.size());
   stats_.full_sweeps += n;
-  for (const ConstraintState& st : states_) stats_.full_vertices += st.mask_size;
+  sta_metrics().full_sweeps.add(n);
+  for (const ConstraintState& st : states_) {
+    stats_.full_vertices += st.mask_size;
+    sta_metrics().full_vertices.add(st.mask_size);
+  }
   if (exec_ != nullptr && !exec_->serial() && n > 1) {
     // One chunk per constraint; each recompute writes only its own state
     // and margin slot. Sweeps stay serial inside to avoid nested regions.

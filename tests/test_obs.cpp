@@ -1,0 +1,220 @@
+// Unit tests of the observability layer: the JSON document model, the
+// metrics registry (counters, histograms, scopes) and the span tracer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bgr/obs/json.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(Json, RoundTripsDocument) {
+  JsonValue doc = JsonValue::object();
+  doc.set("int", std::int64_t{42});
+  doc.set("neg", std::int64_t{-7});
+  doc.set("real", 2.5);
+  doc.set("flag", true);
+  doc.set("none", JsonValue());
+  doc.set("text", "a \"quoted\" \\ line\nwith\tcontrol");
+  JsonValue arr = JsonValue::array();
+  arr.push_back(std::int64_t{1});
+  arr.push_back("two");
+  doc.set("arr", std::move(arr));
+  doc["nested"].set("k", std::int64_t{3});
+
+  for (const int indent : {-1, 0}) {
+    const JsonValue back = json_parse(doc.dump(indent));
+    EXPECT_EQ(back.at("int").as_int(), 42);
+    EXPECT_EQ(back.at("neg").as_int(), -7);
+    EXPECT_DOUBLE_EQ(back.at("real").as_double(), 2.5);
+    EXPECT_TRUE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("none").is_null());
+    EXPECT_EQ(back.at("text").as_string(), doc.at("text").as_string());
+    EXPECT_EQ(back.at("arr").size(), 2u);
+    EXPECT_EQ(back.at("arr").at(1).as_string(), "two");
+    EXPECT_EQ(back.at("nested").at("k").as_int(), 3);
+  }
+}
+
+TEST(Json, PreservesInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("zebra", std::int64_t{1});
+  doc.set("alpha", std::int64_t{2});
+  doc.set("zebra", std::int64_t{3});  // replace keeps position
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "zebra");
+  EXPECT_EQ(members[0].second.as_int(), 3);
+  EXPECT_EQ(members[1].first, "alpha");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse(""), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{'a': 1}"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const JsonValue v = json_parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+}
+
+TEST(Metrics, CounterSumsConcurrentAdds) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("t.counter", MetricScope::kSemantic);
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), std::int64_t{kThreads} * kAdds);
+}
+
+TEST(Metrics, HistogramBucketsAndExtremes) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t.hist", MetricScope::kSemantic);
+  for (const std::int64_t v : {0, 1, 2, 3, 4, 100, -5}) h.record(v);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.sum(), 110);  // the -5 clamps to 0
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.bucket(0), 2);  // 0 and -5
+  EXPECT_EQ(h.bucket(1), 1);  // 1
+  EXPECT_EQ(h.bucket(2), 2);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 1);  // 4
+  EXPECT_EQ(h.bucket(7), 1);  // 100 in [64, 128)
+  EXPECT_EQ(Histogram::bucket_lo(7), 64);
+
+  const JsonValue json = h.to_json();
+  EXPECT_EQ(json.at("count").as_int(), 7);
+  EXPECT_EQ(json.at("buckets").size(), 5u);  // only non-empty buckets
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndScopeChecked) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("t.same", MetricScope::kSemantic);
+  Counter& b = registry.counter("t.same", MetricScope::kSemantic);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW((void)registry.counter("t.same", MetricScope::kNonDeterministic),
+               std::runtime_error);
+  // Counters and histograms live in separate namespaces per kind, but a
+  // histogram re-registered with another scope is equally an error.
+  Histogram& h = registry.histogram("t.h", MetricScope::kNonDeterministic);
+  EXPECT_EQ(&h, &registry.histogram("t.h", MetricScope::kNonDeterministic));
+  EXPECT_THROW((void)registry.histogram("t.h", MetricScope::kSemantic),
+               std::runtime_error);
+}
+
+TEST(Metrics, ResetKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("t.reset", MetricScope::kSemantic);
+  c.add(5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(&c, &registry.counter("t.reset", MetricScope::kSemantic));
+  ASSERT_EQ(registry.names().size(), 1u);
+}
+
+TEST(Metrics, ScopeJsonSplitsAndSorts) {
+  MetricsRegistry registry;
+  registry.counter("b.sem", MetricScope::kSemantic).add(1);
+  registry.counter("a.sem", MetricScope::kSemantic).add(2);
+  registry.counter("x.wall", MetricScope::kNonDeterministic).add(3);
+  const JsonValue json = registry.to_json();
+  const auto& sem = json.at("semantic").members();
+  ASSERT_EQ(sem.size(), 2u);
+  EXPECT_EQ(sem[0].first, "a.sem");  // sorted by name
+  EXPECT_EQ(sem[1].first, "b.sem");
+  ASSERT_EQ(json.at("nondeterministic").members().size(), 1u);
+  EXPECT_EQ(json.at("nondeterministic").at("x.wall").as_int(), 3);
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Trace& trace = Trace::global();
+  trace.disable();
+  trace.clear();
+  { ScopedSpan span("invisible", "test"); }
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, SpansNestAndSerializeAsChromeEvents) {
+  Trace& trace = Trace::global();
+  trace.clear();
+  trace.enable();
+  {
+    ScopedSpan outer("outer", "test");
+    { ScopedSpan inner("inner", "test"); }
+    { ScopedSpan inner2("inner2", "test"); }
+  }
+  trace.disable();
+
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by (ts, -dur): the enclosing span comes first.
+  EXPECT_EQ(events[0].name, "outer");
+  for (const Trace::Event& ev : events) {
+    EXPECT_GE(ev.ts_us, 0);
+    EXPECT_GE(ev.dur_us, 0);
+    // Strict nesting against the outer span.
+    EXPECT_GE(ev.ts_us, events[0].ts_us);
+    EXPECT_LE(ev.ts_us + ev.dur_us, events[0].ts_us + events[0].dur_us);
+  }
+
+  // The serialized document parses back as Chrome trace-event JSON.
+  const JsonValue doc = json_parse(trace.to_json().dump());
+  const JsonValue& list = doc.at("traceEvents");
+  ASSERT_TRUE(list.is_array());
+  std::size_t complete = 0;
+  std::size_t metadata = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const JsonValue& ev = list.at(i);
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(ev.at("ts").as_int(), 0);
+      EXPECT_GE(ev.at("dur").as_int(), 0);
+      EXPECT_FALSE(ev.at("name").as_string().empty());
+    } else {
+      EXPECT_EQ(ph, "M");
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_GE(metadata, 1u);
+  trace.clear();
+}
+
+TEST(Trace, WorkerThreadsGetOwnIds) {
+  Trace& trace = Trace::global();
+  trace.clear();
+  trace.enable();
+  { ScopedSpan main_span("on-main", "test"); }
+  std::thread worker([] { ScopedSpan span("on-worker", "test"); });
+  worker.join();
+  trace.disable();
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  trace.clear();
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,104 @@
+// Schema tests of the --metrics-out run report: the document produced by
+// make_run_report() must carry the versioned layout the external checker
+// (tools/check_run_report.py) and the bench trajectory rely on, and its
+// metrics section must list every metric registered in the process.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgr/metrics/report.hpp"
+#include "bgr/obs/run_report.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+struct ReportFixture {
+  Dataset ds = generate_circuit(testutil::small_spec(402));
+  Netlist nl = ds.netlist;
+  GlobalRouter router{nl, ds.placement, ds.tech, ds.constraints,
+                      RouterOptions{}};
+  RouteOutcome outcome = router.run();
+  ChannelStage channel{router};
+  RunReport report = [this] {
+    channel.run();
+    RunReportInfo info;
+    info.design = ds.name;
+    info.detailed_delay_ps = 123.0;
+    info.wall_seconds = 0.5;
+    return make_run_report(router, channel, outcome, info);
+  }();
+};
+
+TEST(RunReport, CarriesSchemaVersionAndSections) {
+  ReportFixture f;
+  const JsonValue& root = f.report.root();
+  EXPECT_EQ(root.at("schema_version").as_int(), kRunReportSchemaVersion);
+  EXPECT_EQ(root.at("kind").as_string(), "bgr_route");
+  for (const char* section :
+       {"design", "options", "result", "stats", "phases", "run", "metrics"}) {
+    EXPECT_NE(root.find(section), nullptr) << section;
+  }
+  EXPECT_EQ(root.at("design").at("name").as_string(), f.ds.name);
+  EXPECT_EQ(root.at("result").at("detailed_delay_ps").as_double(), 123.0);
+}
+
+TEST(RunReport, ContainsEveryRegisteredMetric) {
+  ReportFixture f;
+  const JsonValue& metrics = f.report.root().at("metrics");
+  const JsonValue& semantic = metrics.at("semantic");
+  const JsonValue& nondet = metrics.at("nondeterministic");
+  const auto names = MetricsRegistry::global().names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    const bool found =
+        semantic.find(name) != nullptr || nondet.find(name) != nullptr;
+    EXPECT_TRUE(found) << "metric missing from report: " << name;
+  }
+  EXPECT_EQ(semantic.members().size() + nondet.members().size(), names.size());
+}
+
+TEST(RunReport, RoutingPopulatedTheCoreCounters) {
+  ReportFixture f;
+  const JsonValue& semantic = f.report.root().at("metrics").at("semantic");
+  for (const char* name :
+       {"route.deleted_edges", "route.graphs_built", "graph.dijkstra_calls",
+        "graph.dijkstra_relaxations", "sta.full_sweeps", "channel.segments"}) {
+    const JsonValue* v = semantic.find(name);
+    ASSERT_NE(v, nullptr) << name;
+    EXPECT_GT(v->as_int(), 0) << name;
+  }
+  const JsonValue* hist = semantic.find("route.graph_edges");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->at("count").as_int(), 0);
+}
+
+TEST(RunReport, PhaseEntriesIsolateWallClockUnderWall) {
+  ReportFixture f;
+  const JsonValue& phases = f.report.root().at("phases");
+  ASSERT_TRUE(phases.is_array());
+  ASSERT_GT(phases.size(), 0u);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const JsonValue& ph = phases.at(i);
+    EXPECT_NE(ph.find("name"), nullptr);
+    const JsonValue* wall = ph.find("wall");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_NE(wall->find("seconds"), nullptr);
+    EXPECT_NE(wall->find("exec_regions"), nullptr);
+    // Wall-clock never leaks outside the strippable sub-object.
+    EXPECT_EQ(ph.find("seconds"), nullptr);
+  }
+}
+
+TEST(RunReport, SerializesToParseableJson) {
+  ReportFixture f;
+  std::ostringstream os;
+  f.report.write(os);
+  const JsonValue back = json_parse(os.str());
+  EXPECT_EQ(back.at("schema_version").as_int(), kRunReportSchemaVersion);
+  EXPECT_EQ(back.at("metrics").at("semantic").members().size(),
+            f.report.root().at("metrics").at("semantic").members().size());
+}
+
+}  // namespace
+}  // namespace bgr

@@ -23,6 +23,10 @@
 //     --svg FILE          draw the routed chip as an SVG
 //     --verify            run the signoff checks on the result
 //     --stats             print design statistics
+//     --metrics-out FILE  write the machine-readable run report (JSON)
+//     --trace-out FILE    write a Chrome trace-event file of the run
+//     --log-format {text,json}
+//                         diagnostic log sink format (default text)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "bgr/channel/channel_router.hpp"
+#include "bgr/common/log.hpp"
 #include "bgr/io/design_io.hpp"
 #include "bgr/io/route_io.hpp"
 #include "bgr/io/ascii_art.hpp"
@@ -39,6 +44,8 @@
 #include "bgr/verify/verifier.hpp"
 #include "bgr/metrics/skew.hpp"
 #include "bgr/metrics/report.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/trace.hpp"
 #include "bgr/common/stopwatch.hpp"
 
 namespace {
@@ -49,7 +56,8 @@ void usage() {
                "[--rc] [--sequential] [--no-improve] "
                "[--incremental-sta on|off] [--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
-               "[--skew]\n");
+               "[--skew] [--metrics-out FILE] [--trace-out FILE] "
+               "[--log-format text|json]\n");
 }
 
 /// Per-phase wall-time table: every phase of the pipeline with its own
@@ -87,6 +95,8 @@ int main(int argc, char** argv) {
   std::string svg_path;
   std::string save_route_path;
   std::string save_design_path;
+  std::string metrics_out_path;
+  std::string trace_out_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--unconstrained") {
@@ -135,6 +145,20 @@ int main(int argc, char** argv) {
       save_route_path = argv[++i];
     } else if (arg == "--save-design" && i + 1 < argc) {
       save_design_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else if (arg == "--log-format" && i + 1 < argc) {
+      const std::string fmt = argv[++i];
+      if (fmt == "text") {
+        set_log_format(LogFormat::kText);
+      } else if (fmt == "json") {
+        set_log_format(LogFormat::kJson);
+      } else {
+        std::fprintf(stderr, "error: --log-format must be text or json\n");
+        return 2;
+      }
     } else {
       usage();
       return 2;
@@ -155,7 +179,12 @@ int main(int argc, char** argv) {
     RouteOutcome outcome;
     double delay = 0.0;
     double best_seconds = 0.0;
+    double last_seconds = 0.0;
+    if (!trace_out_path.empty()) Trace::global().enable();
     for (int run = 0; run < repeat; ++run) {
+      // Counters reset per repetition so --metrics-out reports the final
+      // run alone, keeping the semantic section comparable across runs.
+      MetricsRegistry::global().reset();
       channel.reset();  // tear down dependents before their design
       router.reset();
       design = std::make_unique<Dataset>(load());
@@ -179,6 +208,7 @@ int main(int argc, char** argv) {
                                                    options.delay_model);
       const double seconds = watch.seconds();
       best_seconds = run == 0 ? seconds : std::min(best_seconds, seconds);
+      last_seconds = seconds;
 
       if (repeat > 1) {
         std::printf("run %d/%d: %.3fs (routing phases %.3fs)\n", run + 1,
@@ -215,6 +245,19 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!metrics_out_path.empty()) {
+      RunReportInfo info;
+      info.design = design->name;
+      info.constrained = constrained;
+      info.detailed_delay_ps = delay;
+      info.wall_seconds = last_seconds;
+      make_run_report(*router, *channel, outcome, info).save(metrics_out_path);
+      std::printf("run report written to %s\n", metrics_out_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+      Trace::global().save(trace_out_path);
+      std::printf("trace written to %s\n", trace_out_path.c_str());
+    }
     if (print_map) {
       std::printf("\nchip map ('#' logic, '.' feed, 'O' pad):\n");
       render_placement(std::cout, design->netlist, router->placement());

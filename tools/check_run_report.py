@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate bgr run reports (--metrics-out) and trace files (--trace-out).
+
+Checks the layout contract documented in src/bgr/obs/run_report.hpp:
+
+  check_run_report.py report.json
+      Schema check: schema_version, kind, metrics split by scope; for
+      kind "bgr_route" additionally the design/options/result/stats/
+      phases/run sections.
+
+  check_run_report.py report.json --trace trace.json
+      Also validates the Chrome trace-event file: well-formed JSON, every
+      'X' event carries non-negative ts/dur, events are emitted in
+      non-decreasing timestamp order, and spans nest strictly per thread
+      (no partial overlap).
+
+  check_run_report.py report.json --compare-semantic other.json
+      Determinism check: after stripping the "run" section, every "wall"
+      sub-object and "metrics.nondeterministic", the two reports must be
+      byte-for-byte identical. Used by CI to compare --threads 1 vs N.
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+ROUTE_SECTIONS = ("design", "options", "result", "stats", "phases", "run")
+
+
+def fail(msg):
+    print(f"check_run_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_metrics(report, path):
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: missing 'metrics' object")
+    for scope in ("semantic", "nondeterministic"):
+        if not isinstance(metrics.get(scope), dict):
+            fail(f"{path}: metrics.{scope} missing or not an object")
+        for name, value in metrics[scope].items():
+            if isinstance(value, int):
+                continue  # counter
+            if isinstance(value, dict):  # histogram
+                for field in ("count", "sum", "min", "max", "buckets"):
+                    if field not in value:
+                        fail(f"{path}: histogram {name} lacks '{field}'")
+                continue
+            fail(f"{path}: metric {name} is neither counter nor histogram")
+
+
+def check_report(report, path):
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {report.get('schema_version')!r}, "
+             f"expected {SCHEMA_VERSION}")
+    kind = report.get("kind")
+    if not isinstance(kind, str) or not kind:
+        fail(f"{path}: missing 'kind'")
+    check_metrics(report, path)
+    if kind == "bgr_route":
+        for section in ROUTE_SECTIONS:
+            if section not in report:
+                fail(f"{path}: missing '{section}' section")
+        if not isinstance(report["phases"], list) or not report["phases"]:
+            fail(f"{path}: 'phases' must be a non-empty array")
+        for ph in report["phases"]:
+            if "name" not in ph or "wall" not in ph:
+                fail(f"{path}: phase entry lacks name/wall: {ph}")
+
+
+def strip_nondeterministic(node):
+    """Removes the "run" section, "wall" sub-objects and the
+    nondeterministic metric scope, recursively."""
+    if isinstance(node, dict):
+        return {
+            k: strip_nondeterministic(v)
+            for k, v in node.items()
+            if k not in ("run", "wall", "nondeterministic")
+        }
+    if isinstance(node, list):
+        return [strip_nondeterministic(v) for v in node]
+    return node
+
+
+def diff_paths(a, b, prefix=""):
+    if isinstance(a, dict) and isinstance(b, dict):
+        out = []
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                out.append(f"{prefix}/{k} (only in one report)")
+            else:
+                out.extend(diff_paths(a[k], b[k], f"{prefix}/{k}"))
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return [f"{prefix} (length {len(a)} vs {len(b)})"]
+        out = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.extend(diff_paths(x, y, f"{prefix}[{i}]"))
+        return out
+    return [] if a == b else [f"{prefix} ({a!r} vs {b!r})"]
+
+
+def check_compare(path_a, path_b):
+    a = strip_nondeterministic(load(path_a))
+    b = strip_nondeterministic(load(path_b))
+    if a != b:
+        diffs = diff_paths(a, b)
+        for d in diffs[:20]:
+            print(f"  semantic mismatch at {d}", file=sys.stderr)
+        fail(f"{path_a} and {path_b} differ semantically "
+             f"({len(diffs)} paths)")
+
+
+def check_trace(path):
+    trace = load(path)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty 'traceEvents'")
+    per_tid = {}
+    last_ts = None
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            fail(f"{path}: event {i} has unexpected ph {ph!r}")
+        for field in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                fail(f"{path}: event {i} lacks '{field}'")
+        ts, dur = ev["ts"], ev["dur"]
+        if ts < 0 or dur < 0:
+            fail(f"{path}: event {i} has negative ts/dur")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: event {i} breaks timestamp order "
+                 f"({ts} after {last_ts})")
+        last_ts = ts
+        per_tid.setdefault(ev["tid"], []).append((ts, ts + dur, ev["name"], i))
+    # Spans on one thread must nest strictly: a span that starts inside
+    # another must also end inside it.
+    for tid, spans in per_tid.items():
+        stack = []
+        for start, end, name, i in spans:  # already in ts order
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"{path}: tid {tid} span '{name}' (event {i}, "
+                     f"[{start},{end}]) partially overlaps "
+                     f"'{stack[-1][2]}' [{stack[-1][0]},{stack[-1][1]}]")
+            stack.append((start, end, name))
+    print(f"check_run_report: trace OK ({path}: {len(events)} events, "
+          f"{len(per_tid)} threads)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="run report JSON (--metrics-out)")
+    parser.add_argument("--trace", help="trace-event JSON (--trace-out)")
+    parser.add_argument("--compare-semantic", metavar="OTHER",
+                        help="second report that must match semantically")
+    args = parser.parse_args()
+
+    check_report(load(args.report), args.report)
+    print(f"check_run_report: report OK ({args.report})")
+    if args.trace:
+        check_trace(args.trace)
+    if args.compare_semantic:
+        check_report(load(args.compare_semantic), args.compare_semantic)
+        check_compare(args.report, args.compare_semantic)
+        print("check_run_report: semantic sections identical")
+
+
+if __name__ == "__main__":
+    main()
