@@ -1,0 +1,59 @@
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bgr {
+
+/// Checked, locale-independent numeric parsing over std::from_chars.
+/// Every helper consumes the *whole* token (trailing garbage rejects) and
+/// returns nullopt on malformed or out-of-range input — never 0, never a
+/// partial value, never an exception.
+
+[[nodiscard]] inline std::optional<std::int64_t> parse_i64(
+    std::string_view token) {
+  std::int64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+[[nodiscard]] inline std::optional<std::uint64_t> parse_u64(
+    std::string_view token) {
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+[[nodiscard]] inline std::optional<std::int32_t> parse_i32(
+    std::string_view token) {
+  const auto wide = parse_i64(token);
+  if (!wide || *wide < INT32_MIN || *wide > INT32_MAX) return std::nullopt;
+  return static_cast<std::int32_t>(*wide);
+}
+
+/// Finite doubles only: "inf"/"nan" spellings and overflowing literals are
+/// rejected alongside malformed text (file formats never contain them, and
+/// letting them through poisons every downstream comparison).
+[[nodiscard]] inline std::optional<double> parse_double(
+    std::string_view token) {
+  double value = 0.0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (value != value || value > 1.7976931348623157e308 ||
+      value < -1.7976931348623157e308) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace bgr

@@ -1,0 +1,179 @@
+#include "bgr/fuzz/mutator.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "bgr/common/rng.hpp"
+
+namespace bgr {
+
+namespace {
+
+/// Hostile replacement tokens: numeric extremes, overflow bait, locale
+/// bait, non-numbers, format keywords that may land in the wrong field.
+const char* const kHostileTokens[] = {
+    "0",       "-1",          "1",        "2147483647", "-2147483648",
+    "4294967296", "99999999999999999999", "1e999",      "-1e999",
+    "nan",     "inf",         "0.5",      "-0.0",       "1,5",
+    "x",       "end",         "chip",     "sink",       "src",
+    "top",     "bot",         "trunk",    "#",          "\"",
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::istringstream ls(line);
+  std::vector<std::string> fields;
+  std::string token;
+  while (ls >> token) fields.push_back(token);
+  return fields;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += fields[i];
+  }
+  return out;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::size_t pick_index(Rng& rng, std::size_t size) {
+  return static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(size) - 1));
+}
+
+/// One edit; returns false when the chosen edit does not apply (e.g. a
+/// field swap on a 1-field line) so the caller can re-roll.
+bool apply_one(std::vector<std::string>& lines, std::string& raw_tail,
+               Rng& rng) {
+  if (lines.empty()) return false;
+  switch (rng.uniform_i32(0, 9)) {
+    case 0: {  // delete a line
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(
+                                      pick_index(rng, lines.size())));
+      return true;
+    }
+    case 1: {  // duplicate a line
+      const std::size_t i = pick_index(rng, lines.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      return true;
+    }
+    case 2: {  // swap two fields within a line
+      const std::size_t i = pick_index(rng, lines.size());
+      auto fields = split_fields(lines[i]);
+      if (fields.size() < 2) return false;
+      const std::size_t a = pick_index(rng, fields.size());
+      const std::size_t b = pick_index(rng, fields.size());
+      if (a == b) return false;
+      std::swap(fields[a], fields[b]);
+      lines[i] = join_fields(fields);
+      return true;
+    }
+    case 3: {  // replace a field with a hostile token
+      const std::size_t i = pick_index(rng, lines.size());
+      auto fields = split_fields(lines[i]);
+      if (fields.empty()) return false;
+      const std::size_t k = pick_index(rng, fields.size());
+      fields[k] = kHostileTokens[pick_index(
+          rng, sizeof kHostileTokens / sizeof kHostileTokens[0])];
+      lines[i] = join_fields(fields);
+      return true;
+    }
+    case 4: {  // truncate the whole text at a byte position
+      std::string text = join_lines(lines) + raw_tail;
+      if (text.empty()) return false;
+      text.resize(pick_index(rng, text.size()));
+      lines = split_lines(text);
+      raw_tail.clear();
+      return true;
+    }
+    case 5: {  // corrupt one byte
+      const std::size_t i = pick_index(rng, lines.size());
+      if (lines[i].empty()) return false;
+      const std::size_t k = pick_index(rng, lines[i].size());
+      lines[i][k] = static_cast<char>(rng.uniform(1, 255));
+      return true;
+    }
+    case 6: {  // swap two whole lines
+      if (lines.size() < 2) return false;
+      const std::size_t a = pick_index(rng, lines.size());
+      const std::size_t b = pick_index(rng, lines.size());
+      if (a == b) return false;
+      std::swap(lines[a], lines[b]);
+      return true;
+    }
+    case 7: {  // drop a field (shortens the record)
+      const std::size_t i = pick_index(rng, lines.size());
+      auto fields = split_fields(lines[i]);
+      if (fields.empty()) return false;
+      fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(
+                                        pick_index(rng, fields.size())));
+      lines[i] = join_fields(fields);
+      return true;
+    }
+    case 8: {  // insert a garbage record
+      const std::size_t i = pick_index(rng, lines.size() + 1);
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                   "frob -3 q 99");
+      return true;
+    }
+    default: {  // splice a field from one line over a field of another
+      const std::size_t i = pick_index(rng, lines.size());
+      const std::size_t j = pick_index(rng, lines.size());
+      auto from = split_fields(lines[i]);
+      auto to = split_fields(lines[j]);
+      if (from.empty() || to.empty()) return false;
+      to[pick_index(rng, to.size())] = from[pick_index(rng, from.size())];
+      lines[j] = join_fields(to);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string mutate_text(const std::string& base, std::uint64_t seed,
+                        int max_mutations) {
+  Rng rng(seed * 0xD1B54A32D192ED03ull + 7);
+  std::vector<std::string> lines = split_lines(base);
+  std::string raw_tail;  // bytes after the last newline, kept verbatim
+  const std::size_t complete =
+      base.empty() || base.back() == '\n' ? lines.size()
+                                          : lines.size() - 1;
+  if (complete < lines.size()) {
+    raw_tail = lines.back();
+    lines.pop_back();
+  }
+  const int wanted = rng.uniform_i32(1, std::max(1, max_mutations));
+  int applied = 0;
+  for (int attempt = 0; attempt < wanted * 8 && applied < wanted; ++attempt) {
+    if (apply_one(lines, raw_tail, rng)) ++applied;
+    if (lines.empty() && raw_tail.empty()) break;
+  }
+  return join_lines(lines) + raw_tail;
+}
+
+}  // namespace bgr

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgr {
+
+/// Structured corruption of a line-based ASCII format (`bgr-design 1`,
+/// `bgr-route 1`, JSON run reports): deterministic in `seed`, applies
+/// 1..`max_mutations` grammar-aware edits — field swaps and replacements
+/// with hostile numerals, line deletion/duplication/reordering,
+/// truncations, raw byte corruption, garbage records. The output is what a
+/// parser must survive with a clean diagnostic: never a crash, never a
+/// partially-built object.
+[[nodiscard]] std::string mutate_text(const std::string& base,
+                                      std::uint64_t seed,
+                                      int max_mutations = 3);
+
+}  // namespace bgr

@@ -1,0 +1,192 @@
+#include "bgr/fuzz/shrinker.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace bgr {
+
+namespace {
+
+struct IntKnob {
+  std::int32_t CircuitSpec::*field;
+  std::int32_t domain_min;
+};
+
+/// Integer knobs with the smallest value the generator contract allows.
+const IntKnob kIntKnobs[] = {
+    {&CircuitSpec::target_cells, 8},
+    {&CircuitSpec::path_constraints, 0},
+    {&CircuitSpec::diff_pairs, 0},
+    {&CircuitSpec::primary_inputs, 0},
+    {&CircuitSpec::primary_outputs, 0},
+    {&CircuitSpec::clock_buffers, 0},
+    {&CircuitSpec::clock_pitch, 1},
+    {&CircuitSpec::rows, 1},
+    {&CircuitSpec::levels, 2},
+    {&CircuitSpec::register_percent, 0},
+    {&CircuitSpec::feed_every, 1},
+    {&CircuitSpec::placer_passes, 0},
+};
+
+struct RealKnob {
+  double CircuitSpec::*field;
+  double neutral;
+};
+
+const RealKnob kRealKnobs[] = {
+    {&CircuitSpec::tightness_lo, 1.00},
+    {&CircuitSpec::tightness_hi, 1.10},
+    {&CircuitSpec::gap_fraction, 0.06},
+    {&CircuitSpec::channel_depth_est_um, 50.0},
+};
+
+}  // namespace
+
+CircuitSpec shrink_spec(const CircuitSpec& failing,
+                        const SpecPredicate& still_fails, int max_evals) {
+  CircuitSpec best = failing;
+  int evals = 0;
+  auto try_candidate = [&](const CircuitSpec& candidate) {
+    if (evals >= max_evals) return false;
+    ++evals;
+    if (!still_fails(candidate)) return false;
+    best = candidate;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && evals < max_evals) {
+    improved = false;
+    for (const IntKnob& knob : kIntKnobs) {
+      // Binary descent: repeatedly try the domain minimum, then halve the
+      // distance to it while the failure persists.
+      while (best.*(knob.field) > knob.domain_min && evals < max_evals) {
+        CircuitSpec candidate = best;
+        candidate.*(knob.field) = knob.domain_min;
+        if (try_candidate(candidate)) {
+          improved = true;
+          break;  // already minimal for this knob
+        }
+        const std::int32_t mid =
+            knob.domain_min + (best.*(knob.field) - knob.domain_min) / 2;
+        if (mid == best.*(knob.field)) break;
+        candidate = best;
+        candidate.*(knob.field) = mid;
+        if (!try_candidate(candidate)) break;
+        improved = true;
+      }
+    }
+    for (const RealKnob& knob : kRealKnobs) {
+      if (best.*(knob.field) == knob.neutral || evals >= max_evals) continue;
+      CircuitSpec candidate = best;
+      candidate.*(knob.field) = knob.neutral;
+      if (candidate.tightness_lo <= candidate.tightness_hi &&
+          try_candidate(candidate)) {
+        improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string shrink_text(const std::string& failing,
+                        const TextPredicate& still_fails, int max_evals) {
+  std::string best = failing;
+  int evals = 0;
+  auto accept = [&](const std::string& candidate) {
+    if (evals >= max_evals || candidate.size() >= best.size()) return false;
+    ++evals;
+    if (!still_fails(candidate)) return false;
+    best = candidate;
+    return true;
+  };
+
+  // Phase 1: delta-debug whole lines, chunk size halving to 1.
+  bool shrunk = true;
+  while (shrunk && evals < max_evals) {
+    shrunk = false;
+    std::vector<std::string> lines = split_lines(best);
+    for (std::size_t chunk = std::max<std::size_t>(lines.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      bool removed_any = true;
+      while (removed_any && evals < max_evals) {
+        removed_any = false;
+        lines = split_lines(best);
+        if (lines.empty()) break;
+        for (std::size_t start = 0; start < lines.size();
+             start += chunk) {
+          std::vector<std::string> candidate = lines;
+          const std::size_t end = std::min(start + chunk, candidate.size());
+          candidate.erase(candidate.begin() +
+                              static_cast<std::ptrdiff_t>(start),
+                          candidate.begin() + static_cast<std::ptrdiff_t>(end));
+          if (accept(join_lines(candidate))) {
+            removed_any = true;
+            shrunk = true;
+            break;  // indices shifted; rescan from the smaller text
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // Phase 2: trim trailing fields off each line.
+  bool trimmed = true;
+  while (trimmed && evals < max_evals) {
+    trimmed = false;
+    const std::vector<std::string> lines = split_lines(best);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto cut = lines[i].find_last_of(' ');
+      if (cut == std::string::npos) continue;
+      std::vector<std::string> candidate = lines;
+      candidate[i] = lines[i].substr(0, cut);
+      if (accept(join_lines(candidate))) {
+        trimmed = true;
+        break;
+      }
+    }
+  }
+
+  // Phase 3: byte truncation from the end (binary descent).
+  std::size_t step = best.size() / 2;
+  while (step >= 1 && evals < max_evals) {
+    if (best.size() > step) {
+      std::string candidate = best.substr(0, best.size() - step);
+      if (accept(candidate)) continue;
+    }
+    step /= 2;
+  }
+  return best;
+}
+
+}  // namespace bgr

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bgr/gen/generator.hpp"
+
+namespace bgr {
+
+/// Predicates return true while the candidate still reproduces the
+/// original failure (same oracle). The shrinkers are greedy: they only
+/// keep a reduction the predicate confirms, so the result always fails
+/// the same way the input did.
+using SpecPredicate = std::function<bool(const CircuitSpec&)>;
+using TextPredicate = std::function<bool(const std::string&)>;
+
+/// Minimises a failing CircuitSpec: every integer knob is pushed toward
+/// its domain minimum (binary descent), real knobs toward their neutral
+/// defaults, until a fixpoint. `max_evals` bounds predicate evaluations
+/// (each one is a full pipeline run).
+[[nodiscard]] CircuitSpec shrink_spec(const CircuitSpec& failing,
+                                      const SpecPredicate& still_fails,
+                                      int max_evals = 400);
+
+/// Minimises a failing text input: delta-debugging over lines (chunk
+/// removal with halving chunk sizes), then per-line tail-field trimming,
+/// then end-of-text truncation.
+[[nodiscard]] std::string shrink_text(const std::string& failing,
+                                      const TextPredicate& still_fails,
+                                      int max_evals = 2000);
+
+}  // namespace bgr

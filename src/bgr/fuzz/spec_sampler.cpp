@@ -1,0 +1,190 @@
+#include "bgr/fuzz/spec_sampler.hpp"
+
+#include <sstream>
+
+#include "bgr/common/rng.hpp"
+#include "bgr/io/field_reader.hpp"
+#include "bgr/io/io_error.hpp"
+
+namespace bgr {
+
+namespace {
+
+/// Shared generic ranges; regimes below override individual fields.
+CircuitSpec sample_generic(Rng& rng) {
+  CircuitSpec spec;
+  spec.rows = rng.uniform_i32(2, 12);
+  spec.target_cells = rng.uniform_i32(20, 220);
+  spec.levels = rng.uniform_i32(3, 10);
+  spec.register_percent = rng.uniform_i32(5, 30);
+  spec.primary_inputs = rng.uniform_i32(1, 12);
+  spec.primary_outputs = rng.uniform_i32(1, 12);
+  spec.diff_pairs = rng.uniform_i32(0, 4);
+  spec.clock_buffers = rng.uniform_i32(1, 3);
+  spec.clock_pitch = rng.uniform_i32(1, 3);
+  spec.path_constraints = rng.uniform_i32(0, 24);
+  spec.tightness_lo = rng.uniform_real(0.98, 1.05);
+  spec.tightness_hi = spec.tightness_lo + rng.uniform_real(0.0, 0.15);
+  spec.gap_fraction = rng.uniform_real(0.0, 0.15);
+  spec.feed_every = rng.uniform_i32(2, 20);
+  spec.channel_depth_est_um = rng.uniform_real(10.0, 140.0);
+  spec.placer_passes = rng.uniform_i32(0, 30);
+  return spec;
+}
+
+}  // namespace
+
+CircuitSpec sample_spec(std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  CircuitSpec spec = sample_generic(rng);
+  switch (rng.uniform_i32(0, 6)) {
+    case 0:  // tiny degenerate: minimal logic depth, near-minimal cells
+      spec.rows = rng.uniform_i32(1, 3);
+      spec.target_cells = rng.uniform_i32(8, 24);
+      spec.levels = 2;
+      spec.primary_inputs = rng.uniform_i32(0, 2);
+      spec.primary_outputs = rng.uniform_i32(0, 2);
+      spec.diff_pairs = rng.uniform_i32(0, 1);
+      spec.path_constraints = rng.uniform_i32(0, 4);
+      break;
+    case 1:  // 1-row chip: every net routes in the two outer channels
+      spec.rows = 1;
+      spec.target_cells = rng.uniform_i32(10, 60);
+      spec.levels = rng.uniform_i32(2, 5);
+      break;
+    case 2:  // saturated feed columns + zero-gap packing
+      spec.feed_every = rng.uniform_i32(1, 2);
+      spec.gap_fraction = 0.0;
+      spec.rows = rng.uniform_i32(2, 6);
+      spec.target_cells = rng.uniform_i32(30, 120);
+      break;
+    case 3:  // clock nets wider than a row: pitch-w reservation stress
+      spec.clock_pitch = rng.uniform_i32(3, 6);
+      spec.clock_buffers = rng.uniform_i32(1, 4);
+      spec.rows = rng.uniform_i32(2, 5);
+      spec.target_cells = rng.uniform_i32(24, 90);
+      break;
+    case 4:  // over-tight constraints: guaranteed violations, tightness < 1
+      spec.tightness_lo = rng.uniform_real(0.55, 0.85);
+      spec.tightness_hi = spec.tightness_lo + rng.uniform_real(0.0, 0.1);
+      spec.path_constraints = rng.uniform_i32(8, 40);
+      break;
+    case 5:  // heavy differential + starved placement gaps
+      spec.diff_pairs = rng.uniform_i32(4, 10);
+      spec.gap_fraction = 0.0;
+      spec.feed_every = rng.uniform_i32(12, 30);
+      spec.target_cells = rng.uniform_i32(60, 160);
+      break;
+    default:  // generic medium design, fields as sampled
+      break;
+  }
+  spec.seed = rng.next();
+  std::ostringstream name;
+  name << "fz" << seed;
+  spec.name = name.str();
+  return spec;
+}
+
+std::string spec_to_text(const CircuitSpec& spec) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "bgr-fuzzspec 1\n";
+  os << "name " << spec.name << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "rows " << spec.rows << "\n";
+  os << "target_cells " << spec.target_cells << "\n";
+  os << "levels " << spec.levels << "\n";
+  os << "register_percent " << spec.register_percent << "\n";
+  os << "primary_inputs " << spec.primary_inputs << "\n";
+  os << "primary_outputs " << spec.primary_outputs << "\n";
+  os << "diff_pairs " << spec.diff_pairs << "\n";
+  os << "clock_buffers " << spec.clock_buffers << "\n";
+  os << "clock_pitch " << spec.clock_pitch << "\n";
+  os << "path_constraints " << spec.path_constraints << "\n";
+  os << "tightness_lo " << spec.tightness_lo << "\n";
+  os << "tightness_hi " << spec.tightness_hi << "\n";
+  os << "gap_fraction " << spec.gap_fraction << "\n";
+  os << "feed_every " << spec.feed_every << "\n";
+  os << "channel_depth_est_um " << spec.channel_depth_est_um << "\n";
+  os << "placer_passes " << spec.placer_passes << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+CircuitSpec spec_from_text(const std::string& text,
+                           const std::string& source) {
+  std::istringstream is(text);
+  std::string header;
+  std::getline(is, header);
+  if (header.rfind("bgr-fuzzspec 1", 0) != 0) {
+    io_fail(source, 1, "not a bgr-fuzzspec 1 file");
+  }
+  CircuitSpec spec;
+  std::string line;
+  int lineno = 1;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    FieldReader fr(line, source, lineno);
+    std::string key;
+    if (!fr.try_word(&key) || key[0] == '#') continue;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "name") {
+      spec.name = fr.word("name");
+    } else if (key == "seed") {
+      const std::string token = fr.word("seed");
+      const auto value = parse_u64(token);
+      if (!value) fr.fail("seed '" + token + "' is invalid");
+      spec.seed = *value;
+    } else if (key == "rows") {
+      spec.rows = fr.i32_in("rows", 1, 65536);
+    } else if (key == "target_cells") {
+      spec.target_cells = fr.i32_in("target_cells", 1, 1'000'000);
+    } else if (key == "levels") {
+      spec.levels = fr.i32_in("levels", 2, 64);
+    } else if (key == "register_percent") {
+      spec.register_percent = fr.i32_in("register_percent", 0, 100);
+    } else if (key == "primary_inputs") {
+      spec.primary_inputs = fr.i32_in("primary_inputs", 0, 10000);
+    } else if (key == "primary_outputs") {
+      spec.primary_outputs = fr.i32_in("primary_outputs", 0, 10000);
+    } else if (key == "diff_pairs") {
+      spec.diff_pairs = fr.i32_in("diff_pairs", 0, 10000);
+    } else if (key == "clock_buffers") {
+      spec.clock_buffers = fr.i32_in("clock_buffers", 0, 10000);
+    } else if (key == "clock_pitch") {
+      spec.clock_pitch = fr.i32_in("clock_pitch", 1, 64);
+    } else if (key == "path_constraints") {
+      spec.path_constraints = fr.i32_in("path_constraints", 0, 100000);
+    } else if (key == "tightness_lo") {
+      spec.tightness_lo = fr.real("tightness_lo");
+    } else if (key == "tightness_hi") {
+      spec.tightness_hi = fr.real("tightness_hi");
+    } else if (key == "gap_fraction") {
+      spec.gap_fraction = fr.real("gap_fraction");
+    } else if (key == "feed_every") {
+      spec.feed_every = fr.i32_in("feed_every", 1, 100000);
+    } else if (key == "channel_depth_est_um") {
+      spec.channel_depth_est_um = fr.real("channel_depth_est_um");
+    } else if (key == "placer_passes") {
+      spec.placer_passes = fr.i32_in("placer_passes", 0, 10000);
+    } else {
+      fr.fail("unknown field '" + key + "'");
+    }
+    fr.done();
+  }
+  if (!saw_end) io_fail(source, lineno, "truncated file (missing 'end')");
+  if (spec.tightness_lo > spec.tightness_hi) {
+    io_fail(source, lineno, "tightness_lo exceeds tightness_hi");
+  }
+  if (!(spec.tightness_lo > 0.0) || !(spec.gap_fraction >= 0.0) ||
+      spec.gap_fraction >= 1.0 || !(spec.channel_depth_est_um > 0.0)) {
+    io_fail(source, lineno, "real-valued field outside its domain");
+  }
+  return spec;
+}
+
+}  // namespace bgr

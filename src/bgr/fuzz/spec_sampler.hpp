@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgr/gen/generator.hpp"
+
+namespace bgr {
+
+/// Deterministic sampler over the valid CircuitSpec domain, biased toward
+/// the extreme corners a hand-written test suite never reaches: 1-row
+/// chips, zero-gap placements, degenerate 2-level logic, saturated feed
+/// columns, clock nets wider than a row is tall, and constraint sets with
+/// tightness < 1 (guaranteed violations the router must survive). The
+/// same seed always yields the same spec.
+[[nodiscard]] CircuitSpec sample_spec(std::uint64_t seed);
+
+/// Corpus serialisation of a spec (`bgr-fuzzspec 1`, one `key value` line
+/// per field). spec_from_text throws IoError on malformed input.
+[[nodiscard]] std::string spec_to_text(const CircuitSpec& spec);
+[[nodiscard]] CircuitSpec spec_from_text(const std::string& text,
+                                         const std::string& source = "spec");
+
+}  // namespace bgr

@@ -251,9 +251,13 @@ void build_logic(Builder& b) {
   }
 
   // Clock distribution: one pad, clock_buffers CKBUF cells, one w-pitch net
-  // per buffer driving its register partition (§4.2).
-  const NetId ck_root = nl.add_net("ck_root");
-  (void)nl.add_pad_input("CK", ck_root, 60.0, 140.0);
+  // per buffer driving its register partition (§4.2). With zero buffers the
+  // design is unclocked — building ck_root anyway would leave it sinkless.
+  const NetId ck_root =
+      spec.clock_buffers > 0 ? nl.add_net("ck_root") : NetId::invalid();
+  if (spec.clock_buffers > 0) {
+    (void)nl.add_pad_input("CK", ck_root, 60.0, 140.0);
+  }
   const CellType& ckbuf_type = lib.type(b.types.ckbuf);
   const CellType& ff_type = lib.type(b.types.dff);
   for (std::int32_t i = 0; i < spec.clock_buffers; ++i) {
@@ -309,8 +313,19 @@ Placement build_placement(Netlist& nl, const CircuitSpec& spec,
   for (const CellId c : nl.cells()) total += nl.cell_type(c).width();
   const double feeds = total / std::max(1, spec.feed_every);
   const double gaps = total * spec.gap_fraction;
-  const std::int32_t width = static_cast<std::int32_t>(
-      (total + feeds + gaps) / spec.rows + 12.0);
+  // Each pad needs its own edge column, so the chip can never be narrower
+  // than its busiest pad edge; flat shallow netlists (few rows, few
+  // levels) can otherwise mint more pad outputs than row width.
+  std::int32_t top_pad_count = 0;
+  std::int32_t bottom_pad_count = 0;
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kPadIn) ++top_pad_count;
+    if (term.kind == TerminalKind::kPadOut) ++bottom_pad_count;
+  }
+  const std::int32_t width = std::max(
+      static_cast<std::int32_t>((total + feeds + gaps) / spec.rows + 12.0),
+      std::max(top_pad_count, bottom_pad_count));
 
   Placement placement(spec.rows, width);
   std::int32_t feed_seq = 0;

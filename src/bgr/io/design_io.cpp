@@ -1,10 +1,14 @@
 #include "bgr/io/design_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "bgr/common/check.hpp"
+#include "bgr/io/field_reader.hpp"
+#include "bgr/io/io_error.hpp"
 
 namespace bgr {
 
@@ -29,7 +33,9 @@ TerminalId find_terminal(const Netlist& netlist, const std::string& ref) {
     return TerminalId::invalid();
   }
   const auto dot = ref.rfind('.');
-  BGR_CHECK_MSG(dot != std::string::npos, "bad terminal ref " << ref);
+  if (dot == std::string::npos || dot == 0 || dot + 1 == ref.size()) {
+    return TerminalId::invalid();  // not of the cell.pin / pad:NAME shape
+  }
   const std::string cell_name = ref.substr(0, dot);
   const std::string pin_name = ref.substr(dot + 1);
   for (const TerminalId t : netlist.terminals()) {
@@ -100,16 +106,43 @@ void write_design(std::ostream& os, const Dataset& dataset) {
   os << "end\n";
 }
 
-Dataset read_design(std::istream& is) {
+namespace {
+
+/// Chip-dimension sanity caps: generous for any standard-cell design this
+/// model describes, small enough that a corrupted `chip` record cannot
+/// drive the occupancy grids into a multi-gigabyte allocation.
+constexpr std::int32_t kMaxRows = 65536;
+constexpr std::int32_t kMaxWidth = 16'777'216;
+constexpr std::int64_t kMaxChipSites = 33'554'432;
+constexpr std::int32_t kMaxPitch = 1024;
+
+/// Runs an apply-phase netlist/placement mutation, converting any
+/// CheckError (overlap, double drive, pad window checks...) into a
+/// line-addressed IoError: malformed *input* must never surface as an
+/// internal-invariant failure.
+template <typename Fn>
+void apply_record(const std::string& source, int line, Fn&& fn) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    io_fail(source, line, e.what());
+  }
+}
+
+}  // namespace
+
+Dataset read_design(std::istream& is, const std::string& source) {
   Library lib = Library::make_ecl_default();
   Netlist nl(std::move(lib));
   std::map<std::string, CellId> cells;
   std::map<std::string, NetId> nets;
+  std::set<std::string> pad_names;
 
   std::string header;
   std::getline(is, header);
-  BGR_CHECK_MSG(header.rfind("bgr-design 1", 0) == 0,
-                "not a bgr-design file");
+  if (header.rfind("bgr-design 1", 0) != 0) {
+    io_fail(source, 1, "not a bgr-design 1 file");
+  }
 
   std::string name = "design";
   std::int32_t rows = 0;
@@ -117,112 +150,219 @@ Dataset read_design(std::istream& is) {
   struct PlaceRec {
     std::string cell;
     std::int32_t row, x;
+    int line;
   };
   struct PadRec {
     std::string pad;
     bool top;
     std::int32_t lo, hi;
+    int line;
+  };
+  struct ConstRec {
+    std::string text;
+    int line;
   };
   std::vector<PlaceRec> places;
   std::vector<PadRec> pads;
-  std::vector<std::string> const_lines;
+  std::vector<ConstRec> const_lines;
 
   std::string line;
+  int lineno = 1;
+  bool saw_end = false;
   while (std::getline(is, line)) {
-    std::istringstream ls(line);
+    ++lineno;
+    FieldReader fr(line, source, lineno);
     std::string kind;
-    ls >> kind;
-    if (kind.empty() || kind[0] == '#') continue;
-    if (kind == "end") break;
+    if (!fr.try_word(&kind) || kind[0] == '#') continue;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
     if (kind == "name") {
-      ls >> name;
+      name = fr.word("design name");
+      fr.done();
     } else if (kind == "chip") {
-      std::string k1, k2;
-      ls >> k1 >> rows >> k2 >> width;
+      if (rows > 0) fr.fail("duplicate chip record");
+      fr.keyword("rows");
+      rows = fr.i32_in("row count", 1, kMaxRows);
+      fr.keyword("width");
+      width = fr.i32_in("chip width", 1, kMaxWidth);
+      if (static_cast<std::int64_t>(rows) * width > kMaxChipSites) {
+        fr.fail("chip of " + std::to_string(rows) + "x" +
+                std::to_string(width) + " sites is implausibly large");
+      }
+      fr.done();
     } else if (kind == "cell") {
-      std::string cname, tname;
-      ls >> cname >> tname;
+      const std::string cname = fr.word("cell name");
+      const std::string tname = fr.word("cell type");
+      fr.done();
+      if (cells.count(cname) != 0) fr.fail("duplicate cell '" + cname + "'");
       const CellTypeId type = nl.library().find(tname);
-      BGR_CHECK_MSG(type.valid(), "unknown cell type " << tname);
+      if (!type.valid()) fr.fail("unknown cell type '" + tname + "'");
       cells[cname] = nl.add_cell(cname, type);
     } else if (kind == "net") {
-      std::string nname;
+      const std::string nname = fr.word("net name");
       std::int32_t pitch = 1;
-      ls >> nname >> pitch;
+      std::string ptok;
+      if (fr.try_word(&ptok)) {
+        const auto parsed = parse_i32(ptok);
+        if (!parsed || *parsed < 1 || *parsed > kMaxPitch) {
+          fr.fail("net pitch '" + ptok + "' is not an integer in [1, " +
+                  std::to_string(kMaxPitch) + "]");
+        }
+        pitch = *parsed;
+        fr.done();
+      }
+      if (nets.count(nname) != 0) fr.fail("duplicate net '" + nname + "'");
       nets[nname] = nl.add_net(nname, pitch);
     } else if (kind == "conn") {
-      std::string nname, cname, pname;
-      ls >> nname >> cname >> pname;
-      const CellId cell = cells.at(cname);
-      const PinId pin = nl.cell_type(cell).find_pin(pname);
-      BGR_CHECK_MSG(pin.valid(), "unknown pin " << pname);
-      (void)nl.connect(nets.at(nname), cell, pin);
-    } else if (kind == "padin") {
-      std::string pname, nname;
-      double tf = 0, td = 0;
-      ls >> pname >> nname >> tf >> td;
-      (void)nl.add_pad_input(pname, nets.at(nname), tf, td);
-    } else if (kind == "padout") {
-      std::string pname, nname;
-      double cap = 0;
-      ls >> pname >> nname >> cap;
-      (void)nl.add_pad_output(pname, nets.at(nname), cap);
+      const std::string nname = fr.word("net name");
+      const std::string cname = fr.word("cell name");
+      const std::string pname = fr.word("pin name");
+      fr.done();
+      const auto net = nets.find(nname);
+      if (net == nets.end()) fr.fail("unknown net '" + nname + "'");
+      const auto cell = cells.find(cname);
+      if (cell == cells.end()) fr.fail("unknown cell '" + cname + "'");
+      const PinId pin = nl.cell_type(cell->second).find_pin(pname);
+      if (!pin.valid()) {
+        fr.fail("cell '" + cname + "' has no pin '" + pname + "'");
+      }
+      apply_record(source, lineno,
+                   [&] { (void)nl.connect(net->second, cell->second, pin); });
+    } else if (kind == "padin" || kind == "padout") {
+      const std::string pname = fr.word("pad name");
+      const std::string nname = fr.word("net name");
+      const double a = fr.real(kind == "padin" ? "pad tf" : "pad cap");
+      const double b = kind == "padin" ? fr.real("pad td") : 0.0;
+      fr.done();
+      const auto net = nets.find(nname);
+      if (net == nets.end()) fr.fail("unknown net '" + nname + "'");
+      if (!pad_names.insert(pname).second) {
+        fr.fail("duplicate pad '" + pname + "'");
+      }
+      apply_record(source, lineno, [&] {
+        if (kind == "padin") {
+          (void)nl.add_pad_input(pname, net->second, a, b);
+        } else {
+          (void)nl.add_pad_output(pname, net->second, a);
+        }
+      });
     } else if (kind == "diff") {
-      std::string a, b;
-      ls >> a >> b;
-      nl.make_differential(nets.at(a), nets.at(b));
+      const std::string a = fr.word("primary net");
+      const std::string b = fr.word("shadow net");
+      fr.done();
+      const auto na = nets.find(a);
+      if (na == nets.end()) fr.fail("unknown net '" + a + "'");
+      const auto nb = nets.find(b);
+      if (nb == nets.end()) fr.fail("unknown net '" + b + "'");
+      if (na->second == nb->second) {
+        fr.fail("net '" + a + "' cannot pair with itself");
+      }
+      apply_record(source, lineno,
+                   [&] { nl.make_differential(na->second, nb->second); });
     } else if (kind == "place") {
       PlaceRec rec;
-      ls >> rec.cell >> rec.row >> rec.x;
+      rec.cell = fr.word("cell name");
+      rec.row = fr.i32("row");
+      rec.x = fr.i32("column");
+      rec.line = lineno;
+      fr.done();
       places.push_back(rec);
     } else if (kind == "pad") {
       PadRec rec;
-      std::string side;
-      ls >> rec.pad >> side >> rec.lo >> rec.hi;
+      rec.pad = fr.word("pad name");
+      const std::string side = fr.word("pad side");
+      if (side != "top" && side != "bot") {
+        fr.fail("pad side must be 'top' or 'bot', got '" + side + "'");
+      }
       rec.top = side == "top";
+      rec.lo = fr.i32("window lo");
+      rec.hi = fr.i32("window hi");
+      rec.line = lineno;
+      fr.done();
       pads.push_back(rec);
     } else if (kind == "const") {
-      const_lines.push_back(line);
+      const_lines.push_back(ConstRec{line, lineno});
     } else {
-      BGR_CHECK_MSG(false, "unknown record " << kind);
+      fr.fail("unknown record '" + kind + "'");
     }
   }
+  if (!saw_end) {
+    io_fail(source, lineno, "truncated file (missing 'end' record)");
+  }
 
-  BGR_CHECK_MSG(rows > 0 && width > 0, "missing chip record");
+  if (rows <= 0 || width <= 0) {
+    io_fail(source, lineno, "missing chip record");
+  }
   Placement placement(rows, width);
   for (const PlaceRec& rec : places) {
-    placement.place(nl, cells.at(rec.cell), RowId{rec.row}, rec.x);
+    const auto cell = cells.find(rec.cell);
+    if (cell == cells.end()) {
+      io_fail(source, rec.line, "place record for unknown cell '" + rec.cell +
+                                    "'");
+    }
+    if (rec.row < 0 || rec.row >= rows || rec.x < 0 || rec.x >= width) {
+      io_fail(source, rec.line,
+              "placement at row " + std::to_string(rec.row) + " column " +
+                  std::to_string(rec.x) + " outside the chip");
+    }
+    apply_record(source, rec.line, [&] {
+      placement.place(nl, cell->second, RowId{rec.row}, rec.x);
+    });
   }
   for (const PadRec& rec : pads) {
     const TerminalId pad = find_terminal(nl, "pad:" + rec.pad);
-    BGR_CHECK_MSG(pad.valid(), "pad record for unknown pad " << rec.pad);
-    placement.place_pad(pad, rec.top, IntInterval{rec.lo, rec.hi});
+    if (!pad.valid()) {
+      io_fail(source, rec.line,
+              "pad record for unknown pad '" + rec.pad + "'");
+    }
+    if (rec.lo > rec.hi || rec.lo < 0 || rec.hi >= width) {
+      io_fail(source, rec.line,
+              "pad window [" + std::to_string(rec.lo) + ", " +
+                  std::to_string(rec.hi) + "] outside the chip edge");
+    }
+    apply_record(source, rec.line, [&] {
+      placement.place_pad(pad, rec.top, IntInterval{rec.lo, rec.hi});
+    });
   }
 
   std::vector<PathConstraint> constraints;
-  for (const std::string& cl : const_lines) {
-    std::istringstream ls(cl);
-    std::string kind;
+  for (const ConstRec& cl : const_lines) {
+    FieldReader fr(cl.text, source, cl.line);
+    (void)fr.word("record kind");  // "const", already dispatched
     PathConstraint pc;
-    ls >> kind >> pc.name >> pc.limit_ps;
+    pc.name = fr.word("constraint name");
+    pc.limit_ps = fr.real("constraint limit");
+    if (!(pc.limit_ps > 0.0)) {
+      fr.fail("constraint limit must be positive");
+    }
+    fr.keyword("src");
     std::string tok;
-    ls >> tok;
-    BGR_CHECK(tok == "src");
     bool in_sink = false;
-    while (ls >> tok) {
+    while (fr.try_word(&tok)) {
       if (tok == "sink") {
+        if (in_sink) fr.fail("duplicate 'sink' keyword");
         in_sink = true;
         continue;
       }
       const TerminalId term = find_terminal(nl, tok);
-      BGR_CHECK_MSG(term.valid(), "unknown terminal " << tok);
+      if (!term.valid()) fr.fail("unknown terminal '" + tok + "'");
       (in_sink ? pc.sinks : pc.sources).push_back(term);
+    }
+    if (pc.sources.empty()) fr.fail("constraint has no source terminals");
+    if (!in_sink || pc.sinks.empty()) {
+      fr.fail("constraint has no sink terminals");
     }
     constraints.push_back(std::move(pc));
   }
 
-  nl.validate();
-  placement.validate(nl);
+  try {
+    nl.validate();
+    placement.validate(nl);
+  } catch (const CheckError& e) {
+    throw IoError(source + ": invalid design: " + std::string(e.what()));
+  }
   Dataset ds{name, CircuitSpec{}, std::move(nl), std::move(placement),
              std::move(constraints), TechParams{}};
   ds.spec.name = name;
@@ -231,14 +371,14 @@ Dataset read_design(std::istream& is) {
 
 void save_design(const std::string& path, const Dataset& dataset) {
   std::ofstream os(path);
-  BGR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  if (!os.good()) throw IoError("cannot open " + path + " for writing");
   write_design(os, dataset);
 }
 
 Dataset load_design(const std::string& path) {
   std::ifstream is(path);
-  BGR_CHECK_MSG(is.good(), "cannot open " << path);
-  return read_design(is);
+  if (!is.good()) throw IoError("cannot open " + path);
+  return read_design(is, path);
 }
 
 }  // namespace bgr

@@ -18,11 +18,15 @@ namespace bgr {
 void write_design(std::ostream& os, const Dataset& dataset);
 
 /// Parses a `bgr-design 1` stream. The cell library is the built-in ECL
-/// library; cell types are matched by name. Throws CheckError on malformed
-/// input.
-[[nodiscard]] Dataset read_design(std::istream& is);
+/// library; cell types are matched by name. Malformed, truncated or
+/// inconsistent input throws IoError with a "<source>:<line>:" diagnostic;
+/// no partially-built Dataset ever escapes. `source` names the stream in
+/// diagnostics (the file path, or a label for in-memory streams).
+[[nodiscard]] Dataset read_design(std::istream& is,
+                                  const std::string& source = "design");
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. Throw IoError on unreadable/unwritable
+/// paths and on malformed content.
 void save_design(const std::string& path, const Dataset& dataset);
 [[nodiscard]] Dataset load_design(const std::string& path);
 

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "bgr/common/parse.hpp"
+#include "bgr/io/io_error.hpp"
+
+namespace bgr {
+
+/// Whitespace-token reader over one record line of a text format, with
+/// checked numeric conversion. Every failure throws IoError carrying the
+/// source name, the line number and the offending token — no silent
+/// zero-initialised fields (the old `stream >> int` behaviour).
+class FieldReader {
+ public:
+  FieldReader(const std::string& line, const std::string& source, int lineno)
+      : ls_(line), source_(source), line_(lineno) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    io_fail(source_, line_, message);
+  }
+
+  /// Next token; fails when the line ends early.
+  std::string word(const char* what) {
+    std::string token;
+    if (!(ls_ >> token)) {
+      fail(std::string("missing ") + what);
+    }
+    return token;
+  }
+
+  /// Optional trailing token (for fields with defaults).
+  bool try_word(std::string* out) {
+    out->clear();
+    return static_cast<bool>(ls_ >> *out);
+  }
+
+  std::int32_t i32(const char* what) {
+    const std::string token = word(what);
+    const auto value = parse_i32(token);
+    if (!value) fail(std::string(what) + " '" + token + "' is not an integer");
+    return *value;
+  }
+
+  std::int32_t i32_in(const char* what, std::int32_t lo, std::int32_t hi) {
+    const std::int32_t value = i32(what);
+    if (value < lo || value > hi) {
+      fail(std::string(what) + " " + std::to_string(value) +
+           " out of range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+           "]");
+    }
+    return value;
+  }
+
+  double real(const char* what) {
+    const std::string token = word(what);
+    const auto value = parse_double(token);
+    if (!value) fail(std::string(what) + " '" + token + "' is not a number");
+    return *value;
+  }
+
+  /// Requires the exact literal keyword next (format fixed words).
+  void keyword(const char* expected) {
+    const std::string token = word(expected);
+    if (token != expected) {
+      fail(std::string("expected '") + expected + "', got '" + token + "'");
+    }
+  }
+
+  /// Rejects trailing fields, so swapped or duplicated fields cannot be
+  /// silently ignored.
+  void done() {
+    std::string extra;
+    if (ls_ >> extra) fail("unexpected trailing field '" + extra + "'");
+  }
+
+ private:
+  std::istringstream ls_;
+  const std::string& source_;
+  int line_;
+};
+
+}  // namespace bgr

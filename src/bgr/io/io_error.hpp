@@ -1,0 +1,23 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bgr {
+
+/// Malformed, truncated or inconsistent *input* (a design/route file, a
+/// CLI value). Unlike CheckError — which flags a broken internal
+/// invariant — an IoError is an expected runtime condition: the message
+/// carries a "source:line:" prefix so the user can fix the file, and
+/// callers get a clean failure with no partially-constructed objects.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void io_fail(const std::string& source, int line,
+                                 const std::string& message) {
+  throw IoError(source + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace bgr

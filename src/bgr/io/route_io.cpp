@@ -1,9 +1,12 @@
 #include "bgr/io/route_io.hpp"
 
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "bgr/common/check.hpp"
+#include "bgr/io/field_reader.hpp"
+#include "bgr/io/io_error.hpp"
 
 namespace bgr {
 
@@ -39,8 +42,150 @@ void write_route(std::ostream& os, const GlobalRouter& router,
 void save_route(const std::string& path, const GlobalRouter& router,
                 const ChannelStage& channel) {
   std::ofstream os(path);
-  BGR_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  if (!os.good()) throw IoError("cannot open " + path + " for writing");
   write_route(os, router, channel);
+}
+
+namespace {
+
+constexpr std::int32_t kMaxRouteRows = 65536;
+constexpr std::int32_t kMaxRouteWidth = 16'777'216;
+
+}  // namespace
+
+RouteDoc read_route(std::istream& is, const std::string& source) {
+  std::string header;
+  std::getline(is, header);
+  if (header.rfind("bgr-route 1", 0) != 0) {
+    io_fail(source, 1, "not a bgr-route 1 file");
+  }
+
+  RouteDoc doc;
+  // Channel index -> (tracks, header line), for track-record validation.
+  std::map<std::int32_t, std::pair<std::int32_t, int>> channel_tracks;
+  struct PendingTrack {
+    RouteTrackRec rec;
+    int line;
+  };
+  std::vector<PendingTrack> pending_tracks;
+
+  std::string line;
+  int lineno = 1;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    FieldReader fr(line, source, lineno);
+    std::string kind;
+    if (!fr.try_word(&kind) || kind[0] == '#') continue;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kind == "chip") {
+      if (doc.rows > 0) fr.fail("duplicate chip record");
+      fr.keyword("rows");
+      doc.rows = fr.i32_in("row count", 1, kMaxRouteRows);
+      fr.keyword("width");
+      doc.width = fr.i32_in("chip width", 1, kMaxRouteWidth);
+      fr.done();
+    } else if (kind == "tree") {
+      if (doc.rows <= 0) fr.fail("tree record before the chip record");
+      RouteTreeRec rec;
+      rec.net = fr.word("net name");
+      rec.kind = fr.word("edge kind");
+      if (rec.kind != "trunk" && rec.kind != "term" && rec.kind != "feed") {
+        fr.fail("edge kind must be trunk, term or feed, got '" + rec.kind +
+                "'");
+      }
+      rec.channel = fr.i32_in("channel", 0, doc.rows);
+      rec.lo = fr.i32_in("span lo", 0, doc.width - 1);
+      rec.hi = fr.i32_in("span hi", 0, doc.width - 1);
+      fr.done();
+      if (rec.lo > rec.hi) fr.fail("span lo exceeds span hi");
+      doc.trees.push_back(std::move(rec));
+    } else if (kind == "channel") {
+      if (doc.rows <= 0) fr.fail("channel record before the chip record");
+      RouteChannelRec rec;
+      rec.channel = fr.i32_in("channel", 0, doc.rows);
+      fr.keyword("tracks");
+      rec.tracks = fr.i32_in("track count", 0, kMaxRouteWidth);
+      fr.keyword("density");
+      rec.density = fr.i32_in("density", 0, kMaxRouteWidth);
+      fr.done();
+      if (channel_tracks.count(rec.channel) != 0) {
+        fr.fail("duplicate channel record for channel " +
+                std::to_string(rec.channel));
+      }
+      channel_tracks[rec.channel] = {rec.tracks, lineno};
+      doc.channels.push_back(rec);
+    } else if (kind == "track") {
+      if (doc.rows <= 0) fr.fail("track record before the chip record");
+      RouteTrackRec rec;
+      rec.channel = fr.i32_in("channel", 0, doc.rows);
+      rec.net = fr.word("net name");
+      rec.lo = fr.i32_in("span lo", 0, doc.width - 1);
+      rec.hi = fr.i32_in("span hi", 0, doc.width - 1);
+      rec.track = fr.i32("track");
+      rec.width = fr.i32_in("segment width", 1, kMaxRouteWidth);
+      fr.done();
+      if (rec.lo > rec.hi) fr.fail("span lo exceeds span hi");
+      pending_tracks.push_back(PendingTrack{std::move(rec), lineno});
+    } else {
+      fr.fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_end) {
+    io_fail(source, lineno, "truncated file (missing 'end' record)");
+  }
+  if (doc.rows <= 0) io_fail(source, lineno, "missing chip record");
+
+  // Every channel of the chip must be summarised exactly once.
+  for (std::int32_t c = 0; c <= doc.rows; ++c) {
+    if (channel_tracks.count(c) == 0) {
+      io_fail(source, lineno,
+              "missing channel record for channel " + std::to_string(c));
+    }
+  }
+  // Track records must land on declared tracks of their channel. Track
+  // numbers are 1-based; a segment of width w occupies [track, track+w-1].
+  for (PendingTrack& pt : pending_tracks) {
+    const auto& [tracks, header_line] = channel_tracks.at(pt.rec.channel);
+    (void)header_line;
+    if (pt.rec.track < 1 || pt.rec.track + pt.rec.width - 1 > tracks) {
+      io_fail(source, pt.line,
+              "track " + std::to_string(pt.rec.track) + " (width " +
+                  std::to_string(pt.rec.width) + ") outside channel " +
+                  std::to_string(pt.rec.channel) + "'s " +
+                  std::to_string(tracks) + " tracks");
+    }
+    doc.tracks.push_back(std::move(pt.rec));
+  }
+  return doc;
+}
+
+RouteDoc load_route(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw IoError("cannot open " + path);
+  return read_route(is, path);
+}
+
+void write_route_doc(std::ostream& os, const RouteDoc& doc) {
+  os << "bgr-route 1\n";
+  os << "chip rows " << doc.rows << " width " << doc.width << "\n";
+  for (const RouteTreeRec& rec : doc.trees) {
+    os << "tree " << rec.net << " " << rec.kind << " " << rec.channel << " "
+       << rec.lo << " " << rec.hi << "\n";
+  }
+  for (const RouteChannelRec& ch : doc.channels) {
+    os << "channel " << ch.channel << " tracks " << ch.tracks << " density "
+       << ch.density << "\n";
+    for (const RouteTrackRec& rec : doc.tracks) {
+      if (rec.channel != ch.channel) continue;
+      os << "track " << rec.channel << " " << rec.net << " " << rec.lo << " "
+         << rec.hi << " " << rec.track << " " << rec.width << "\n";
+    }
+  }
+  os << "end\n";
 }
 
 }  // namespace bgr

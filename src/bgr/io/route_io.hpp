@@ -1,6 +1,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "bgr/channel/channel_router.hpp"
 #include "bgr/route/router.hpp"
@@ -17,5 +19,48 @@ void write_route(std::ostream& os, const GlobalRouter& router,
 
 void save_route(const std::string& path, const GlobalRouter& router,
                 const ChannelStage& channel);
+
+/// Parsed document model of a `bgr-route 1` file — plain records, no
+/// router state. Produced by read_route with full structural validation;
+/// the consumer (a viewer, a detailed router, the fuzz round-trip oracle)
+/// can trust spans, channel indices and track numbers to be in range.
+struct RouteTreeRec {
+  std::string net;
+  std::string kind;  // "trunk" | "term" | "feed"
+  std::int32_t channel = 0;
+  std::int32_t lo = 0, hi = 0;
+};
+struct RouteChannelRec {
+  std::int32_t channel = 0;
+  std::int32_t tracks = 0;
+  std::int32_t density = 0;
+};
+struct RouteTrackRec {
+  std::int32_t channel = 0;
+  std::string net;
+  std::int32_t lo = 0, hi = 0;
+  std::int32_t track = 0;
+  std::int32_t width = 0;
+};
+struct RouteDoc {
+  std::int32_t rows = 0;
+  std::int32_t width = 0;
+  std::vector<RouteTreeRec> trees;
+  std::vector<RouteChannelRec> channels;
+  std::vector<RouteTrackRec> tracks;
+};
+
+/// Parses and validates a `bgr-route 1` stream. Throws IoError with a
+/// "<source>:<line>:" diagnostic on malformed, truncated or inconsistent
+/// input (spans outside the chip, unknown channels, tracks beyond the
+/// channel's track count, ...).
+[[nodiscard]] RouteDoc read_route(std::istream& is,
+                                  const std::string& source = "route");
+[[nodiscard]] RouteDoc load_route(const std::string& path);
+
+/// Re-serialises a RouteDoc in the canonical record order. For documents
+/// produced by read_route over writer output this is a byte-identical
+/// round trip (write_route → read_route → write_route_doc fixpoint).
+void write_route_doc(std::ostream& os, const RouteDoc& doc);
 
 }  // namespace bgr

@@ -91,9 +91,12 @@ FeedInsertionResult insert_feed_cells(Netlist& netlist, const Placement& old,
         const InsertUnit& unit = units[static_cast<std::size_t>(unit_idx)];
         const std::int32_t at = gap_old_x(gap);
         for (std::int32_t k = 0; k < unit.width; ++k) {
+          // Name on the global cell count, not this call's counter: feed
+          // insertion can run several rounds on one netlist, and a
+          // per-call counter would mint the same name twice.
           const CellId feed = netlist.add_cell(
               "feed_r" + std::to_string(r) + "_" +
-                  std::to_string(result.feed_cells_added),
+                  std::to_string(netlist.cell_count()),
               feed_type);
           next.place(netlist, feed, row, at + shift + k);
           next.set_column_flag(row, at + shift + k, unit.flag);

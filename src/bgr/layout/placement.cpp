@@ -143,6 +143,11 @@ void Placement::validate(const Netlist& netlist) const {
       BGR_CHECK_MSG(a.x + a.width <= b.x, "row " << r << " cells overlap");
     }
   }
+  for (const TerminalId t : netlist.terminals()) {
+    if (netlist.terminal(t).kind == TerminalKind::kCellPin) continue;
+    BGR_CHECK_MSG(pads_.count(t) != 0, "pad " << netlist.terminal(t).pad_name
+                                              << " has no site");
+  }
 }
 
 }  // namespace bgr

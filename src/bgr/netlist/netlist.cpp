@@ -1,6 +1,8 @@
 #include "bgr/netlist/netlist.hpp"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
 
 namespace bgr {
 
@@ -104,8 +106,17 @@ void Netlist::validate() const {
       BGR_CHECK(partner.diff_primary != net.diff_primary);
     }
   }
+  // Names are the identity the text formats round-trip through, so they
+  // must be unique — a duplicate would silently alias two objects.
+  std::unordered_set<std::string_view> seen;
   for (const CellId c : cells()) {
-    BGR_CHECK_MSG(!cell_type(c).is_feed() || true, "feed cells are allowed");
+    BGR_CHECK_MSG(seen.insert(cells_.at(c).name).second,
+                  "duplicate cell name " << cells_.at(c).name);
+  }
+  seen.clear();
+  for (const NetId n : nets()) {
+    BGR_CHECK_MSG(seen.insert(nets_.at(n).name).second,
+                  "duplicate net name " << nets_.at(n).name);
   }
 }
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bgr/common/parse.hpp"
+
 namespace bgr {
 
 namespace {
@@ -249,6 +251,9 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    // Containers recurse; a hostile "[[[[..." document must hit this
+    // limit before it exhausts the call stack.
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 512 levels");
     switch (peek()) {
       case '{':
         return parse_object();
@@ -270,7 +275,14 @@ class Parser {
     }
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(&depth_);
     expect('{');
     JsonValue obj = JsonValue::object();
     if (peek() == '}') {
@@ -290,6 +302,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(&depth_);
     expect('[');
     JsonValue arr = JsonValue::array();
     if (peek() == ']') {
@@ -375,17 +388,22 @@ class Parser {
       }
     }
     if (pos_ == start) fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    try {
-      if (is_double) return JsonValue(std::stod(token));
-      return JsonValue(static_cast<std::int64_t>(std::stoll(token)));
-    } catch (const std::exception&) {
-      fail("bad number '" + token + "'");
+    // Checked, locale-independent conversion (std::stod honours the global
+    // locale and throws on overflow). Integer literals too large for
+    // int64 are still valid JSON: they fall back to the double reading.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      if (const auto i = parse_i64(token)) return JsonValue(*i);
     }
+    if (const auto d = parse_double(token)) return JsonValue(*d);
+    fail("bad number '" + std::string(token) + "'");
   }
+
+  static constexpr int kMaxDepth = 512;
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -53,11 +53,28 @@ std::vector<NetId> ordered_nets(const Netlist& netlist,
 
 }  // namespace
 
-void assign_external_pins(const Netlist& netlist, Placement& placement) {
-  // Occupancy per side.
-  std::vector<bool> taken_top(static_cast<std::size_t>(placement.width()), false);
-  std::vector<bool> taken_bot(taken_top);
+namespace {
 
+/// Columns of a pad's window ordered by preference: nearest to the net's
+/// cell centroid first, ties toward the left edge.
+std::vector<std::int32_t> preferred_columns(const PadSite& site,
+                                            std::int32_t center) {
+  std::vector<std::int32_t> columns;
+  columns.reserve(static_cast<std::size_t>(site.window.hi - site.window.lo) +
+                  1);
+  for (std::int32_t x = site.window.lo; x <= site.window.hi; ++x) {
+    columns.push_back(x);
+  }
+  std::stable_sort(columns.begin(), columns.end(),
+                   [center](std::int32_t a, std::int32_t b) {
+                     return std::abs(a - center) < std::abs(b - center);
+                   });
+  return columns;
+}
+
+}  // namespace
+
+void assign_external_pins(const Netlist& netlist, Placement& placement) {
   // Deterministic order: pad terminal id.
   std::vector<TerminalId> pads;
   for (const auto& [pad, site] : placement.pad_sites()) {
@@ -66,12 +83,25 @@ void assign_external_pins(const Netlist& netlist, Placement& placement) {
   }
   std::sort(pads.begin(), pads.end());
 
-  for (const TerminalId pad : pads) {
-    PadSite& site = placement.pad_site(pad);
-    auto& taken = site.top ? taken_top : taken_bot;
+  // Pads on one side compete for distinct edge columns inside overlapping
+  // windows. The nearest-free-column greedy is kept as the primary rule,
+  // but it is not complete: a pad pulled toward its net centroid can
+  // exhaust a later pad's whole window even when a valid assignment
+  // exists. When the greedy strands a pad, Kuhn's augmenting paths with
+  // preference-ordered adjacency displace earlier pads just enough to
+  // admit it.
+  std::vector<std::vector<std::int32_t>> prefs(pads.size());
+  // owner_top/bot[x]: index into `pads` currently holding column x.
+  const auto npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> owner_top(
+      static_cast<std::size_t>(placement.width()), npos);
+  std::vector<std::size_t> owner_bot(owner_top);
+
+  for (std::size_t i = 0; i < pads.size(); ++i) {
+    const PadSite& site = placement.pad_site(pads[i]);
     // Centre over the net's cell terminals (pads excluded to avoid the
     // chicken-and-egg on unassigned pads).
-    const NetId net = netlist.terminal(pad).net;
+    const NetId net = netlist.terminal(pads[i]).net;
     std::int64_t sum = 0;
     std::int64_t count = 0;
     for (const TerminalId term : netlist.net_terminals(net)) {
@@ -82,19 +112,39 @@ void assign_external_pins(const Netlist& netlist, Placement& placement) {
     const std::int32_t center =
         count > 0 ? static_cast<std::int32_t>(sum / count)
                   : (site.window.lo + site.window.hi) / 2;
-    std::int32_t best = -1;
-    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
-    for (std::int32_t x = site.window.lo; x <= site.window.hi; ++x) {
-      if (taken[static_cast<std::size_t>(x)]) continue;
-      const std::int32_t dist = std::abs(x - center);
-      if (dist < best_dist) {
-        best_dist = dist;
-        best = x;
+    prefs[i] = preferred_columns(site, center);
+  }
+
+  std::vector<char> visited(pads.size(), 0);
+  auto augment = [&](auto&& self, std::size_t i,
+                     std::vector<std::size_t>& owner) -> bool {
+    visited[i] = 1;
+    for (const std::int32_t x : prefs[i]) {
+      const auto col = static_cast<std::size_t>(x);
+      if (owner[col] == npos ||
+          (!visited[owner[col]] && self(self, owner[col], owner))) {
+        owner[col] = i;
+        placement.pad_site(pads[i]).assigned_x = x;
+        return true;
       }
     }
-    BGR_CHECK_MSG(best >= 0, "no free pad column in window");
-    site.assigned_x = best;
-    taken[static_cast<std::size_t>(best)] = true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < pads.size(); ++i) {
+    auto& owner = placement.pad_site(pads[i]).top ? owner_top : owner_bot;
+    bool placed = false;
+    for (const std::int32_t x : prefs[i]) {
+      if (owner[static_cast<std::size_t>(x)] != npos) continue;
+      owner[static_cast<std::size_t>(x)] = i;
+      placement.pad_site(pads[i]).assigned_x = x;
+      placed = true;
+      break;
+    }
+    if (placed) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    BGR_CHECK_MSG(augment(augment, i, owner),
+                  "no free pad column in window");
   }
 }
 

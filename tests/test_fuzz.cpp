@@ -1,0 +1,161 @@
+// Unit tests of the fuzzing harness itself: sampler determinism and
+// domain validity, spec serialisation round-trips, mutator determinism,
+// shrinker contracts, and the oracles' ability to both pass good inputs
+// and flag planted bugs.
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bgr/fuzz/fuzzer.hpp"
+#include "bgr/fuzz/mutator.hpp"
+#include "bgr/fuzz/oracles.hpp"
+#include "bgr/fuzz/shrinker.hpp"
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/io/io_error.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(SpecSampler, DeterministicInSeed) {
+  for (const std::uint64_t seed : {1ull, 7ull, 500ull}) {
+    EXPECT_EQ(spec_to_text(sample_spec(seed)), spec_to_text(sample_spec(seed)));
+  }
+  EXPECT_NE(spec_to_text(sample_spec(1)), spec_to_text(sample_spec(2)));
+}
+
+TEST(SpecSampler, StaysInsideTheValidDomain) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const CircuitSpec spec = sample_spec(seed);
+    SCOPED_TRACE(spec.name);
+    EXPECT_GE(spec.rows, 1);
+    EXPECT_GE(spec.target_cells, 8);
+    EXPECT_GE(spec.levels, 2);
+    EXPECT_GE(spec.feed_every, 1);
+    EXPECT_GE(spec.clock_pitch, 1);
+    EXPECT_GE(spec.clock_buffers, 0);
+    EXPECT_LE(spec.tightness_lo, spec.tightness_hi);
+    EXPECT_GT(spec.tightness_lo, 0.0);
+    EXPECT_GE(spec.gap_fraction, 0.0);
+    EXPECT_LT(spec.gap_fraction, 1.0);
+  }
+}
+
+TEST(SpecSampler, CoversTheExtremeRegimes) {
+  bool one_row = false;
+  bool overtight = false;
+  bool wide_clock = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const CircuitSpec spec = sample_spec(seed);
+    one_row = one_row || spec.rows == 1;
+    overtight = overtight || spec.tightness_lo < 1.0;
+    wide_clock = wide_clock || spec.clock_pitch >= 3;
+  }
+  EXPECT_TRUE(one_row);
+  EXPECT_TRUE(overtight);
+  EXPECT_TRUE(wide_clock);
+}
+
+TEST(SpecText, RoundTrips) {
+  const CircuitSpec spec = sample_spec(42);
+  const std::string text = spec_to_text(spec);
+  EXPECT_EQ(spec_to_text(spec_from_text(text)), text);
+}
+
+TEST(SpecText, RejectsGarbage) {
+  EXPECT_THROW((void)spec_from_text("not a spec"), IoError);
+  EXPECT_THROW((void)spec_from_text("bgr-fuzzspec 1\nrows 0\nend\n"), IoError);
+  // Truncation (missing 'end') must be detected.
+  std::string text = spec_to_text(sample_spec(1));
+  text.resize(text.size() / 2);
+  EXPECT_THROW((void)spec_from_text(text), IoError);
+}
+
+TEST(Mutator, DeterministicAndUsuallyDifferent) {
+  const std::string base = "bgr-design 1\nchip rows 2 width 10\nend\n";
+  int changed = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::string a = mutate_text(base, seed);
+    EXPECT_EQ(a, mutate_text(base, seed));
+    if (a != base) ++changed;
+  }
+  EXPECT_GE(changed, 40);
+}
+
+TEST(Shrinker, TextShrinkKeepsThePredicateTrue) {
+  // Predicate: contains the token "needle". The shrinker must strip all
+  // the chaff lines and fields around it.
+  std::string text;
+  for (int i = 0; i < 30; ++i) text += "chaff line " + std::to_string(i) + "\n";
+  text += "keep needle here\n";
+  for (int i = 0; i < 30; ++i) text += "more chaff " + std::to_string(i) + "\n";
+  const auto has_needle = [](const std::string& t) {
+    return t.find("needle") != std::string::npos;
+  };
+  const std::string shrunk = shrink_text(text, has_needle);
+  EXPECT_TRUE(has_needle(shrunk));
+  EXPECT_LT(shrunk.size(), 30u);
+}
+
+TEST(Shrinker, SpecShrinkReachesTheDomainFloor) {
+  // Predicate always true: every knob must descend to its domain minimum.
+  const CircuitSpec spec = sample_spec(9);
+  const CircuitSpec shrunk =
+      shrink_spec(spec, [](const CircuitSpec&) { return true; });
+  EXPECT_EQ(shrunk.rows, 1);
+  EXPECT_EQ(shrunk.target_cells, 8);
+  EXPECT_EQ(shrunk.levels, 2);
+  EXPECT_EQ(shrunk.path_constraints, 0);
+}
+
+TEST(Oracles, CleanDesignTextPasses) {
+  const std::string text =
+      "bgr-design 1\n"
+      "name t\n"
+      "chip rows 1 width 8\n"
+      "cell c1 BUF1\n"
+      "net n1\n"
+      "padin PI n1 60 140\n"
+      "conn n1 c1 I0\n"
+      "place c1 0 0\n"
+      "pad PI top 0 7\n"
+      "end\n";
+  const auto failure = check_design_text(text);
+  EXPECT_FALSE(failure.has_value())
+      << failure->oracle << ": " << failure->detail;
+}
+
+TEST(Oracles, MalformedDesignTextIsACleanRejection) {
+  EXPECT_FALSE(check_design_text("garbage\n").has_value());
+  EXPECT_FALSE(check_design_text("bgr-design 1\nfrob 1 2\nend\n").has_value());
+}
+
+TEST(Oracles, JsonRejectionsAndFixpointsAreClean) {
+  EXPECT_FALSE(check_json_text("{\"a\": [1, 2.5, null]}").has_value());
+  EXPECT_FALSE(check_json_text("{broken").has_value());
+  EXPECT_FALSE(check_json_text(std::string(600, '[')).has_value());
+}
+
+TEST(FuzzOne, SpecModeIsDeterministic) {
+  FuzzOptions options;
+  options.alt_threads = 2;
+  const FuzzCase a = fuzz_one(5, FuzzMode::kSpec, options, /*shrink=*/false);
+  const FuzzCase b = fuzz_one(5, FuzzMode::kSpec, options, /*shrink=*/false);
+  EXPECT_EQ(a.failure.has_value(), b.failure.has_value());
+  EXPECT_EQ(a.repro, b.repro);
+}
+
+TEST(Campaign, SmallTextCampaignIsCleanAndCounted) {
+  FuzzCampaign campaign;
+  campaign.seed_lo = 1;
+  campaign.seed_hi = 30;
+  campaign.only_mode = FuzzMode::kJsonText;
+  std::ostringstream log;
+  EXPECT_EQ(run_campaign(campaign, log), 0);
+  EXPECT_NE(log.str().find("30 cases"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -1,0 +1,137 @@
+// Replays the minimized fuzz corpus (tests/fuzz_corpus/): every entry is
+// an input that once crashed, hung, or silently corrupted the pipeline,
+// plus an .expect sidecar stating how it must behave now. See the corpus
+// README for the format.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bgr/fuzz/oracles.hpp"
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/io/design_io.hpp"
+#include "bgr/io/io_error.hpp"
+#include "bgr/io/route_io.hpp"
+#include "bgr/obs/json.hpp"
+
+namespace bgr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+struct Expectation {
+  bool ok = false;
+  std::string substring;  // for error expectations
+};
+
+Expectation parse_expect(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);
+  Expectation out;
+  if (line == "ok") {
+    out.ok = true;
+  } else {
+    constexpr const char* kPrefix = "error ";
+    EXPECT_EQ(line.rfind(kPrefix, 0), 0u)
+        << ".expect must start with 'ok' or 'error <substring>', got: "
+        << line;
+    out.substring = line.substr(6);
+  }
+  return out;
+}
+
+/// Runs the input through the parser matching its format, returning the
+/// diagnostic text ("" on acceptance). Non-IoError exceptions propagate —
+/// they fail the test, which is the point.
+std::string rejection_of(const std::string& input) {
+  try {
+    if (input.rfind("bgr-fuzzspec 1", 0) == 0) {
+      (void)spec_from_text(input);
+    } else if (input.rfind("bgr-design 1", 0) == 0) {
+      std::istringstream is(input);
+      (void)read_design(is, "corpus");
+    } else if (input.rfind("bgr-route 1", 0) == 0) {
+      std::istringstream is(input);
+      (void)read_route(is, "corpus");
+    } else {
+      (void)json_parse(input);
+    }
+    return "";
+  } catch (const IoError& e) {
+    return e.what();
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (what.rfind("JSON parse error", 0) == 0) return what;
+    throw;
+  }
+}
+
+/// The oracle battery for the input's format; nullopt means clean.
+std::optional<FuzzFailure> oracles_of(const std::string& input) {
+  if (input.rfind("bgr-fuzzspec 1", 0) == 0) {
+    FuzzOptions options;
+    options.alt_threads = 2;  // keep corpus replay fast
+    return check_spec(spec_from_text(input), options);
+  }
+  if (input.rfind("bgr-design 1", 0) == 0) return check_design_text(input);
+  if (input.rfind("bgr-route 1", 0) == 0) return check_route_text(input);
+  return check_json_text(input);
+}
+
+fs::path corpus_dir() { return fs::path(BGR_FUZZ_CORPUS_DIR); }
+
+std::vector<fs::path> corpus_inputs() {
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() == ".txt") inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+  return inputs;
+}
+
+TEST(FuzzCorpus, HasEntries) {
+  ASSERT_TRUE(fs::exists(corpus_dir())) << corpus_dir();
+  EXPECT_GE(corpus_inputs().size(), 8u);
+}
+
+TEST(FuzzCorpus, EveryEntryBehavesAsExpected) {
+  for (const fs::path& path : corpus_inputs()) {
+    SCOPED_TRACE(path.filename().string());
+    fs::path expect_path = path;
+    expect_path.replace_extension(".expect");
+    ASSERT_TRUE(fs::exists(expect_path))
+        << path << " has no .expect sidecar";
+    const std::string input = read_file(path);
+    const Expectation expect = parse_expect(read_file(expect_path));
+
+    if (expect.ok) {
+      const auto failure = oracles_of(input);
+      EXPECT_FALSE(failure.has_value())
+          << "oracle " << (failure ? failure->oracle : "") << ": "
+          << (failure ? failure->detail : "");
+    } else {
+      const std::string diagnostic = rejection_of(input);
+      ASSERT_FALSE(diagnostic.empty())
+          << "input was accepted but must be rejected";
+      EXPECT_NE(diagnostic.find(expect.substring), std::string::npos)
+          << "diagnostic '" << diagnostic << "' lacks '" << expect.substring
+          << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgr

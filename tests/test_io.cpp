@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "bgr/io/io_error.hpp"
 #include "bgr/io/table.hpp"
 #include "test_util.hpp"
 
@@ -72,9 +73,33 @@ TEST(DesignIo, RoundTripPreservesDifferentialPairs) {
 
 TEST(DesignIo, RejectsGarbage) {
   std::stringstream bad("hello world\n");
-  EXPECT_THROW((void)read_design(bad), CheckError);
+  EXPECT_THROW((void)read_design(bad), IoError);
   std::stringstream bad2("bgr-design 1\nfrobnicate x y\nend\n");
-  EXPECT_THROW((void)read_design(bad2), CheckError);
+  EXPECT_THROW((void)read_design(bad2), IoError);
+}
+
+TEST(DesignIo, DiagnosticsCarrySourceAndLine) {
+  std::stringstream bad("bgr-design 1\nchip rows 1 width 20\nfrob x\nend\n");
+  try {
+    (void)read_design(bad, "t.txt");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("t.txt:3:"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("unknown record"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DesignIo, RejectsTruncation) {
+  const Dataset original = generate_circuit(testutil::small_spec(16));
+  std::stringstream stream;
+  write_design(stream, original);
+  const std::string text = stream.str();
+  // Cut the file mid-way: the parser must fail cleanly, never return a
+  // partial Dataset.
+  std::stringstream cut(text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)read_design(cut), IoError);
 }
 
 TEST(DesignIo, FileHelpers) {
@@ -83,7 +108,7 @@ TEST(DesignIo, FileHelpers) {
   save_design(path, original);
   const Dataset loaded = load_design(path);
   EXPECT_EQ(loaded.netlist.cell_count(), original.netlist.cell_count());
-  EXPECT_THROW((void)load_design("/nonexistent/nowhere.txt"), CheckError);
+  EXPECT_THROW((void)load_design("/nonexistent/nowhere.txt"), IoError);
 }
 
 TEST(TextTable, FormatsAligned) {

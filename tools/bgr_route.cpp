@@ -37,6 +37,7 @@
 
 #include "bgr/channel/channel_router.hpp"
 #include "bgr/common/log.hpp"
+#include "bgr/common/parse.hpp"
 #include "bgr/io/design_io.hpp"
 #include "bgr/io/route_io.hpp"
 #include "bgr/io/ascii_art.hpp"
@@ -73,6 +74,23 @@ void print_phase_times(const bgr::RouteOutcome& outcome) {
                 static_cast<long long>(ph.exec_regions),
                 static_cast<long long>(ph.exec_chunks));
   }
+}
+
+/// Checked integer option value: rejects missing, non-numeric, trailing
+/// garbage and out-of-range text with a clear diagnostic instead of the
+/// old atoi behaviour (which silently read garbage as 0).
+bool parse_int_option(const char* flag, const char* text, std::int32_t lo,
+                      std::int32_t hi, std::int32_t* out) {
+  const std::optional<std::int32_t> value =
+      text != nullptr ? bgr::parse_i32(text) : std::nullopt;
+  if (!value || *value < lo || *value > hi) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%d, %d], got '%s'\n", flag,
+                 lo, hi, text != nullptr ? text : "<missing>");
+    return false;
+  }
+  *out = *value;
+  return true;
 }
 
 }  // namespace
@@ -119,18 +137,14 @@ int main(int argc, char** argv) {
       options.enable_violation_recovery = false;
       options.enable_delay_improvement = false;
       options.enable_area_improvement = false;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = std::atoi(argv[++i]);
-      if (options.threads < 0) {
-        std::fprintf(stderr, "error: --threads must be >= 0\n");
+    } else if (arg == "--threads") {
+      const char* value = i + 1 < argc ? argv[++i] : nullptr;
+      if (!parse_int_option("--threads", value, 0, 1024, &options.threads)) {
         return 2;
       }
-    } else if (arg == "--repeat" && i + 1 < argc) {
-      repeat = std::atoi(argv[++i]);
-      if (repeat < 1) {
-        std::fprintf(stderr, "error: --repeat must be >= 1\n");
-        return 2;
-      }
+    } else if (arg == "--repeat") {
+      const char* value = i + 1 < argc ? argv[++i] : nullptr;
+      if (!parse_int_option("--repeat", value, 1, 100000, &repeat)) return 2;
     } else if (arg == "--skew") {
       print_skew = true;
     } else if (arg == "--map") {
