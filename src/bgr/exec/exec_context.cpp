@@ -48,6 +48,10 @@ void ExecContext::ensure_pool() {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
 
+std::int32_t ExecContext::current_slot() const {
+  return ThreadPool::slot_in(pool_.get());
+}
+
 void ExecContext::note_items(std::int64_t n) {
   stats_.items += n;
   exec_metrics().items.add(n);

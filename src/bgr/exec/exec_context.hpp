@@ -45,6 +45,14 @@ class ExecContext {
   /// Clamped std::thread::hardware_concurrency() (>= 1).
   [[nodiscard]] static std::int32_t hardware_threads();
 
+  /// Stable scratch slot of the calling thread inside this context's
+  /// parallel regions: 0 on the thread that runs the region (and anywhere
+  /// outside a region), 1..thread_count()-1 on this context's own pool
+  /// workers. Two threads participating in one region never share a slot,
+  /// so per-thread arenas sized to thread_count() and indexed with this
+  /// are race-free — see PathSearchEngine's search scratch.
+  [[nodiscard]] std::int32_t current_slot() const;
+
   /// Runs chunk_fn(c) for every c in [0, chunk_count), on the pool plus
   /// the calling thread. Blocks until every chunk finished; the first
   /// exception thrown by any chunk is rethrown here (remaining chunks

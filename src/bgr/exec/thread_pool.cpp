@@ -21,14 +21,28 @@ Counter& submitted_counter() {
   return c;
 }
 
+/// Identity of the pool worker running on this thread (nullptr/0 on any
+/// thread that is not a pool worker). The pool pointer disambiguates
+/// nested contexts: slot_in() only honours the slot against its own pool.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+thread_local std::int32_t t_worker_slot = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::int32_t workers) {
   BGR_CHECK(workers >= 0);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (std::int32_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_pool = this;
+      t_worker_slot = i + 1;
+      worker_loop();
+    });
   }
+}
+
+std::int32_t ThreadPool::slot_in(const ThreadPool* pool) {
+  return pool != nullptr && t_worker_pool == pool ? t_worker_slot : 0;
 }
 
 ThreadPool::~ThreadPool() {

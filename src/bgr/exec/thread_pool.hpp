@@ -29,6 +29,14 @@ class ThreadPool {
     return static_cast<std::int32_t>(workers_.size());
   }
 
+  /// Slot of the calling thread *within* `pool`: 1..worker_count() on that
+  /// pool's own workers, 0 everywhere else — including the thread that
+  /// entered the parallel region and the workers of any *other* pool (a
+  /// nested context's caller may itself be a foreign pool worker; it must
+  /// land on slot 0 of the inner pool, never collide with an inner
+  /// worker). Subsystems use this to index per-thread scratch arenas.
+  [[nodiscard]] static std::int32_t slot_in(const ThreadPool* pool);
+
  private:
   void worker_loop();
 

@@ -47,11 +47,13 @@ std::string describe_exception() {
 /// count. Returns a failure, or fills `out`.
 std::optional<FuzzFailure> run_pipeline(const CircuitSpec& spec,
                                         std::int32_t threads,
+                                        PathSearchBackend backend,
                                         PipelineResult* out) {
   try {
     Dataset ds = generate_circuit(spec);
     RouterOptions options;
     options.threads = threads;
+    options.path_search = backend;
     GlobalRouter router(ds.netlist, std::move(ds.placement), ds.tech,
                         ds.constraints, options);
     out->outcome = router.run();
@@ -138,7 +140,8 @@ std::optional<FuzzFailure> check_roundtrip(const std::string& what,
 }
 
 std::string first_divergence(const PipelineResult& a,
-                             const PipelineResult& b) {
+                             const PipelineResult& b,
+                             bool compare_path_effort) {
   auto num = [](double x) { return std::to_string(x); };
   if (a.outcome.critical_delay_ps != b.outcome.critical_delay_ps) {
     return "critical_delay_ps " + num(a.outcome.critical_delay_ps) + " vs " +
@@ -179,6 +182,14 @@ std::string first_divergence(const PipelineResult& a,
         pa.sta_relaxations != pb.sta_relaxations) {
       return "phase '" + pa.name + "' statistics";
     }
+    // Pops and relaxations differ by construction between backends (that
+    // is A*'s whole point); compare them only when both runs used one.
+    if (compare_path_effort &&
+        (pa.path_searches != pb.path_searches ||
+         pa.path_pops != pb.path_pops ||
+         pa.path_relaxations != pb.path_relaxations)) {
+      return "phase '" + pa.name + "' path-search statistics";
+    }
   }
   if (a.route_text != b.route_text) return "route text";
   if (a.design_text != b.design_text) return "design text";
@@ -190,7 +201,10 @@ std::string first_divergence(const PipelineResult& a,
 std::optional<FuzzFailure> check_spec(const CircuitSpec& spec,
                                       const FuzzOptions& options) {
   PipelineResult serial;
-  if (auto failure = run_pipeline(spec, 1, &serial)) return failure;
+  if (auto failure =
+          run_pipeline(spec, 1, PathSearchBackend::kAstar, &serial)) {
+    return failure;
+  }
 
   if (auto failure = check_roundtrip("route", serial.route_text, true)) {
     return failure;
@@ -200,13 +214,29 @@ std::optional<FuzzFailure> check_spec(const CircuitSpec& spec,
     return failure;
   }
 
+  // Oracle: the goal-oriented A* backend must reproduce the reference
+  // Dijkstra pipeline bit for bit — outcome, margins, artifacts — with
+  // only the search-effort counters allowed to differ.
+  PipelineResult reference;
+  if (auto failure =
+          run_pipeline(spec, 1, PathSearchBackend::kDijkstra, &reference)) {
+    return failure;
+  }
+  const std::string backend_diverged =
+      first_divergence(serial, reference, /*compare_path_effort=*/false);
+  if (!backend_diverged.empty()) {
+    return FuzzFailure{"backend-divergence",
+                       "astar vs dijkstra differ in " + backend_diverged};
+  }
+
   if (options.alt_threads > 1) {
     PipelineResult threaded;
-    if (auto failure =
-            run_pipeline(spec, options.alt_threads, &threaded)) {
+    if (auto failure = run_pipeline(spec, options.alt_threads,
+                                    PathSearchBackend::kAstar, &threaded)) {
       return failure;
     }
-    const std::string diverged = first_divergence(serial, threaded);
+    const std::string diverged =
+        first_divergence(serial, threaded, /*compare_path_effort=*/true);
     if (!diverged.empty()) {
       return FuzzFailure{"thread-divergence",
                          "threads 1 vs " +

@@ -118,6 +118,9 @@ RunReport make_run_report(const GlobalRouter& router,
                                                        : "lumped_c");
   options.set("concurrent_initial", opt.concurrent_initial);
   options.set("incremental_sta", opt.incremental_sta);
+  options.set("path_search",
+              opt.path_search == PathSearchBackend::kAstar ? "astar"
+                                                           : "dijkstra");
   options.set("improvement_passes",
               static_cast<std::int64_t>(opt.improvement_passes));
 
@@ -161,6 +164,9 @@ RunReport make_run_report(const GlobalRouter& router,
     entry.set("sta_updates", ph.sta_updates);
     entry.set("sta_dirty_vertices", ph.sta_dirty_vertices);
     entry.set("sta_relaxations", ph.sta_relaxations);
+    entry.set("path_searches", ph.path_searches);
+    entry.set("path_pops", ph.path_pops);
+    entry.set("path_relaxations", ph.path_relaxations);
     // Wall time and exec activity depend on the thread count and the
     // scheduler; keep them under "wall" so the determinism comparison can
     // strip them (see RunReport).

@@ -66,7 +66,9 @@ GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
       constraints_(std::move(constraints)),
       exec_(std::make_unique<ExecContext>(
           options.threads == 0 ? ExecContext::hardware_threads()
-                               : options.threads)) {}
+                               : options.threads)),
+      path_engine_(std::make_unique<PathSearchEngine>(options.path_search,
+                                                      exec_.get())) {}
 
 GlobalRouter::~GlobalRouter() = default;
 
@@ -120,6 +122,9 @@ void GlobalRouter::build_all_graphs() {
           graphs_[n] = std::make_unique<RoutingGraph>(netlist_, placement_,
                                                       tech_, *assignment_, n);
         }
+        // Attach inside the region so the A* goal heuristics (one exact
+        // multi-source Dijkstra per net) also build concurrently.
+        graphs_[n]->set_path_search(path_engine_.get());
       },
       /*grain=*/1);
   // Pre-size the score caches so the parallel warm-up never resizes a
@@ -526,6 +531,7 @@ void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
       graphs_[member] = std::make_unique<RoutingGraph>(
           netlist_, placement_, tech_, *assignment_, member, net, 1);
     }
+    graphs_[member]->set_path_search(path_engine_.get());
     route_metrics().graphs_built.add(1);
     route_metrics().graph_edges.record(graphs_[member]->graph().edge_count());
     scores_[member].assign(
@@ -676,6 +682,7 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
     ScopedSpan span(name, "phase");
     const ExecStats exec_before = exec_->stats();
     const StaStats sta_before = analyzer_->sta_stats();
+    const PathSearchStats path_before = path_engine_->stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
@@ -685,6 +692,10 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
     stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
     stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
     stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
+    const PathSearchStats path = path_engine_->stats();
+    stats.path_searches = path.searches - path_before.searches;
+    stats.path_pops = path.pops - path_before.pops;
+    stats.path_relaxations = path.relaxations - path_before.relaxations;
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };
@@ -721,6 +732,7 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   ScopedSpan span(stats.name, "phase");
   const ExecStats exec_before = exec_->stats();
   const StaStats sta_before = analyzer_->sta_stats();
+  const PathSearchStats path_before = path_engine_->stats();
   Stopwatch watch;
   for (const NetId n : nets) {
     reroute_net(n, stats);
@@ -732,6 +744,10 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
   stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
   stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
   stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
+  const PathSearchStats path = path_engine_->stats();
+  stats.path_searches = path.searches - path_before.searches;
+  stats.path_pops = path.pops - path_before.pops;
+  stats.path_relaxations = path.relaxations - path_before.relaxations;
   finish_phase(stats);
   outcome.phases.push_back(stats);
 
@@ -788,6 +804,7 @@ RouteOutcome GlobalRouter::run() {
     ScopedSpan span(name, "phase");
     const ExecStats exec_before = exec_->stats();
     const StaStats sta_before = analyzer_->sta_stats();
+    const PathSearchStats path_before = path_engine_->stats();
     Stopwatch watch;
     if (enabled) body(stats);
     stats.seconds = watch.seconds();
@@ -797,6 +814,10 @@ RouteOutcome GlobalRouter::run() {
     stats.sta_updates = sta.incremental_updates - sta_before.incremental_updates;
     stats.sta_dirty_vertices = sta.dirty_vertices - sta_before.dirty_vertices;
     stats.sta_relaxations = sta.relaxations() - sta_before.relaxations();
+    const PathSearchStats path = path_engine_->stats();
+    stats.path_searches = path.searches - path_before.searches;
+    stats.path_pops = path.pops - path_before.pops;
+    stats.path_relaxations = path.relaxations - path_before.relaxations;
     finish_phase(stats);
     outcome.phases.push_back(stats);
   };

@@ -61,6 +61,12 @@ struct RouterOptions {
   /// the RouteOutcome — are bit-identical either way; `false` keeps the
   /// full re-sweeps of the original implementation.
   bool incremental_sta = true;
+  /// Tentative-tree path search backend (DESIGN.md §11): the goal-oriented
+  /// A* dial-queue search (default) or the reference binary-heap Dijkstra.
+  /// Both reach the same distance fixpoint and the tree is derived from
+  /// distances alone, so the RouteOutcome is bit-identical either way —
+  /// A* just settles far fewer vertices per candidate evaluation.
+  PathSearchBackend path_search = PathSearchBackend::kAstar;
   /// Test hook: called after every committed edge deletion (differential
   /// pairs fire once, for the primary). Used by the differential STA test
   /// to cross-check incremental state after each step; leave empty in
@@ -93,6 +99,12 @@ struct PhaseStats {
   std::int64_t sta_updates = 0;
   std::int64_t sta_dirty_vertices = 0;
   std::int64_t sta_relaxations = 0;
+  /// Path-search activity inside the phase: tentative-tree searches run,
+  /// queue pops and successful relaxations. Value-driven (the same
+  /// searches run at any thread count), hence deterministic.
+  std::int64_t path_searches = 0;
+  std::int64_t path_pops = 0;
+  std::int64_t path_relaxations = 0;
 };
 
 struct RouteOutcome {
@@ -192,6 +204,7 @@ class GlobalRouter {
   RouterOptions options_;
   std::vector<PathConstraint> constraints_;
   std::unique_ptr<ExecContext> exec_;
+  std::unique_ptr<PathSearchEngine> path_engine_;
 
   std::unique_ptr<DelayGraph> delay_graph_;
   std::unique_ptr<TimingAnalyzer> analyzer_;

@@ -195,6 +195,15 @@ RoutingGraph::DeletionResult RoutingGraph::delete_edge(std::int32_t e) {
       result.new_bridges.push_back(id);
     }
   }
+
+  // The graph changed: rebuild the no-skip reference search the engine
+  // answers skip-edge queries against. delete_edge runs only at serial
+  // commit points, so no scorer is reading the cache concurrently.
+  if (path_engine_ != nullptr &&
+      path_engine_->backend() == PathSearchBackend::kAstar) {
+    path_engine_->refresh_cache(graph_, driver_vertex_, terminal_vertices_,
+                                &search_cache_);
+  }
   return result;
 }
 
@@ -229,24 +238,31 @@ double RoutingGraph::estimated_length_um(std::int32_t skip_edge) const {
   return total;
 }
 
+void RoutingGraph::set_path_search(PathSearchEngine* engine) {
+  path_engine_ = engine;
+  if (engine != nullptr && engine->backend() == PathSearchBackend::kAstar) {
+    heuristic_ =
+        build_goal_heuristic(graph_, driver_vertex_, terminal_vertices_);
+    engine->refresh_cache(graph_, driver_vertex_, terminal_vertices_,
+                          &search_cache_);
+  }
+}
+
 std::vector<std::int32_t> RoutingGraph::tentative_tree_edges(
     std::int32_t skip_edge) const {
-  const auto sp = graph_.dijkstra(driver_vertex_, skip_edge);
-  std::vector<bool> in_tree(static_cast<std::size_t>(graph_.edge_count()), false);
   std::vector<std::int32_t> out;
-  for (const auto tv : terminal_vertices_) {
-    BGR_CHECK_MSG(sp.dist[static_cast<std::size_t>(tv)] !=
-                      std::numeric_limits<double>::infinity(),
-                  "terminal unreachable in tentative tree");
-    auto v = tv;
-    while (v != driver_vertex_) {
-      const auto pe = sp.parent_edge[static_cast<std::size_t>(v)];
-      if (pe == SmallGraph::kNone || in_tree[static_cast<std::size_t>(pe)]) break;
-      in_tree[static_cast<std::size_t>(pe)] = true;
-      out.push_back(pe);
-      v = graph_.other_end(pe, v);
-    }
+  if (path_engine_ != nullptr) {
+    path_engine_->tentative_tree(graph_, &heuristic_, &search_cache_,
+                                 driver_vertex_, terminal_vertices_, skip_edge,
+                                 &out);
+    return out;
   }
+  // Standalone graphs (unit tests, diagnostics) never see an engine: run
+  // the reference backend over a thread-local arena.
+  static thread_local PathSearchScratch scratch;
+  path_search_tree(graph_, PathSearchBackend::kDijkstra, nullptr,
+                   driver_vertex_, terminal_vertices_, skip_edge, scratch,
+                   &out);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "bgr/layout/placement.hpp"
 #include "bgr/netlist/netlist.hpp"
 #include "bgr/route/assign.hpp"
+#include "bgr/route/path_search.hpp"
 
 namespace bgr {
 
@@ -74,6 +75,16 @@ class RoutingGraph {
     return terminal_vertices_;
   }
   [[nodiscard]] std::int32_t driver_vertex() const { return driver_vertex_; }
+
+  /// Attaches the router's shared path-search engine; all tentative-tree
+  /// searches then run through it (arena scratch, backend choice, effort
+  /// accounting). With the A* backend this also builds the goal-oriented
+  /// lower bound from the *current* graph, so call it right after
+  /// construction, before any deletion — deletions only lengthen distances,
+  /// which keeps the build-time bound admissible forever after. Graphs
+  /// without an engine (standalone tests, tools) fall back to the reference
+  /// Dijkstra backend over a thread-local scratch.
+  void set_path_search(PathSearchEngine* engine);
 
   [[nodiscard]] bool is_bridge(std::int32_t e) const {
     return bridge_[static_cast<std::size_t>(e)];
@@ -149,6 +160,13 @@ class RoutingGraph {
   std::vector<bool> bridge_;
   std::vector<bool> required_;  // vertex must stay (terminal)
   double channel_depth_est_um_ = 0.0;
+  PathSearchEngine* path_engine_ = nullptr;  // not owned
+  GoalHeuristic heuristic_;                  // valid iff engine is A*
+  /// No-skip reference search over the current graph, rebuilt at the serial
+  /// mutation points (set_path_search, delete_edge) and read lock-free by
+  /// concurrent scorers; lets the A* engine answer most skip-edge queries
+  /// by dependency-cone repair instead of a full search (see SearchCache).
+  SearchCache search_cache_;
 };
 
 template <typename LoadFn>

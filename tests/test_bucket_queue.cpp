@@ -1,0 +1,217 @@
+// Unit and property tests for the dial (bucket) queue behind the A* path
+// search, plus the admissibility/consistency contract of the goal
+// heuristic against exact Dijkstra distances on real routing graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgr/common/rng.hpp"
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/route/path_search.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+namespace {
+
+TEST(BucketQueue, PopsInNondecreasingKeyOrder) {
+  Rng rng(7);
+  BucketQueue q;
+  q.reset(1.0);
+  // A monotone producer: keys never fall below the current cursor by more
+  // than the clamp can absorb. Mirrors the search's push pattern.
+  std::int64_t floor = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t key = floor + rng.uniform(0, 300);
+    q.push(key, static_cast<std::int32_t>(i), static_cast<double>(key));
+    if (rng.bernoulli(0.6) && !q.empty()) {
+      const std::int64_t seen = q.current_key();
+      EXPECT_GE(seen, floor);
+      floor = seen;
+      (void)q.pop();
+    }
+  }
+  std::int64_t last = std::numeric_limits<std::int64_t>::min();
+  while (!q.empty()) {
+    const std::int64_t key = q.current_key();
+    EXPECT_GE(key, last);
+    last = key;
+    (void)q.pop();
+  }
+  EXPECT_EQ(q.size(), 0);
+}
+
+TEST(BucketQueue, BelowCursorPushClampsToCurrentBucket) {
+  BucketQueue q;
+  q.reset(1.0);
+  q.push(10, 1, 10.0);
+  EXPECT_EQ(q.current_key(), 10);
+  (void)q.pop();
+  // Quantization disorder: a key below the cursor must land in the
+  // current bucket, not behind it (where it would never be popped).
+  q.push(5, 2, 5.0);
+  EXPECT_EQ(q.current_key(), 10);
+  const BucketQueue::Entry e = q.pop();
+  EXPECT_EQ(e.vertex, 2);
+  EXPECT_EQ(e.g, 5.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, LifoWithinOneBucket) {
+  BucketQueue q;
+  q.reset(2.0);
+  q.push(q.key_for(8.0), 1, 8.0);
+  q.push(q.key_for(8.4), 2, 8.4);  // same bucket at quantum 2.0
+  EXPECT_EQ(q.pop().vertex, 2);
+  EXPECT_EQ(q.pop().vertex, 1);
+}
+
+TEST(BucketQueue, WraparoundGrowPreservesEntriesAndOrder) {
+  BucketQueue q;
+  q.reset(1.0);
+  // Spread far beyond the initial ring so grow() must rehash live
+  // entries, some of which sit "behind" the wrap point. The first push
+  // anchors the cursor (like the source's f in A*), so it must carry the
+  // minimum key or later smaller keys would clamp up to it.
+  std::vector<std::int64_t> keys{0};
+  q.push(0, 500, 0.0);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t key = rng.uniform(0, 5000);
+    keys.push_back(key);
+    q.push(key, static_cast<std::int32_t>(i), static_cast<double>(key));
+  }
+  EXPECT_EQ(q.size(), 501);
+  EXPECT_EQ(q.pushes(), 501);
+  // Power-of-two ring, large enough for the key span.
+  EXPECT_GE(q.ring_size(), 5001 - *std::min_element(keys.begin(), keys.end()));
+  EXPECT_EQ(q.ring_size() & (q.ring_size() - 1), 0);
+
+  std::sort(keys.begin(), keys.end());
+  std::size_t i = 0;
+  while (!q.empty()) {
+    const BucketQueue::Entry e = q.pop();
+    ASSERT_LT(i, keys.size());
+    // Entries clamp to the cursor only when pushed late; here all pushes
+    // preceded all pops, so the drain order is exactly the sorted keys.
+    EXPECT_EQ(static_cast<std::int64_t>(e.g), keys[i]) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(BucketQueue, ResetDiscardsLeftoverEntries) {
+  BucketQueue q;
+  q.reset(1.0);
+  q.push(3, 1, 3.0);
+  q.push(900, 2, 900.0);  // forces a grow; both entries live
+  (void)q.pop();
+  // One entry (vertex 2) still queued: an A* search that terminates early
+  // leaves the far buckets populated. reset() must clear them.
+  q.reset(1.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pushes(), 0);
+  EXPECT_EQ(q.buckets_touched(), 0);
+  q.push(1, 3, 1.0);
+  EXPECT_EQ(q.pop().vertex, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PathSearchScratch, ReusedArenasForgetOldLabels) {
+  PathSearchScratch scratch;
+  EXPECT_FALSE(scratch.begin(8, 8));  // first use allocates
+  scratch.set_dist(3, 1.5);
+  scratch.set_parent_edge(3, 2);
+  scratch.mark_edge(5);
+  scratch.mark_target(4);
+  EXPECT_TRUE(scratch.begin(8, 8));  // same size: pure epoch bump
+  EXPECT_EQ(scratch.dist(3), PathSearchScratch::kInf);
+  EXPECT_EQ(scratch.parent_edge(3), SmallGraph::kNone);
+  EXPECT_FALSE(scratch.edge_marked(5));
+  EXPECT_FALSE(scratch.is_target(4));
+  EXPECT_FALSE(scratch.begin(16, 8));  // growth reported
+}
+
+/// The heuristic contract that makes A* exact (DESIGN.md §11): for every
+/// vertex, h[v] must lower-bound — bitwise `<=` — the exact shortest
+/// distance to the nearest non-driver terminal, and respect the triangle
+/// inequality along every alive edge up to the deliberate 1e-9 shave.
+void check_heuristic_contract(const RoutingGraph& g) {
+  const SmallGraph& sg = g.graph();
+  const GoalHeuristic heuristic = build_goal_heuristic(
+      sg, g.driver_vertex(), g.terminal_vertices());
+  EXPECT_GT(heuristic.quantum, 0.0);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> exact(static_cast<std::size_t>(sg.vertex_count()), kInf);
+  for (const std::int32_t tv : g.terminal_vertices()) {
+    if (tv == g.driver_vertex()) continue;
+    const auto sp = sg.dijkstra(tv);
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+      exact[v] = std::min(exact[v], sp.dist[v]);
+    }
+  }
+
+  for (std::int32_t v = 0; v < sg.vertex_count(); ++v) {
+    if (!sg.vertex_alive(v)) continue;
+    const double h = heuristic.h[static_cast<std::size_t>(v)];
+    if (exact[static_cast<std::size_t>(v)] == kInf) continue;
+    ASSERT_LE(h, exact[static_cast<std::size_t>(v)]) << "vertex " << v;
+    // Non-driver terminals are goals: exactly zero, shave included.
+    // (0 * (1 - 1e-9) == 0.)
+  }
+  for (const std::int32_t tv : g.terminal_vertices()) {
+    if (tv == g.driver_vertex()) continue;
+    EXPECT_EQ(heuristic.h[static_cast<std::size_t>(tv)], 0.0);
+  }
+
+  // Consistency modulo the shave: h[u] <= h[v] + w within one part in 1e9.
+  for (std::int32_t e = 0; e < sg.edge_count(); ++e) {
+    if (!sg.edge_alive(e)) continue;
+    const SmallGraph::Edge& ed = sg.edge(e);
+    const double hu = heuristic.h[static_cast<std::size_t>(ed.u)];
+    const double hv = heuristic.h[static_cast<std::size_t>(ed.v)];
+    if (hu == kInf || hv == kInf) {
+      EXPECT_EQ(hu, hv);  // goal reachability is a component property
+      continue;
+    }
+    const double slack = 1e-9 * std::max(1.0, std::max(hu, hv));
+    EXPECT_LE(hu, hv + ed.weight + slack) << "edge " << e;
+    EXPECT_LE(hv, hu + ed.weight + slack) << "edge " << e;
+  }
+}
+
+TEST(GoalHeuristic, AdmissibleAndConsistentOnSampledDesigns) {
+  for (const std::uint64_t seed : {2, 4, 6, 9, 12, 17, 23, 31, 41, 47}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Dataset design = generate_circuit(sample_spec(seed));
+
+    // Capture each net's graph in live mid-routing states: the observer
+    // fires after real deletions, so the contract is checked on the
+    // degenerate shapes (pruned branches, near-tree graphs) that a
+    // freshly built G_r(n) never shows.
+    std::unique_ptr<GlobalRouter> router;
+    std::int64_t checked = 0;
+    RouterOptions options;
+    options.deletion_observer = [&](NetId net, std::int32_t) {
+      if (::testing::Test::HasFatalFailure()) return;
+      if (++checked > 12) return;
+      check_heuristic_contract(router->net_graph(net));
+    };
+    router = std::make_unique<GlobalRouter>(design.netlist,
+                                            std::move(design.placement),
+                                            design.tech, design.constraints,
+                                            options);
+    (void)router->run();
+    EXPECT_GT(checked, 0) << "observer never fired (seed " << seed << ")";
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace bgr

@@ -49,7 +49,8 @@ TEST(MetricsDeterminism, SemanticSnapshotIsNonTrivial) {
   // the instrumented paths.
   for (const char* name :
        {"route.deleted_edges", "route.score_cache_miss", "route.graphs_built",
-        "graph.dijkstra_relaxations", "sta.full_sweeps", "channel.segments"}) {
+        "path.searches", "path.relaxations", "sta.full_sweeps",
+        "channel.segments"}) {
     EXPECT_GT(registry.counter(name, MetricScope::kSemantic).value(), 0)
         << name;
   }

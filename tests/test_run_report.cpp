@@ -62,8 +62,9 @@ TEST(RunReport, RoutingPopulatedTheCoreCounters) {
   ReportFixture f;
   const JsonValue& semantic = f.report.root().at("metrics").at("semantic");
   for (const char* name :
-       {"route.deleted_edges", "route.graphs_built", "graph.dijkstra_calls",
-        "graph.dijkstra_relaxations", "sta.full_sweeps", "channel.segments"}) {
+       {"route.deleted_edges", "route.graphs_built", "path.searches",
+        "path.pops", "path.relaxations", "sta.full_sweeps",
+        "channel.segments"}) {
     const JsonValue* v = semantic.find(name);
     ASSERT_NE(v, nullptr) << name;
     EXPECT_GT(v->as_int(), 0) << name;

@@ -12,6 +12,11 @@
 //                         the default) or full per-constraint re-sweeps
 //                         (off, the original behavior); the routed result
 //                         is bit-identical either way
+//     --path-search {astar,dijkstra}
+//                         tentative-tree search backend: goal-oriented A*
+//                         over a dial queue (astar, the default) or the
+//                         reference binary-heap Dijkstra; the routed
+//                         result is bit-identical either way
 //     --threads N         exec/ worker threads (1 = serial, 0 = hardware);
 //                         the result is bit-identical for any N
 //     --repeat K          route K times (fresh design each run) and report
@@ -55,7 +60,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
                "[--rc] [--sequential] [--no-improve] "
-               "[--incremental-sta on|off] [--threads N] "
+               "[--incremental-sta on|off] [--path-search astar|dijkstra] "
+               "[--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
                "[--skew] [--metrics-out FILE] [--trace-out FILE] "
                "[--log-format text|json]\n");
@@ -131,6 +137,17 @@ int main(int argc, char** argv) {
         options.incremental_sta = false;
       } else {
         std::fprintf(stderr, "error: --incremental-sta must be on or off\n");
+        return 2;
+      }
+    } else if (arg == "--path-search" && i + 1 < argc) {
+      const std::string backend = argv[++i];
+      if (backend == "astar") {
+        options.path_search = PathSearchBackend::kAstar;
+      } else if (backend == "dijkstra") {
+        options.path_search = PathSearchBackend::kDijkstra;
+      } else {
+        std::fprintf(stderr,
+                     "error: --path-search must be astar or dijkstra\n");
         return 2;
       }
     } else if (arg == "--no-improve") {
@@ -237,12 +254,13 @@ int main(int argc, char** argv) {
         for (const PhaseStats& ph : outcome.phases) {
           std::printf(
               "phase %-16s deletions %6lld reroutes %5lld crit %8.1f ps "
-              "sumCM %6lld dirty %8lld relax %9lld\n",
+              "sumCM %6lld dirty %8lld relax %9lld pops %10lld\n",
               ph.name.c_str(), static_cast<long long>(ph.deletions),
               static_cast<long long>(ph.reroutes), ph.critical_delay_ps,
               static_cast<long long>(ph.sum_max_density),
               static_cast<long long>(ph.sta_dirty_vertices),
-              static_cast<long long>(ph.sta_relaxations));
+              static_cast<long long>(ph.sta_relaxations),
+              static_cast<long long>(ph.path_pops));
         }
         print_phase_times(outcome);
         std::printf("feed cells added %d (chip +%d pitches)\n",

@@ -28,6 +28,20 @@ import sys
 
 SCHEMA_VERSION = 1
 ROUTE_SECTIONS = ("design", "options", "result", "stats", "phases", "run")
+# Semantic counters every routed report must carry, whatever the backend.
+# The cache counters register (at zero) even under the Dijkstra backend;
+# the A*-only bucket metrics are deliberately not on this list.
+ROUTE_SEMANTIC_METRICS = (
+    "route.deleted_edges",
+    "route.graphs_built",
+    "path.searches",
+    "path.pops",
+    "path.relaxations",
+    "path.cache_builds",
+    "path.cache_hits",
+    "path.cone_repairs",
+    "sta.full_sweeps",
+)
 
 
 def fail(msg):
@@ -73,6 +87,11 @@ def check_report(report, path):
         for section in ROUTE_SECTIONS:
             if section not in report:
                 fail(f"{path}: missing '{section}' section")
+        for name in ROUTE_SEMANTIC_METRICS:
+            if name not in report["metrics"]["semantic"]:
+                fail(f"{path}: metrics.semantic lacks '{name}'")
+        if "path_search" not in report["options"]:
+            fail(f"{path}: options lacks 'path_search'")
         if not isinstance(report["phases"], list) or not report["phases"]:
             fail(f"{path}: 'phases' must be a non-empty array")
         for ph in report["phases"]:
