@@ -1,0 +1,209 @@
+// Serving throughput and co-tenancy determinism (DESIGN.md §12).
+//
+// Runs every job solo first (serial, private) to fix its reference
+// outcome digest, then pushes the same jobs through an in-process
+// JobScheduler — two runner slots over one shared worker pool, two
+// clients, duplicate submissions included — and measures jobs/second.
+//
+// This bench is a gate, not just a meter: any co-tenant digest that
+// differs from its solo reference makes the binary exit non-zero, and
+// the emitted BENCH_serve.json (kind "bench.serve") must satisfy
+// tools/check_run_report.py's serve schema (serve/totals/run sections
+// plus the serve.* semantic counters).
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/io/design_io.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/serve/design_cache.hpp"
+#include "bgr/serve/scheduler.hpp"
+#include "bgr/serve/session.hpp"
+
+namespace bgr {
+namespace {
+
+using serve::DesignCache;
+using serve::JobRequest;
+using serve::JobScheduler;
+using serve::RoutingSession;
+using serve::SchedulerConfig;
+using serve::SessionResult;
+using serve::SessionStatus;
+
+std::string bench_design_text(std::uint64_t seed) {
+  CircuitSpec spec = sample_spec(0);
+  spec.seed = seed;
+  spec.name = "serve_b" + std::to_string(seed);
+  spec.rows = 5;
+  spec.target_cells = 90;
+  spec.levels = 5;
+  spec.path_constraints = 8;
+  const Dataset ds = generate_circuit(spec);
+  std::ostringstream os;
+  write_design(os, ds);
+  return os.str();
+}
+
+struct DoneEvent {
+  std::string client;
+  std::string id;
+  std::string digest;
+  std::string cache;
+};
+
+}  // namespace
+}  // namespace bgr
+
+int main() {
+  using namespace bgr;
+  bench::print_banner("serving: co-tenant throughput vs solo bit-identity");
+  bench::print_substitution_note();
+
+  // Twelve jobs over two clients: two distinct designs alternating, so
+  // the duplicates exercise the design/result caches while the scheduler
+  // interleaves genuinely different work.
+  constexpr int kJobs = 12;
+  std::vector<std::string> designs = {bench_design_text(21),
+                                      bench_design_text(22)};
+  struct PlannedJob {
+    std::string client;
+    JobRequest request;
+  };
+  std::vector<PlannedJob> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    PlannedJob job;
+    job.client = (i % 2 == 0) ? "alpha" : "beta";
+    job.request.id = "j" + std::to_string(i);
+    job.request.design_text = designs[static_cast<std::size_t>(i % 2)];
+    jobs.push_back(std::move(job));
+  }
+
+  // Solo references: each request serial on a private context. The first
+  // occurrence of each design fixes the digest every repeat must match.
+  std::map<std::string, std::string> solo_digest;  // id -> digest
+  const auto solo_start = std::chrono::steady_clock::now();
+  for (const PlannedJob& job : jobs) {
+    RoutingSession session(job.request, nullptr, nullptr);
+    const SessionResult result = session.run();
+    if (result.status != SessionStatus::kDone) {
+      std::printf("solo job %s failed: %s\n", job.request.id.c_str(),
+                  result.error.c_str());
+      return 1;
+    }
+    solo_digest[job.request.id] = result.digest;
+  }
+  const double solo_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solo_start)
+          .count();
+  std::printf("solo     : %d jobs in %6.3fs (%5.2f jobs/s)\n", kJobs, solo_s,
+              solo_s > 0.0 ? kJobs / solo_s : 0.0);
+
+  // Co-tenant run: two runner slots, one shared pool, warm caches.
+  SchedulerConfig config;
+  config.pool_workers = 3;
+  config.max_jobs = 2;
+  config.queue_capacity = 64;
+  DesignCache cache;
+  std::mutex done_mutex;
+  std::vector<DoneEvent> done;
+  const auto cotenant_start = std::chrono::steady_clock::now();
+  JobScheduler::Totals totals;
+  {
+    JobScheduler scheduler(
+        config, &cache,
+        [&](const std::string& client, const JsonValue& event) {
+          if (event.at("event").as_string() != "done") return;
+          const JsonValue& result = event.at("result");
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done.push_back({client, event.at("id").as_string(),
+                          result.at("digest").as_string(),
+                          result.at("cache").as_string()});
+        });
+    for (const PlannedJob& job : jobs) {
+      const serve::Admission admission =
+          scheduler.submit(job.client, job.request);
+      if (!admission.accepted) {
+        std::printf("job %s rejected: %s\n", job.request.id.c_str(),
+                    admission.reason.c_str());
+        return 1;
+      }
+    }
+    scheduler.drain_and_stop();
+    totals = scheduler.totals();
+  }
+  const double cotenant_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cotenant_start)
+          .count();
+  const DesignCache::Stats cache_stats = cache.stats();
+  std::printf("co-tenant: %d jobs in %6.3fs (%5.2f jobs/s), "
+              "cache %lld hits / %lld misses\n",
+              kJobs, cotenant_s, cotenant_s > 0.0 ? kJobs / cotenant_s : 0.0,
+              static_cast<long long>(cache_stats.dataset_hits +
+                                     cache_stats.result_hits),
+              static_cast<long long>(cache_stats.dataset_misses));
+
+  // The gate: every co-tenant digest must equal its solo reference.
+  bool identical = done.size() == static_cast<std::size_t>(kJobs) &&
+                   totals.completed == kJobs;
+  if (!identical) {
+    std::printf("EXPECTED %d done events, saw %zu (completed %lld)\n", kJobs,
+                done.size(), static_cast<long long>(totals.completed));
+  }
+  for (const DoneEvent& event : done) {
+    const std::string& expected = solo_digest[event.id];
+    if (event.digest != expected) {
+      std::printf("DIGEST MISMATCH job %s (%s): co-tenant %s vs solo %s\n",
+                  event.id.c_str(), event.cache.c_str(), event.digest.c_str(),
+                  expected.c_str());
+      identical = false;
+    }
+  }
+  std::printf(identical
+                  ? "determinism: all %d co-tenant outcomes bit-identical "
+                    "to solo runs\n"
+                  : "determinism: FAILED\n",
+              kJobs);
+
+  RunReport report("bench.serve");
+  JsonValue& serve_section = report.section("serve");
+  serve_section.set("pool_workers",
+                    static_cast<std::int64_t>(config.pool_workers));
+  serve_section.set("max_jobs", static_cast<std::int64_t>(config.max_jobs));
+  serve_section.set("queue_capacity",
+                    static_cast<std::int64_t>(config.queue_capacity));
+  serve_section.set("clients", static_cast<std::int64_t>(2));
+  JsonValue& totals_section = report.section("totals");
+  totals_section.set("jobs_accepted", totals.accepted);
+  totals_section.set("jobs_rejected", totals.rejected);
+  totals_section.set("jobs_completed", totals.completed);
+  totals_section.set("jobs_failed", totals.failed);
+  totals_section.set("jobs_cancelled", totals.cancelled);
+  // Hit/miss sums are schedule-independent (a repeat hits exactly one of
+  // the two cache levels); the per-level split below lives under "run".
+  totals_section.set("cache_hits",
+                     cache_stats.dataset_hits + cache_stats.result_hits);
+  totals_section.set("cache_misses", cache_stats.dataset_misses);
+  JsonValue& run_section = report.section("run");
+  run_section.set("solo_seconds", solo_s);
+  run_section.set("cotenant_seconds", cotenant_s);
+  run_section.set("solo_jobs_per_second",
+                  solo_s > 0.0 ? kJobs / solo_s : 0.0);
+  run_section.set("cotenant_jobs_per_second",
+                  cotenant_s > 0.0 ? kJobs / cotenant_s : 0.0);
+  run_section.set("dataset_hits", cache_stats.dataset_hits);
+  run_section.set("result_hits", cache_stats.result_hits);
+  report.section("result").set("deterministic", identical);
+  report.add_metrics(MetricsRegistry::global());
+  bench::save_report(report, "BENCH_serve.json");
+  return identical ? 0 : 1;
+}

@@ -16,6 +16,17 @@ class CheckError : public std::logic_error {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& message);
 
+/// Thrown by cooperative cancellation points (GlobalRouter phase
+/// boundaries, RoutingSession stage transitions) when the owner asked the
+/// work to stop. Deliberately not a CheckError: cancellation is a normal,
+/// expected control path — catch sites must be able to tell it apart from
+/// a broken invariant.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 }  // namespace bgr
 
 /// Precondition / invariant check, active in all build types. EDA runs are

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bgr {
+
+/// FNV-1a 64-bit content hash. Used wherever the system needs a stable,
+/// process-independent fingerprint of bytes: the serve DesignCache keys
+/// parsed designs by it, and RoutingSession condenses a RouteOutcome into
+/// a digest with it. Not cryptographic — collision resistance is "good
+/// enough for cache keys", and every cache hit still re-routes from the
+/// same parsed value, so a collision could at worst serve the wrong
+/// *design*, which the paired byte-size check below rules out for
+/// practical inputs.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view bytes,
+                                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Incremental fingerprint builder over heterogeneous fields. Doubles are
+/// folded by bit pattern, so two fingerprints are equal iff every folded
+/// field is bit-identical — exactly the notion of equality the
+/// determinism tests assert on RouteOutcome.
+class Fingerprint {
+ public:
+  void mix(std::string_view bytes) { h_ = fnv1a64(bytes, h_); }
+  void mix(std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    mix(std::string_view(buf, 8));
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::int32_t v) { mix(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(v))); }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    mix(bits);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+  /// 16 lowercase hex digits.
+  [[nodiscard]] std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = h_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+      v >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace bgr

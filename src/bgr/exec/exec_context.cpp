@@ -37,6 +37,14 @@ ExecMetrics& exec_metrics() {
 ExecContext::ExecContext(std::int32_t threads)
     : threads_(std::max<std::int32_t>(threads, 1)) {}
 
+ExecContext::ExecContext(ThreadPool* shared_pool)
+    : threads_(shared_pool != nullptr ? shared_pool->worker_count() + 1 : 1),
+      borrowed_(shared_pool) {
+  // A borrowed pool with zero workers degenerates to the serial path
+  // (threads_ == 1), exactly like ExecContext(1).
+  if (threads_ <= 1) borrowed_ = nullptr;
+}
+
 ExecContext::~ExecContext() = default;
 
 std::int32_t ExecContext::hardware_threads() {
@@ -45,11 +53,12 @@ std::int32_t ExecContext::hardware_threads() {
 }
 
 void ExecContext::ensure_pool() {
+  if (borrowed_ != nullptr) return;
   if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
 
 std::int32_t ExecContext::current_slot() const {
-  return ThreadPool::slot_in(pool_.get());
+  return ThreadPool::slot_in(active_pool());
 }
 
 void ExecContext::note_items(std::int64_t n) {
@@ -115,13 +124,14 @@ void ExecContext::run_chunks(std::int64_t chunk_count,
   }
 
   ensure_pool();
+  ThreadPool* pool = active_pool();
   ScopedSpan region_span("parallel_region", "exec");
   auto region = std::make_shared<Region>(chunk_count, chunk_fn);
   region->traced = Trace::global().enabled();
   const std::int64_t helpers =
       std::min<std::int64_t>(threads_ - 1, chunk_count - 1);
   for (std::int64_t i = 0; i < helpers; ++i) {
-    pool_->submit([region] { region->work(); });
+    pool->submit([region] { region->work(); });
   }
   region->work();  // the calling thread always participates
 

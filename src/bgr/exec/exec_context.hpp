@@ -33,6 +33,18 @@ struct ExecStats {
 class ExecContext {
  public:
   explicit ExecContext(std::int32_t threads = 1);
+
+  /// Borrowing context over a pool owned by someone else (the serve
+  /// scheduler shares one pool across all concurrent jobs). Parallel
+  /// regions dispatch to `shared_pool`'s workers plus the calling thread,
+  /// so thread_count() is worker_count() + 1; the context never owns or
+  /// destroys the pool. Determinism is unaffected by sharing: chunk
+  /// partitioning stays size-driven and every reduction folds in chunk
+  /// order on the calling thread, so which pool the chunks land on — and
+  /// which other contexts' chunks interleave with them — cannot change
+  /// any result (see DESIGN.md §12).
+  explicit ExecContext(ThreadPool* shared_pool);
+
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -67,9 +79,13 @@ class ExecContext {
 
  private:
   void ensure_pool();
+  [[nodiscard]] ThreadPool* active_pool() const {
+    return borrowed_ != nullptr ? borrowed_ : pool_.get();
+  }
 
   std::int32_t threads_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;  // owned pool (lazily created)
+  ThreadPool* borrowed_ = nullptr;    // shared pool (never owned)
   ExecStats stats_;
 };
 

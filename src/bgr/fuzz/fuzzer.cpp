@@ -27,6 +27,7 @@ struct BaseTexts {
   std::string design;
   std::string route;
   std::string json;
+  std::string serve;
 };
 
 const BaseTexts& base_texts() {
@@ -60,6 +61,19 @@ const BaseTexts& base_texts() {
         "{\"name\": \"delay\", \"deletions\": 4, \"crit\": -1.5e2}], "
         "\"clean\": true, \"notes\": null, "
         "\"nested\": {\"a\": [1, 2.5, \"s\\n\", false], \"b\": {}}}";
+    // One of each request shape the serve protocol accepts, so the
+    // mutator corrupts ids, option keys, escapes and frame boundaries.
+    out.serve =
+        "{\"id\": \"j1\", \"dataset\": \"C1P1\", \"options\": "
+        "{\"rc\": true, \"improvement_passes\": 3, "
+        "\"path_search\": \"astar\"}, \"report\": true}\n"
+        "{\"id\": \"j2\", \"design\": \"bgr-design 1\\nname fz0\\n\", "
+        "\"verify\": true, \"route_text\": false}\n"
+        "{\"id\": \"j3\", \"design_file\": \"/tmp/design.txt\", "
+        "\"options\": {\"unconstrained\": true}}\n"
+        "{\"cancel\": \"j1\"}\n"
+        "{\"ping\": true}\n"
+        "{\"shutdown\": true}\n";
     return out;
   }();
   return texts;
@@ -73,6 +87,7 @@ const char* fuzz_mode_name(FuzzMode mode) {
     case FuzzMode::kDesignText: return "design";
     case FuzzMode::kRouteText: return "route";
     case FuzzMode::kJsonText: return "json";
+    case FuzzMode::kServeText: return "serve";
   }
   return "?";
 }
@@ -111,6 +126,9 @@ FuzzCase fuzz_one(std::uint64_t seed, FuzzMode mode,
   } else if (mode == FuzzMode::kJsonText) {
     base_text = &base.json;
     oracle = &check_json_text;
+  } else if (mode == FuzzMode::kServeText) {
+    base_text = &base.serve;
+    oracle = &check_serve_text;
   }
 
   const std::string mutated = mutate_text(*base_text, seed);
@@ -131,15 +149,17 @@ FuzzCase fuzz_one(std::uint64_t seed, FuzzMode mode,
 }
 
 int run_campaign(const FuzzCampaign& campaign, std::ostream& log) {
-  static const FuzzMode kRotation[] = {FuzzMode::kSpec, FuzzMode::kDesignText,
-                                       FuzzMode::kRouteText,
-                                       FuzzMode::kJsonText};
+  static const FuzzMode kRotation[] = {
+      FuzzMode::kSpec, FuzzMode::kDesignText, FuzzMode::kRouteText,
+      FuzzMode::kJsonText, FuzzMode::kServeText};
   int failures = 0;
   std::map<std::string, int> per_mode;
   for (std::uint64_t seed = campaign.seed_lo; seed <= campaign.seed_hi;
        ++seed) {
     const FuzzMode mode =
-        campaign.only_mode ? *campaign.only_mode : kRotation[seed % 4];
+        campaign.only_mode
+            ? *campaign.only_mode
+            : kRotation[seed % (sizeof(kRotation) / sizeof(kRotation[0]))];
     const FuzzCase result =
         fuzz_one(seed, mode, campaign.oracle, campaign.shrink);
     ++per_mode[fuzz_mode_name(mode)];

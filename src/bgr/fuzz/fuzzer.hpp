@@ -11,8 +11,9 @@ namespace bgr {
 
 /// What one fuzz case exercises. kSpec drives the full routing pipeline
 /// on a sampled extreme-corner circuit; the text modes drive the parsers
-/// with structured corruptions of valid artifacts.
-enum class FuzzMode { kSpec, kDesignText, kRouteText, kJsonText };
+/// with structured corruptions of valid artifacts (kServeText: the
+/// bgr_serve daemon's NDJSON request frames).
+enum class FuzzMode { kSpec, kDesignText, kRouteText, kJsonText, kServeText };
 
 [[nodiscard]] const char* fuzz_mode_name(FuzzMode mode);
 

@@ -12,6 +12,7 @@
 #include "bgr/io/route_io.hpp"
 #include "bgr/obs/json.hpp"
 #include "bgr/route/router.hpp"
+#include "bgr/serve/protocol.hpp"
 #include "bgr/timing/analyzer.hpp"
 #include "bgr/verify/verifier.hpp"
 
@@ -307,6 +308,46 @@ std::optional<FuzzFailure> check_json_text(const std::string& text) {
     return FuzzFailure{"roundtrip",
                        "JSON re-parse of own dump failed: " +
                            describe_exception()};
+  }
+  return std::nullopt;
+}
+
+std::optional<FuzzFailure> check_serve_text(const std::string& text) {
+  // The daemon reads line-at-a-time; feed the mutated text to the parser
+  // the same way (the mutator freely inserts and removes newlines).
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    serve::ParsedRequest parsed;
+    try {
+      parsed = serve::parse_request_line(line);
+    } catch (...) {
+      return FuzzFailure{"serve-crash",
+                         "parse_request_line threw: " + describe_exception()};
+    }
+    if (parsed.kind == serve::ParsedRequest::Kind::kError) {
+      if (parsed.error.empty()) {
+        return FuzzFailure{"serve-diagnostic",
+                           "rejected request with an empty diagnostic"};
+      }
+      // The diagnostic goes back over the wire in a "rejected" event; a
+      // multi-line or non-re-parseable response would corrupt the frame
+      // stream for every later response.
+      try {
+        JsonValue event = serve::make_event("rejected", parsed.job.id);
+        event.set("reason", parsed.error);
+        const std::string response = serve::response_line(event);
+        if (response.find('\n') != std::string::npos) {
+          return FuzzFailure{"serve-frame",
+                             "rejection response contains a newline"};
+        }
+        (void)json_parse(response);
+      } catch (...) {
+        return FuzzFailure{"serve-frame",
+                           "rejection response failed to serialize: " +
+                               describe_exception()};
+      }
+    }
   }
   return std::nullopt;
 }

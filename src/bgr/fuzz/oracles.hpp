@@ -46,5 +46,13 @@ struct FuzzOptions {
 /// fixpoint on success.
 [[nodiscard]] std::optional<FuzzFailure> check_json_text(
     const std::string& text);
+/// Serve request-frame oracle (the bgr_serve daemon's parsing entry
+/// point): serve::parse_request_line must never throw — malformed or
+/// truncated request lines come back as kError with a non-empty
+/// diagnostic whose "rejected" response serializes to a single line of
+/// re-parseable JSON (the newline is the frame delimiter, so a response
+/// containing one would corrupt the stream).
+[[nodiscard]] std::optional<FuzzFailure> check_serve_text(
+    const std::string& text);
 
 }  // namespace bgr

@@ -38,7 +38,8 @@ Trace::ThreadBuf& Trace::local_buf() {
 std::int32_t Trace::current_thread_id() { return local_buf().tid; }
 
 void Trace::record_complete(std::string name, const char* category,
-                            std::int64_t ts_us, std::int64_t dur_us) {
+                            std::int64_t ts_us, std::int64_t dur_us,
+                            std::int64_t seq) {
   ThreadBuf& buf = local_buf();
   Event ev;
   ev.name = std::move(name);
@@ -46,6 +47,7 @@ void Trace::record_complete(std::string name, const char* category,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.tid = buf.tid;
+  ev.seq = seq;
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.events.push_back(std::move(ev));
 }
@@ -62,7 +64,7 @@ std::vector<Trace::Event> Trace::events() const {
   std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;  // parents first
-    return a.tid < b.tid;
+    return a.seq < b.seq;  // start order: total, parents before children
   });
   return out;
 }
@@ -110,6 +112,7 @@ void Trace::save(const std::string& path) const {
 
 void Trace::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  seq_.store(0, std::memory_order_relaxed);
   for (const auto& buf : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     buf->events.clear();

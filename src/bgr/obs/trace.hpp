@@ -30,6 +30,7 @@ class Trace {
     std::int64_t ts_us;    // since enable()
     std::int64_t dur_us;
     std::int32_t tid;
+    std::int64_t seq;  // span start order; unique across threads
   };
 
   Trace() = default;
@@ -49,13 +50,23 @@ class Trace {
   [[nodiscard]] std::int64_t now_us() const;
 
   /// Records a complete ('X') event on the calling thread's buffer.
-  /// `category` must be a static string.
+  /// `category` must be a static string; `seq` is the next_seq() ticket
+  /// drawn when the span started.
   void record_complete(std::string name, const char* category,
-                       std::int64_t ts_us, std::int64_t dur_us);
+                       std::int64_t ts_us, std::int64_t dur_us,
+                       std::int64_t seq);
+
+  /// Start-order ticket for a new span. Microsecond timestamps tie on
+  /// fast hardware; the ticket makes the events() order total (an
+  /// enclosing span starts first, so it sorts before its children even
+  /// when ts and dur tie).
+  [[nodiscard]] std::int64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Drains nothing: snapshots all recorded events sorted by
-  /// (ts, -dur, tid) — the order chrome://tracing expects and the
-  /// validity test checks nesting in.
+  /// (ts, -dur, seq) — the order chrome://tracing expects and the
+  /// validity test checks nesting in; seq makes it deterministic.
   [[nodiscard]] std::vector<Event> events() const;
 
   /// {"displayTimeUnit":"ms","traceEvents":[...]} with one 'X' entry per
@@ -79,6 +90,7 @@ class Trace {
   ThreadBuf& local_buf();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> seq_{0};
   std::chrono::steady_clock::time_point t0_{};
   mutable std::mutex mutex_;  // guards buffers_
   std::vector<std::unique_ptr<ThreadBuf>> buffers_;
@@ -94,13 +106,14 @@ class ScopedSpan {
     if (!Trace::global().enabled()) return;
     name_.assign(name);
     category_ = category;
+    seq_ = Trace::global().next_seq();
     start_us_ = Trace::global().now_us();
   }
   ~ScopedSpan() {
     if (start_us_ < 0) return;
     Trace& trace = Trace::global();
     trace.record_complete(std::move(name_), category_, start_us_,
-                          trace.now_us() - start_us_);
+                          trace.now_us() - start_us_, seq_);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -110,6 +123,7 @@ class ScopedSpan {
   std::string name_;
   const char* category_ = "";
   std::int64_t start_us_ = -1;  // -1: tracing was off at construction
+  std::int64_t seq_ = 0;
 };
 
 }  // namespace bgr

@@ -64,9 +64,11 @@ GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
       tech_(tech),
       options_(options),
       constraints_(std::move(constraints)),
-      exec_(std::make_unique<ExecContext>(
-          options.threads == 0 ? ExecContext::hardware_threads()
-                               : options.threads)),
+      exec_(options.shared_pool != nullptr
+                ? std::make_unique<ExecContext>(options.shared_pool)
+                : std::make_unique<ExecContext>(
+                      options.threads == 0 ? ExecContext::hardware_threads()
+                                           : options.threads)),
       path_engine_(std::make_unique<PathSearchEngine>(options.path_search,
                                                       exec_.get())) {}
 
@@ -667,7 +669,8 @@ void GlobalRouter::finish_phase(PhaseStats& stats) {
 }
 
 RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
-  BGR_CHECK_MSG(ran_, "refine() requires a completed run()");
+  BGR_CHECK_MSG(run_state_ == RunState::kDone,
+                "refine() requires a completed run()");
   BGR_CHECK(extra_um.size() == static_cast<std::size_t>(netlist_.net_count()));
   extra_um_ = extra_um;
   for (const NetId n : netlist_.nets()) {
@@ -725,7 +728,8 @@ RouteOutcome GlobalRouter::refine(const IdVector<NetId, double>& extra_um) {
 }
 
 RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
-  BGR_CHECK_MSG(ran_, "reroute() requires a completed run()");
+  BGR_CHECK_MSG(run_state_ == RunState::kDone,
+                "reroute() requires a completed run()");
   RouteOutcome outcome;
   PhaseStats stats;
   stats.name = "eco_reroute";
@@ -768,8 +772,22 @@ RouteOutcome GlobalRouter::reroute(const std::vector<NetId>& nets) {
 }
 
 RouteOutcome GlobalRouter::run() {
-  BGR_CHECK_MSG(!ran_, "GlobalRouter::run() is single-shot");
-  ran_ = true;
+  BGR_CHECK_MSG(run_state_ == RunState::kIdle,
+                "GlobalRouter::run() is single-shot: this router "
+                    << (run_state_ == RunState::kDone
+                            ? "already completed a run"
+                            : "is mid-run or its run failed/was cancelled")
+                    << "; construct a fresh GlobalRouter (or use "
+                       "serve::RoutingSession, which is re-runnable)");
+  run_state_ = RunState::kRunning;
+  // Cooperative cancellation point: throws CancelledError when the owner
+  // asked this run to stop. Checked at every phase boundary below.
+  auto poll_cancel = [&](const char* where) {
+    if (options_.cancel_requested && options_.cancel_requested()) {
+      throw CancelledError(std::string("route cancelled before ") + where);
+    }
+  };
+  poll_cancel("netlist validation");
   netlist_.validate();
 
   delay_graph_ = std::make_unique<DelayGraph>(netlist_);
@@ -790,6 +808,7 @@ RouteOutcome GlobalRouter::run() {
   route_metrics().feed_cells.add(feed_cells_added_);
   route_metrics().widen_pitches.add(widen_pitches_);
 
+  poll_cancel("routing-graph construction");
   density_ = std::make_unique<DensityMap>(placement_.channel_count(),
                                           placement_.width());
   build_all_graphs();
@@ -799,6 +818,7 @@ RouteOutcome GlobalRouter::run() {
 
   RouteOutcome outcome;
   auto run_phase = [&](const std::string& name, auto&& body, bool enabled) {
+    poll_cancel(name.c_str());
     PhaseStats stats;
     stats.name = name;
     ScopedSpan span(name, "phase");
@@ -846,6 +866,7 @@ RouteOutcome GlobalRouter::run() {
       static_cast<std::int32_t>(analyzer_->violated().size());
   outcome.feed_cells_added = feed_cells_added_;
   outcome.widen_pitches = widen_pitches_;
+  run_state_ = RunState::kDone;
   return outcome;
 }
 

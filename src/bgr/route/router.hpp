@@ -78,6 +78,21 @@ struct RouterOptions {
   /// bit-identical RouteOutcome (see DESIGN.md, "Execution model &
   /// determinism"). 0 means hardware concurrency.
   std::int32_t threads = 1;
+  /// Co-tenancy (DESIGN.md §12): when set, the router's parallel regions
+  /// run on this externally owned pool (plus the calling thread) instead
+  /// of a private one, and `threads` is ignored. Many routers may share
+  /// one pool concurrently; each still produces the RouteOutcome it would
+  /// produce alone, because chunk partitioning and reduction order never
+  /// depend on which threads execute the chunks. The pool must outlive
+  /// the router.
+  ThreadPool* shared_pool = nullptr;
+  /// Cooperative cancellation: polled at every pipeline phase boundary
+  /// inside run(). A true return makes run() throw CancelledError at that
+  /// boundary, leaving the router in the kRunning (poisoned) state; the
+  /// netlist may already carry inserted feed cells, so a cancelled run's
+  /// inputs should be discarded, not reused. Leave empty when not
+  /// serving.
+  std::function<bool()> cancel_requested;
 };
 
 /// Per-phase record for the Fig. 2 pipeline report.
@@ -132,8 +147,20 @@ class GlobalRouter {
   GlobalRouter(const GlobalRouter&) = delete;
   GlobalRouter& operator=(const GlobalRouter&) = delete;
 
-  /// Runs the full pipeline; callable once.
+  /// Lifecycle of the single-shot pipeline. kIdle → kRunning on entry to
+  /// run(); kRunning → kDone on success. A run that threw (cancellation
+  /// included) stays kRunning — the half-routed state is not reusable.
+  enum class RunState { kIdle, kRunning, kDone };
+
+  /// Runs the full pipeline. Single-shot by design (the router consumes
+  /// its netlist: feed cells are inserted, estimates annotated); calling
+  /// it again — or after a failed/cancelled run — throws CheckError with
+  /// a clear diagnostic instead of silently re-routing corrupt state.
+  /// Services that need a re-runnable pipeline wrap a fresh router per
+  /// attempt; see serve::RoutingSession.
   RouteOutcome run();
+
+  [[nodiscard]] RunState run_state() const { return run_state_; }
 
   /// Back-annotation refinement (extension): after the channel stage has
   /// measured real per-net lengths, feed the per-net estimate corrections
@@ -217,7 +244,7 @@ class GlobalRouter {
   IdVector<NetId, double> net_budget_ps_;  // kNetBudgets mode only
   IdVector<NetId, double> extra_um_;       // back-annotated length corrections
   CriteriaOrder order_ = CriteriaOrder::kDelayFirst;
-  bool ran_ = false;
+  RunState run_state_ = RunState::kIdle;
   std::int32_t feed_cells_added_ = 0;
   std::int32_t widen_pitches_ = 0;
 };

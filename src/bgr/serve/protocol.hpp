@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "bgr/obs/json.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr::serve {
+
+/// Wire protocol of `bgr_serve` (DESIGN.md §12): newline-delimited JSON in
+/// both directions. Every request is one line; every response is one line
+/// with an "event" field. A job request names a design exactly one way:
+///
+///   {"id":"j1","dataset":"C1P1","options":{"rc":true},"report":true}
+///   {"id":"j2","design":"bgr-design 1\n...","verify":true}
+///   {"id":"j3","design_file":"/path/to/design.txt","route_text":true}
+///
+/// Control requests: {"cancel":"j1"}, {"ping":true}, {"shutdown":true}.
+///
+/// Job responses: accepted → started → one of done/cancelled/failed;
+/// rejected replaces accepted when admission control turns the job away.
+/// A "done" event carries the result summary (incl. the outcome digest
+/// for bit-identity checks and the cache disposition) and, when the
+/// request asked for them, the full run report and routed-result text.
+struct JobRequest {
+  std::string id;
+  /// Exactly one of the three sources is non-empty after a successful
+  /// parse. `design_file` is read by the server (the daemon's filesystem,
+  /// not the client's).
+  std::string design_text;
+  std::string preset;
+  std::string design_file;
+  RouterOptions options;
+  bool constrained = true;
+  bool verify = false;
+  bool want_route_text = false;
+  bool want_report = false;
+};
+
+struct ControlRequest {
+  enum class Kind { kPing, kCancel, kShutdown };
+  Kind kind = Kind::kPing;
+  std::string target;  // kCancel: the job id to cancel
+};
+
+/// Outcome of parsing one request line. kError carries a diagnostic meant
+/// to be echoed back in a "rejected" event; parse_request_line itself
+/// never throws — a malformed line must never take the daemon down (the
+/// serve fuzz mode hammers exactly this entry point).
+struct ParsedRequest {
+  enum class Kind { kJob, kControl, kError };
+  Kind kind = Kind::kError;
+  JobRequest job;
+  ControlRequest control;
+  std::string error;
+};
+
+[[nodiscard]] ParsedRequest parse_request_line(const std::string& line);
+
+/// Event skeleton: {"id":...,"event":...} (id omitted when empty).
+[[nodiscard]] JsonValue make_event(std::string_view event,
+                                   std::string_view id = {});
+
+/// Single-line serialization of a response document (the newline is the
+/// frame delimiter, so the document itself must not contain one).
+[[nodiscard]] std::string response_line(const JsonValue& doc);
+
+}  // namespace bgr::serve

@@ -1,0 +1,258 @@
+#include "bgr/serve/scheduler.hpp"
+
+#include <utility>
+
+#include "bgr/obs/metrics.hpp"
+#include "bgr/serve/design_cache.hpp"
+
+namespace bgr::serve {
+
+namespace {
+
+/// serve.jobs_* / serve.cancellations are semantic: for a given request
+/// stream the admission decisions, terminal statuses and cancellation
+/// count are functions of the submitted contents and the configured
+/// bounds, not of scheduling (admission runs synchronously under the
+/// scheduler mutex in request order).
+struct ServeMetrics {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& accepted = reg.counter("serve.jobs_accepted", MetricScope::kSemantic);
+  Counter& rejected = reg.counter("serve.jobs_rejected", MetricScope::kSemantic);
+  Counter& completed =
+      reg.counter("serve.jobs_completed", MetricScope::kSemantic);
+  Counter& failed = reg.counter("serve.jobs_failed", MetricScope::kSemantic);
+  Counter& cancellations =
+      reg.counter("serve.cancellations", MetricScope::kSemantic);
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* const m = new ServeMetrics();
+  return *m;
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(const SchedulerConfig& config, DesignCache* cache,
+                           Emit emit)
+    : config_(config), cache_(cache), emit_(std::move(emit)) {
+  // Register the serve.* counters now, not on first use: an idle daemon
+  // must still produce a schema-complete run report (all-zero counters).
+  (void)serve_metrics();
+  if (config_.max_jobs < 1) config_.max_jobs = 1;
+  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  if (config_.pool_workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.pool_workers);
+  }
+  paused_ = config_.start_paused;
+  runners_.reserve(static_cast<std::size_t>(config_.max_jobs));
+  for (std::int32_t i = 0; i < config_.max_jobs; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { drain_and_stop(); }
+
+Admission JobScheduler::submit(const std::string& client, JobRequest request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Admission admission;
+  admission.queue_depth = queued_locked();
+  if (stopping_) {
+    admission.reason = "shutdown";
+  } else if (admission.queue_depth >= config_.queue_capacity) {
+    admission.reason = "queue_full";
+  } else {
+    // One live id per client: a second submission with the id of a
+    // queued or running job is ambiguous for cancel/terminal events.
+    bool duplicate =
+        running_.find({client, request.id}) != running_.end();
+    if (!duplicate) {
+      auto it = queues_.find(client);
+      if (it != queues_.end()) {
+        for (const Job& job : it->second) {
+          if (!job.cancelled && job.session->request().id == request.id) {
+            duplicate = true;
+            break;
+          }
+        }
+      }
+    }
+    if (duplicate) {
+      admission.reason = "duplicate_id";
+    } else {
+      admission.accepted = true;
+    }
+  }
+  if (!admission.accepted) {
+    ++totals_.rejected;
+    serve_metrics().rejected.add(1);
+    return admission;
+  }
+  ++totals_.accepted;
+  serve_metrics().accepted.add(1);
+  const std::string id = request.id;
+  Job job;
+  job.client = client;
+  job.session = std::make_shared<RoutingSession>(std::move(request), cache_,
+                                                 pool_.get());
+  queues_[client].push_back(std::move(job));
+  admission.queue_depth = queued_locked();
+  // Emit "accepted" before a runner can pop the job (we still hold the
+  // mutex), so a client never sees "started" precede it.
+  JsonValue event = make_event("accepted", id);
+  event.set("queue_depth", static_cast<std::int64_t>(admission.queue_depth));
+  emit_(client, event);
+  cv_.notify_one();
+  return admission;
+}
+
+CancelOutcome JobScheduler::cancel(const std::string& client,
+                                   const std::string& id) {
+  std::shared_ptr<RoutingSession> running;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto run_it = running_.find({client, id});
+    if (run_it != running_.end()) {
+      running = run_it->second;
+    } else {
+      auto it = queues_.find(client);
+      if (it != queues_.end()) {
+        for (Job& job : it->second) {
+          if (!job.cancelled && job.session->request().id == id) {
+            job.cancelled = true;  // runner discards it on pop
+            ++totals_.cancelled;
+            serve_metrics().cancellations.add(1);
+            JsonValue event = make_event("cancelled", id);
+            emit_(client, event);
+            return CancelOutcome::kCancelledQueued;
+          }
+        }
+      }
+      return CancelOutcome::kUnknown;
+    }
+  }
+  // Outside the lock: flag the running session; its runner emits the
+  // terminal "cancelled" event when the pipeline stops.
+  running->cancel();
+  return CancelOutcome::kCancellingRunning;
+}
+
+void JobScheduler::resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  cv_.notify_all();
+}
+
+void JobScheduler::drain_and_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // a paused scheduler still drains its queue
+    cv_.notify_all();
+  }
+  for (std::thread& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+JobScheduler::Totals JobScheduler::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+std::int32_t JobScheduler::queued_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_locked();
+}
+
+std::int32_t JobScheduler::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int32_t>(running_.size());
+}
+
+std::int32_t JobScheduler::queued_locked() const {
+  std::int32_t n = 0;
+  for (const auto& [client, queue] : queues_) {
+    for (const Job& job : queue) {
+      if (!job.cancelled) ++n;
+    }
+  }
+  return n;
+}
+
+bool JobScheduler::pop_next(Job* out, std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    cv_.wait(lock, [&] {
+      return (!paused_ && queued_locked() > 0) ||
+             (stopping_ && queued_locked() == 0);
+    });
+    if (queued_locked() == 0) return false;  // stopping and drained
+    // Round-robin: serve the first non-empty client strictly after the
+    // cursor in client order, wrapping — a flood from one client cannot
+    // starve the rest.
+    auto start = queues_.upper_bound(rr_cursor_);
+    for (std::size_t step = 0; step <= queues_.size(); ++step) {
+      if (start == queues_.end()) start = queues_.begin();
+      std::deque<Job>& queue = start->second;
+      // Drop lazily cancelled jobs from the front without serving them.
+      while (!queue.empty() && queue.front().cancelled) queue.pop_front();
+      if (!queue.empty()) {
+        *out = std::move(queue.front());
+        queue.pop_front();
+        rr_cursor_ = start->first;
+        if (queue.empty()) queues_.erase(start);
+        return true;
+      }
+      if (queue.empty()) start = queues_.erase(start);
+    }
+    // Every queued job turned out to be a cancelled tombstone; re-wait.
+  }
+}
+
+void JobScheduler::runner_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!pop_next(&job, lock)) return;
+      running_.emplace(std::make_pair(job.client, job.session->request().id),
+                       job.session);
+    }
+    const std::string& id = job.session->request().id;
+    JsonValue started = make_event("started", id);
+    emit_(job.client, started);
+
+    SessionResult result = job.session->run();
+
+    JsonValue event;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_.erase({job.client, id});
+      switch (result.status) {
+        case SessionStatus::kDone:
+          ++totals_.completed;
+          serve_metrics().completed.add(1);
+          event = make_event("done", id);
+          event.set("result", result_to_json(result));
+          if (!result.route_text.empty()) {
+            event.set("route_text", result.route_text);
+          }
+          if (!result.report.is_null()) event.set("report", result.report);
+          break;
+        case SessionStatus::kCancelled:
+          ++totals_.cancelled;
+          serve_metrics().cancellations.add(1);
+          event = make_event("cancelled", id);
+          break;
+        case SessionStatus::kFailed:
+          ++totals_.failed;
+          serve_metrics().failed.add(1);
+          event = make_event("failed", id);
+          event.set("error", result.error);
+          break;
+      }
+    }
+    emit_(job.client, event);
+  }
+}
+
+}  // namespace bgr::serve

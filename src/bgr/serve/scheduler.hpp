@@ -1,0 +1,143 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgr/exec/thread_pool.hpp"
+#include "bgr/serve/protocol.hpp"
+#include "bgr/serve/session.hpp"
+
+namespace bgr::serve {
+
+class DesignCache;
+
+struct SchedulerConfig {
+  /// Workers on the one shared compute pool. 0 = run every job serially
+  /// (the pool is not created); parallel regions of all co-tenant jobs
+  /// share these workers.
+  std::int32_t pool_workers = 0;
+  /// Jobs in flight at once (dedicated runner threads). Runner threads
+  /// are not pool workers: a runner drives its session's pipeline and the
+  /// pipeline's parallel regions fan out on the shared pool, so saturating
+  /// the pool degrades to caller-runs-chunks, never deadlock.
+  std::int32_t max_jobs = 2;
+  /// Admission bound on queued (not yet started) jobs; submissions beyond
+  /// it are rejected with reason "queue_full".
+  std::int32_t queue_capacity = 64;
+  /// Tests: accept submissions but do not start running them until
+  /// resume() — makes queue-state transitions observable.
+  bool start_paused = false;
+};
+
+/// Synchronous answer to submit(): the accept/reject decision the server
+/// turns into the job's first response line, in request order.
+struct Admission {
+  bool accepted = false;
+  std::string reason;  // rejects: "queue_full", "duplicate_id", "shutdown"
+  std::int32_t queue_depth = 0;
+};
+
+/// What cancel() found; the server maps these onto response events.
+enum class CancelOutcome {
+  kCancelledQueued,   // removed before it ever started
+  kCancellingRunning, // flag set; job stops at its next phase boundary
+  kUnknown,           // no queued or running job with that id
+};
+
+/// Multi-client job scheduler: one bounded queue per client, drained
+/// round-robin so a client that floods the queue cannot starve the
+/// others, executing on max_jobs runner threads with every session's
+/// parallel work co-tenant on one shared ThreadPool (DESIGN.md §12).
+///
+/// Completion events (started/done/cancelled/failed) are delivered
+/// through the Emit callback from runner threads — the callback must be
+/// thread-safe. Admission answers are synchronous.
+class JobScheduler {
+ public:
+  /// (client, event) — event is a response document ready to serialize.
+  using Emit = std::function<void(const std::string& client,
+                                  const JsonValue& event)>;
+
+  JobScheduler(const SchedulerConfig& config, DesignCache* cache, Emit emit);
+  /// Implies drain_and_stop().
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admission control. Accepted jobs are queued under `client` and will
+  /// emit exactly one terminal event (done/cancelled/failed) later.
+  [[nodiscard]] Admission submit(const std::string& client,
+                                 JobRequest request);
+
+  /// Cancels `id` for `client`: a queued job is removed immediately (its
+  /// terminal "cancelled" event emits from here), a running one is
+  /// flagged and stops at the next phase boundary of its pipeline.
+  [[nodiscard]] CancelOutcome cancel(const std::string& client,
+                                     const std::string& id);
+
+  /// Releases a start_paused scheduler.
+  void resume();
+
+  /// Stops admission, runs everything still queued, joins the runners.
+  /// Idempotent.
+  void drain_and_stop();
+
+  struct Totals {
+    std::int64_t accepted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    std::int64_t cancelled = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  [[nodiscard]] std::int32_t queued_jobs() const;
+  [[nodiscard]] std::int32_t running_jobs() const;
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  struct Job {
+    std::string client;
+    std::shared_ptr<RoutingSession> session;  // created at admission
+    bool cancelled = false;                   // lazy queued-cancel mark
+  };
+  using ClientQueues = std::map<std::string, std::deque<Job>>;
+
+  void runner_loop();
+  /// Pops the next runnable job round-robin across clients; returns false
+  /// on stop-with-empty-queues. Caller holds mutex_.
+  bool pop_next(Job* out, std::unique_lock<std::mutex>& lock);
+  [[nodiscard]] std::int32_t queued_locked() const;
+
+  SchedulerConfig config_;
+  DesignCache* cache_;
+  Emit emit_;
+  std::unique_ptr<ThreadPool> pool_;  // shared compute pool (may be null)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  ClientQueues queues_;
+  /// Fairness cursor: name of the client that was served last; the next
+  /// pop starts strictly after it in client order (wrapping).
+  std::string rr_cursor_;
+  /// Running jobs by (client, id) for cancel routing.
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<RoutingSession>>
+      running_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  Totals totals_;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace bgr::serve

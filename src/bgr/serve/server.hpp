@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgr/serve/design_cache.hpp"
+#include "bgr/serve/scheduler.hpp"
+
+namespace bgr::serve {
+
+struct ServerConfig {
+  SchedulerConfig scheduler;
+  /// Loopback TCP listener; < 0 disables the socket (stdio only), 0 binds
+  /// an ephemeral port (printed in the startup banner event).
+  std::int32_t tcp_port = -1;
+  /// Path for the final "bgr_serve" run report ("" = stdout only when
+  /// report_to_stdout is set; never written otherwise).
+  std::string metrics_out;
+  std::size_t dataset_cache_capacity = 32;
+  std::size_t result_cache_capacity = 128;
+};
+
+/// The bgr_serve daemon core: reads NDJSON requests from a stdio stream
+/// (and optionally a loopback TCP socket), feeds jobs through one
+/// JobScheduler + DesignCache, and writes one NDJSON response per event
+/// back to the stream the request came from (DESIGN.md §12).
+///
+/// Lifecycle: run() blocks until the stdio client sends
+/// {"shutdown":true} or closes the stream, then drains the queue, joins
+/// everything and writes the final run report. Shutdown is honored from
+/// the stdio client only — a portable daemon cannot interrupt a blocking
+/// stdin read from a socket thread, so TCP shutdown requests are rejected
+/// with that reason.
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves `in`/`out` as the stdio client; returns the process exit code
+  /// (0 on orderly shutdown). Call once.
+  int run(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] const DesignCache& cache() const { return cache_; }
+  [[nodiscard]] JobScheduler::Totals totals() const {
+    return scheduler_->totals();
+  }
+  /// Port the TCP listener actually bound (ephemeral ports resolve here);
+  /// -1 when the socket is disabled or failed to open.
+  [[nodiscard]] std::int32_t tcp_port() const { return bound_port_; }
+
+ private:
+  /// One request line from `client`; responses route back through emit().
+  /// Returns false when the line asks for (an honored) shutdown.
+  bool handle_line(const std::string& client, const std::string& line,
+                   bool allow_shutdown);
+  void emit(const std::string& client, const JsonValue& event);
+
+  bool open_listener();
+  void accept_loop();
+  void connection_loop(int fd, std::string client);
+  void close_tcp();
+
+  [[nodiscard]] JsonValue final_report(double wall_seconds) const;
+
+  ServerConfig config_;
+  DesignCache cache_;  // must outlive scheduler_ (sessions hold it)
+  std::unique_ptr<JobScheduler> scheduler_;
+
+  std::mutex out_mutex_;        // serializes every response line
+  std::ostream* stdio_out_ = nullptr;
+  /// Live TCP connections by client name; fd < 0 after disconnect.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::string, int> client_fds_;
+
+  int listen_fd_ = -1;
+  std::int32_t bound_port_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> tcp_stopping_{false};
+};
+
+}  // namespace bgr::serve

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the bgr_serve daemon over stdio (DESIGN.md §12).
+
+Drives one daemon process through its full protocol surface:
+
+  - 8 jobs across design_file / inline design text / dataset presets,
+    including exact duplicates (must hit the warm caches bit-identically)
+    and an options variant (must re-run on the cached parsed design);
+  - a cancel of a queued job (terminal event "cancelled", never "done");
+  - a duplicate job id, an unknown cancel target and a malformed line
+    (each rejected with a diagnostic, daemon stays up);
+  - ping/pong and an orderly shutdown (exit status 0).
+
+The per-job embedded run report and the daemon's final --metrics-out
+report are both validated with tools/check_run_report.py.
+
+usage: serve_smoke.py <bgr_serve-binary> <check_run_report.py> <design.txt>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail(f"usage: {sys.argv[0]} <bgr_serve> <check_run_report.py> "
+             f"<design.txt>")
+    serve_bin, checker, design_path = sys.argv[1:4]
+    with open(design_path, encoding="utf-8") as f:
+        design_text = f.read()
+
+    # j0/j2/j4/j6 share one design (file, file-dup, inline text, options
+    # variant); j1/j3/j5/j7 share the C1P1 preset. j7 is cancelled while
+    # queued; j3/j6 change the result key, so they re-route on the cached
+    # parsed design instead of reusing a finished result.
+    requests = [
+        {"ping": True},
+        {"id": "j0", "design_file": design_path},
+        {"id": "j1", "dataset": "C1P1", "verify": True, "report": True},
+        {"id": "j2", "design_file": design_path},
+        {"id": "j3", "dataset": "C1P1", "options": {"improvement_passes": 4}},
+        {"id": "j4", "design": design_text},
+        {"id": "j5", "dataset": "C1P1", "verify": True, "report": True},
+        {"id": "j6", "design_file": design_path, "route_text": True},
+        {"id": "j7", "dataset": "C1P1"},
+        {"cancel": "j7"},
+        {"cancel": "no-such-job"},
+        {"id": "j0", "dataset": "C1P1"},  # duplicate id -> rejected
+    ]
+    stdin_lines = [json.dumps(r) for r in requests]
+    stdin_lines.append("{this is not json")  # malformed -> rejected
+    stdin_lines.append(json.dumps({"shutdown": True}))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "serve_report.json")
+        proc = subprocess.run(
+            [serve_bin, "--jobs", "2", "--metrics-out", metrics_path],
+            input="\n".join(stdin_lines) + "\n",
+            capture_output=True, text=True, timeout=600)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"daemon exited with status {proc.returncode}")
+
+        events = []
+        for line in proc.stdout.splitlines():
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"unparseable response line {line!r}: {e}")
+
+        def of(name):
+            return [e for e in events if e.get("event") == name]
+
+        def terminal(job_id):
+            found = [e for e in events
+                     if e.get("id") == job_id and
+                     e.get("event") in ("done", "cancelled", "failed")]
+            if len(found) != 1:
+                fail(f"{job_id}: expected exactly one terminal event, "
+                     f"got {[e.get('event') for e in found]}")
+            return found[0]
+
+        if not of("ready"):
+            fail("no 'ready' banner")
+        if not of("pong"):
+            fail("no 'pong' for ping")
+        if len(of("accepted")) != 8:
+            fail(f"expected 8 accepted jobs, got {len(of('accepted'))}")
+
+        # Terminal statuses: j0..j6 done, j7 cancelled before running.
+        for job_id in [f"j{i}" for i in range(7)]:
+            if terminal(job_id)["event"] != "done":
+                fail(f"{job_id}: expected 'done', got "
+                     f"{terminal(job_id)['event']}")
+        if terminal("j7")["event"] != "cancelled":
+            fail(f"j7: expected 'cancelled', got {terminal('j7')['event']}")
+        if [e for e in events
+                if e.get("id") == "j7" and e.get("event") == "started"]:
+            fail("j7 was started despite being cancelled while queued")
+
+        # Bit-identity: duplicates must reproduce the original digest, the
+        # options variant must differ (it routes with more passes).
+        digest = {j: terminal(j)["result"]["digest"] for j in
+                  ["j0", "j1", "j2", "j3", "j4", "j5", "j6"]}
+        cache = {j: terminal(j)["result"]["cache"] for j in digest}
+        for dup, orig in [("j2", "j0"), ("j4", "j0"), ("j5", "j1")]:
+            if digest[dup] != digest[orig]:
+                fail(f"{dup} digest {digest[dup]} != {orig} "
+                     f"digest {digest[orig]} ({cache[dup]} vs {cache[orig]})")
+            if cache[dup] == "miss":
+                fail(f"{dup}: exact duplicate of {orig} missed the cache")
+        if cache["j3"] != "design-hit":
+            fail(f"j3: expected design-hit, got {cache['j3']}")
+        if cache["j6"] != "design-hit":
+            fail(f"j6: expected design-hit, got {cache['j6']}")
+
+        # Requested artifacts and rejections.
+        if not terminal("j6").get("route_text"):
+            fail("j6: route_text requested but absent")
+        rejected = of("rejected")
+        if len(rejected) != 2 or any(not e.get("reason") for e in rejected):
+            fail(f"expected 2 rejections with reasons, got {rejected}")
+        if not any(e.get("reason") == "duplicate_id" for e in rejected):
+            fail("duplicate job id was not rejected as duplicate_id")
+        if not [e for e in of("unknown_job")
+                if e.get("id") == "no-such-job"]:
+            fail("cancel of unknown job did not answer unknown_job")
+
+        # Embedded per-job report (kind bgr_route) validates standalone.
+        job_report = terminal("j1").get("report")
+        if not job_report:
+            fail("j1: report requested but absent")
+        job_report_path = os.path.join(tmp, "job_report.json")
+        with open(job_report_path, "w", encoding="utf-8") as f:
+            json.dump(job_report, f)
+        subprocess.run([sys.executable, checker, job_report_path], check=True)
+
+        # Final daemon report: schema-valid, with the totals this session
+        # deterministically produced.
+        if not of("shutdown"):
+            fail("no 'shutdown' event")
+        subprocess.run([sys.executable, checker, metrics_path], check=True)
+        with open(metrics_path, encoding="utf-8") as f:
+            report = json.load(f)
+        totals = report["totals"]
+        # jobs_rejected counts admission rejections (the duplicate id);
+        # the malformed line never reached admission — it was rejected by
+        # the protocol parser and shows up only as a "rejected" event.
+        expect = {"jobs_accepted": 8, "jobs_rejected": 1,
+                  "jobs_completed": 7, "jobs_failed": 0, "jobs_cancelled": 1}
+        for key, value in expect.items():
+            if totals.get(key) != value:
+                fail(f"totals.{key} = {totals.get(key)}, expected {value}")
+        # 2 first-of-kind parses; every other job hits exactly one level.
+        if totals["cache_misses"] != 2:
+            fail(f"totals.cache_misses = {totals['cache_misses']}, "
+                 f"expected 2")
+        if totals["cache_hits"] != 5:
+            fail(f"totals.cache_hits = {totals['cache_hits']}, expected 5")
+
+    print("serve_smoke: OK (8 jobs, duplicate bit-identity, queued cancel, "
+          "3 rejections, schema-valid reports)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+// DesignCache tests: content-hash keying, LRU bounds on both levels,
+// result-level reuse, and the parse-under-lock guarantee that makes
+// concurrent duplicate submissions hit deterministically.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/io/design_io.hpp"
+#include "bgr/io/io_error.hpp"
+#include "bgr/serve/design_cache.hpp"
+#include "bgr/serve/session.hpp"
+
+namespace bgr {
+namespace {
+
+using serve::DesignCache;
+using serve::SessionResult;
+using serve::SessionStatus;
+
+std::string design_text(std::uint64_t seed) {
+  CircuitSpec spec = sample_spec(0);
+  spec.seed = seed;
+  spec.name = "cache_t" + std::to_string(seed);
+  spec.rows = 3;
+  spec.target_cells = 24;
+  spec.levels = 3;
+  spec.path_constraints = 2;
+  const Dataset ds = generate_circuit(spec);
+  std::ostringstream os;
+  write_design(os, ds);
+  return os.str();
+}
+
+TEST(DesignCache, KeysAreContentHashes) {
+  const std::string a = design_text(1);
+  const std::string b = design_text(2);
+  EXPECT_EQ(DesignCache::text_key(a), DesignCache::text_key(a));
+  EXPECT_NE(DesignCache::text_key(a), DesignCache::text_key(b));
+  // Preset names and design text live in disjoint key spaces: a design
+  // whose full text is "C1P1" must not collide with the preset C1P1.
+  EXPECT_NE(DesignCache::text_key("C1P1"), DesignCache::preset_key("C1P1"));
+}
+
+TEST(DesignCache, ParsesOncePerContent) {
+  DesignCache cache;
+  const std::string text = design_text(3);
+  bool hit = true;
+  const auto first = cache.dataset_for_text(text, "t", &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.dataset_for_text(text, "t", &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // the same shared parse
+  const DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.dataset_misses, 1);
+  EXPECT_EQ(stats.dataset_hits, 1);
+}
+
+TEST(DesignCache, MalformedTextThrowsAndIsNotCached) {
+  DesignCache cache;
+  EXPECT_THROW((void)cache.dataset_for_text("garbage", "t"), IoError);
+  EXPECT_THROW((void)cache.dataset_for_text("garbage", "t"), IoError);
+  EXPECT_EQ(cache.stats().dataset_hits, 0);
+}
+
+TEST(DesignCache, EvictsLeastRecentlyUsedDataset) {
+  DesignCache cache(/*dataset_capacity=*/2, /*result_capacity=*/2);
+  const std::string a = design_text(4);
+  const std::string b = design_text(5);
+  const std::string c = design_text(6);
+  (void)cache.dataset_for_text(a, "a");
+  (void)cache.dataset_for_text(b, "b");
+  (void)cache.dataset_for_text(a, "a");  // touch a: b is now LRU
+  (void)cache.dataset_for_text(c, "c");  // evicts b
+  bool hit = false;
+  (void)cache.dataset_for_text(a, "a", &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.dataset_for_text(b, "b", &hit);
+  EXPECT_FALSE(hit) << "b should have been evicted";
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(DesignCache, ResultLevelStoresAndFirstWins) {
+  DesignCache cache;
+  EXPECT_EQ(cache.find_result(42), nullptr);
+
+  auto result = std::make_shared<const SessionResult>([] {
+    SessionResult r;
+    r.status = SessionStatus::kDone;
+    r.digest = "first";
+    return r;
+  }());
+  cache.store_result(42, result);
+  auto found = cache.find_result(42);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->digest, "first");
+
+  // A concurrent duplicate may finish second with the same (bit-identical)
+  // result; the first stored entry is kept.
+  auto other = std::make_shared<const SessionResult>([] {
+    SessionResult r;
+    r.status = SessionStatus::kDone;
+    r.digest = "second";
+    return r;
+  }());
+  cache.store_result(42, other);
+  EXPECT_EQ(cache.find_result(42)->digest, "first");
+}
+
+TEST(DesignCache, ConcurrentDuplicatesHitDeterministically) {
+  DesignCache cache;
+  const std::string text = design_text(7);
+  const int kThreads = 8;
+  std::vector<std::shared_ptr<const Dataset>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      seen[static_cast<std::size_t>(i)] =
+          cache.dataset_for_text(text, "t", nullptr);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[0].get(), seen[static_cast<std::size_t>(i)].get());
+  }
+  // Parse-under-lock: whoever takes the mutex first parses; everyone
+  // else blocks and then hits. 1 miss + 7 hits for any interleaving.
+  const DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.dataset_misses, 1);
+  EXPECT_EQ(stats.dataset_hits, kThreads - 1);
+}
+
+}  // namespace
+}  // namespace bgr

@@ -151,8 +151,32 @@ TEST_P(RouterProperty, RunIsSingleShot) {
   Netlist nl = dataset_.netlist;
   GlobalRouter router(nl, dataset_.placement, dataset_.tech,
                       dataset_.constraints, RouterOptions{});
+  EXPECT_EQ(router.run_state(), GlobalRouter::RunState::kIdle);
   (void)router.run();
-  EXPECT_THROW((void)router.run(), CheckError);
+  EXPECT_EQ(router.run_state(), GlobalRouter::RunState::kDone);
+  // Re-entry is an explicit contract violation with a diagnostic that
+  // names the fix, not silent corruption of consumed inputs.
+  try {
+    (void)router.run();
+    FAIL() << "second run() must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("RoutingSession"), std::string::npos)
+        << "diagnostic should point at serve::RoutingSession for re-runs";
+  }
+}
+
+TEST_P(RouterProperty, CancelRequestStopsAtPhaseBoundary) {
+  Netlist nl = dataset_.netlist;
+  RouterOptions options;
+  std::int32_t polls = 0;
+  // Cancel at the second poll: after the pre-flight checks, inside the
+  // phase sequence — the router must surface CancelledError (not
+  // CheckError) and stay poisoned (kRunning, not kDone).
+  options.cancel_requested = [&polls] { return ++polls > 1; };
+  GlobalRouter router(nl, dataset_.placement, dataset_.tech,
+                      dataset_.constraints, options);
+  EXPECT_THROW((void)router.run(), CancelledError);
+  EXPECT_EQ(router.run_state(), GlobalRouter::RunState::kRunning);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterProperty,

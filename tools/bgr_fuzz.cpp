@@ -1,7 +1,7 @@
 // Fuzzing driver for the full routing pipeline and the text parsers.
 //
 // Usage:
-//   bgr_fuzz [--seeds A..B] [--mode spec|design|route|json|all]
+//   bgr_fuzz [--seeds A..B] [--mode spec|design|route|json|serve|all]
 //            [--corpus-out DIR] [--no-shrink] [--threads N] [--verbose]
 //
 // Every seed is deterministic: the same seed and mode always exercise the
@@ -17,15 +17,16 @@
 
 #include "bgr/common/parse.hpp"
 #include "bgr/fuzz/fuzzer.hpp"
+#include "cli_common.hpp"
 
 namespace {
 
-void print_usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: bgr_fuzz [--seeds A..B] [--mode spec|design|route|json|"
-               "all]\n"
+               "serve|all]\n"
                "                [--corpus-out DIR] [--no-shrink] [--threads N]"
-               " [--verbose]\n");
+               " [--verbose] [--help]\n");
 }
 
 bool parse_seed_range(const char* text, std::uint64_t* lo, std::uint64_t* hi) {
@@ -65,14 +66,11 @@ int main(int argc, char** argv) {
                      "error: --seeds expects A..B (or a single seed), got "
                      "'%s'\n",
                      value != nullptr ? value : "<missing>");
-        return 2;
+        return bgr::cli::kExitUsage;
       }
     } else if (std::strcmp(arg, "--mode") == 0) {
       const char* value = next_value();
-      if (value == nullptr) {
-        std::fprintf(stderr, "error: --mode expects a value\n");
-        return 2;
-      }
+      if (value == nullptr) return bgr::cli::missing_value("--mode");
       if (std::strcmp(value, "spec") == 0) {
         campaign.only_mode = bgr::FuzzMode::kSpec;
       } else if (std::strcmp(value, "design") == 0) {
@@ -81,48 +79,40 @@ int main(int argc, char** argv) {
         campaign.only_mode = bgr::FuzzMode::kRouteText;
       } else if (std::strcmp(value, "json") == 0) {
         campaign.only_mode = bgr::FuzzMode::kJsonText;
+      } else if (std::strcmp(value, "serve") == 0) {
+        campaign.only_mode = bgr::FuzzMode::kServeText;
       } else if (std::strcmp(value, "all") == 0) {
         campaign.only_mode.reset();
       } else {
         std::fprintf(stderr,
-                     "error: --mode expects spec|design|route|json|all, got "
-                     "'%s'\n",
+                     "error: --mode expects spec|design|route|json|serve|all, "
+                     "got '%s'\n",
                      value);
-        return 2;
+        return bgr::cli::kExitUsage;
       }
     } else if (std::strcmp(arg, "--corpus-out") == 0) {
       const char* value = next_value();
-      if (value == nullptr) {
-        std::fprintf(stderr, "error: --corpus-out expects a directory\n");
-        return 2;
-      }
+      if (value == nullptr) return bgr::cli::missing_value("--corpus-out");
       campaign.corpus_out = value;
     } else if (std::strcmp(arg, "--threads") == 0) {
-      const char* value = next_value();
-      std::optional<std::int32_t> threads;
-      if (value != nullptr) threads = bgr::parse_i32(value);
-      if (!threads || *threads < 1 || *threads > 1024) {
-        std::fprintf(stderr,
-                     "error: --threads expects an integer in [1, 1024], got "
-                     "'%s'\n",
-                     value != nullptr ? value : "<missing>");
-        return 2;
+      std::int32_t threads = 0;
+      if (!bgr::cli::parse_int_option("--threads", next_value(), 1, 1024,
+                                      &threads)) {
+        return bgr::cli::kExitUsage;
       }
-      campaign.oracle.alt_threads = *threads;
+      campaign.oracle.alt_threads = threads;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       campaign.shrink = false;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       campaign.verbose = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      print_usage();
-      return 0;
+      usage(stdout);
+      return bgr::cli::kExitOk;
     } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", arg);
-      print_usage();
-      return 2;
+      return bgr::cli::unknown_option(arg, usage);
     }
   }
 
   const int failures = bgr::run_campaign(campaign, std::cout);
-  return failures > 0 ? 1 : 0;
+  return failures > 0 ? bgr::cli::kExitFailure : bgr::cli::kExitOk;
 }

@@ -53,18 +53,19 @@
 #include "bgr/obs/metrics.hpp"
 #include "bgr/obs/trace.hpp"
 #include "bgr/common/stopwatch.hpp"
+#include "cli_common.hpp"
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
                "[--rc] [--sequential] [--no-improve] "
                "[--incremental-sta on|off] [--path-search astar|dijkstra] "
                "[--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
                "[--skew] [--metrics-out FILE] [--trace-out FILE] "
-               "[--log-format text|json]\n");
+               "[--log-format text|json] [--help]\n");
 }
 
 /// Per-phase wall-time table: every phase of the pipeline with its own
@@ -82,33 +83,33 @@ void print_phase_times(const bgr::RouteOutcome& outcome) {
   }
 }
 
-/// Checked integer option value: rejects missing, non-numeric, trailing
-/// garbage and out-of-range text with a clear diagnostic instead of the
-/// old atoi behaviour (which silently read garbage as 0).
-bool parse_int_option(const char* flag, const char* text, std::int32_t lo,
-                      std::int32_t hi, std::int32_t* out) {
-  const std::optional<std::int32_t> value =
-      text != nullptr ? bgr::parse_i32(text) : std::nullopt;
-  if (!value || *value < lo || *value > hi) {
-    std::fprintf(stderr,
-                 "error: %s expects an integer in [%d, %d], got '%s'\n", flag,
-                 lo, hi, text != nullptr ? text : "<missing>");
-    return false;
-  }
-  *out = *value;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bgr;
+  using cli::parse_int_option;
+  if (argc == 2 && std::strcmp(argv[1], "--help") == 0) {
+    usage(stdout);
+    return cli::kExitOk;
+  }
   if (argc < 2) {
-    usage();
-    return 2;
+    usage(stderr);
+    return cli::kExitUsage;
   }
 
   std::string input = argv[1];
+  if (input == "--help") {
+    usage(stdout);
+    return cli::kExitOk;
+  }
+  if (input.size() > 1 && input[0] == '-') {
+    std::fprintf(stderr,
+                 "error: expected a design file or @dataset first, "
+                 "got option '%s'\n",
+                 input.c_str());
+    usage(stderr);
+    return cli::kExitUsage;
+  }
   RouterOptions options;
   bool constrained = true;
   bool print_skew = false;
@@ -137,7 +138,7 @@ int main(int argc, char** argv) {
         options.incremental_sta = false;
       } else {
         std::fprintf(stderr, "error: --incremental-sta must be on or off\n");
-        return 2;
+        return cli::kExitUsage;
       }
     } else if (arg == "--path-search" && i + 1 < argc) {
       const std::string backend = argv[++i];
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "error: --path-search must be astar or dijkstra\n");
-        return 2;
+        return cli::kExitUsage;
       }
     } else if (arg == "--no-improve") {
       options.enable_violation_recovery = false;
@@ -157,11 +158,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       const char* value = i + 1 < argc ? argv[++i] : nullptr;
       if (!parse_int_option("--threads", value, 0, 1024, &options.threads)) {
-        return 2;
+        return cli::kExitUsage;
       }
     } else if (arg == "--repeat") {
       const char* value = i + 1 < argc ? argv[++i] : nullptr;
-      if (!parse_int_option("--repeat", value, 1, 100000, &repeat)) return 2;
+      std::int32_t repeat32 = 1;
+      if (!parse_int_option("--repeat", value, 1, 100000, &repeat32)) {
+        return cli::kExitUsage;
+      }
+      repeat = repeat32;
     } else if (arg == "--skew") {
       print_skew = true;
     } else if (arg == "--map") {
@@ -181,18 +186,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out_path = argv[++i];
     } else if (arg == "--log-format" && i + 1 < argc) {
-      const std::string fmt = argv[++i];
-      if (fmt == "text") {
-        set_log_format(LogFormat::kText);
-      } else if (fmt == "json") {
-        set_log_format(LogFormat::kJson);
-      } else {
-        std::fprintf(stderr, "error: --log-format must be text or json\n");
-        return 2;
-      }
+      if (!cli::parse_log_format_option(argv[++i])) return cli::kExitUsage;
+    } else if (arg == "--help") {
+      usage(stdout);
+      return cli::kExitOk;
     } else {
-      usage();
-      return 2;
+      return cli::unknown_option(arg.c_str(), usage);
     }
   }
 
@@ -319,7 +318,7 @@ int main(int argc, char** argv) {
                                                                     : "warn ",
                     issue.check.c_str(), issue.message.c_str());
       }
-      if (RouteVerifier::has_errors(issues)) return 1;
+      if (RouteVerifier::has_errors(issues)) return cli::kExitFailure;
     }
     if (!svg_path.empty()) {
       write_svg(svg_path, *router, *channel);
@@ -337,7 +336,7 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return cli::kExitFailure;
   }
-  return 0;
+  return cli::kExitOk;
 }

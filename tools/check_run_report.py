@@ -42,6 +42,21 @@ ROUTE_SEMANTIC_METRICS = (
     "path.cone_repairs",
     "sta.full_sweeps",
 )
+# Daemon reports ("bgr_serve" and the in-process "bench.serve") carry the
+# serve/totals sections plus the admission/cache/cancellation counters —
+# all semantic: for a given request stream they are functions of the
+# submitted contents and configured bounds, never of scheduling.
+SERVE_KINDS = ("bgr_serve", "bench.serve")
+SERVE_SECTIONS = ("serve", "totals", "run")
+SERVE_SEMANTIC_METRICS = (
+    "serve.jobs_accepted",
+    "serve.jobs_rejected",
+    "serve.jobs_completed",
+    "serve.jobs_failed",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.cancellations",
+)
 
 
 def fail(msg):
@@ -97,6 +112,18 @@ def check_report(report, path):
         for ph in report["phases"]:
             if "name" not in ph or "wall" not in ph:
                 fail(f"{path}: phase entry lacks name/wall: {ph}")
+    if kind in SERVE_KINDS:
+        for section in SERVE_SECTIONS:
+            if section not in report:
+                fail(f"{path}: missing '{section}' section")
+        for name in SERVE_SEMANTIC_METRICS:
+            if name not in report["metrics"]["semantic"]:
+                fail(f"{path}: metrics.semantic lacks '{name}'")
+        totals = report["totals"]
+        for field in ("jobs_accepted", "jobs_completed", "cache_hits",
+                      "cache_misses"):
+            if not isinstance(totals.get(field), int):
+                fail(f"{path}: totals.{field} missing or not an integer")
 
 
 def strip_nondeterministic(node):
