@@ -49,12 +49,14 @@ std::string describe_exception() {
 std::optional<FuzzFailure> run_pipeline(const CircuitSpec& spec,
                                         std::int32_t threads,
                                         PathSearchBackend backend,
-                                        PipelineResult* out) {
+                                        PipelineResult* out,
+                                        bool shard_deletion = true) {
   try {
     Dataset ds = generate_circuit(spec);
     RouterOptions options;
     options.threads = threads;
     options.path_search = backend;
+    options.shard_deletion = shard_deletion;
     GlobalRouter router(ds.netlist, std::move(ds.placement), ds.tech,
                         ds.constraints, options);
     out->outcome = router.run();
@@ -228,6 +230,22 @@ std::optional<FuzzFailure> check_spec(const CircuitSpec& spec,
   if (!backend_diverged.empty()) {
     return FuzzFailure{"backend-divergence",
                        "astar vs dijkstra differ in " + backend_diverged};
+  }
+
+  // Oracle: the sharded deletion loop (DESIGN.md §13) must be bit-identical
+  // to the unsharded serial greedy — outcome, margins, artifacts, and every
+  // semantic phase statistic.
+  PipelineResult unsharded;
+  if (auto failure = run_pipeline(spec, 1, PathSearchBackend::kAstar,
+                                  &unsharded, /*shard_deletion=*/false)) {
+    return failure;
+  }
+  const std::string shard_diverged =
+      first_divergence(serial, unsharded, /*compare_path_effort=*/true);
+  if (!shard_diverged.empty()) {
+    return FuzzFailure{"shard-divergence",
+                       "sharded vs unsharded deletion differ in " +
+                           shard_diverged};
   }
 
   if (options.alt_threads > 1) {

@@ -27,6 +27,9 @@ struct FuzzOptions {
 ///   verify             RouteVerifier::run() reports an error finding
 ///   sta-recompute      live margins differ from a from-scratch serial
 ///                      STA over the final capacitances (bitwise)
+///   shard-divergence   RouteOutcome / margins / route text differ
+///                      between the sharded deletion loop and the
+///                      unsharded serial greedy (DESIGN.md §13)
 ///   thread-divergence  RouteOutcome / margins / route text differ
 ///                      between --threads 1 and --threads alt_threads
 ///   roundtrip          saved design or route text fails to re-parse, or

@@ -23,6 +23,7 @@ const IntKnob kIntKnobs[] = {
     {&CircuitSpec::clock_buffers, 0},
     {&CircuitSpec::clock_pitch, 1},
     {&CircuitSpec::rows, 1},
+    {&CircuitSpec::blocks, 1},
     {&CircuitSpec::levels, 2},
     {&CircuitSpec::register_percent, 0},
     {&CircuitSpec::feed_every, 1},

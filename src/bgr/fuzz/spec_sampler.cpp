@@ -37,7 +37,7 @@ CircuitSpec sample_generic(Rng& rng) {
 CircuitSpec sample_spec(std::uint64_t seed) {
   Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
   CircuitSpec spec = sample_generic(rng);
-  switch (rng.uniform_i32(0, 6)) {
+  switch (rng.uniform_i32(0, 7)) {
     case 0:  // tiny degenerate: minimal logic depth, near-minimal cells
       spec.rows = rng.uniform_i32(1, 3);
       spec.target_cells = rng.uniform_i32(8, 24);
@@ -75,6 +75,14 @@ CircuitSpec sample_spec(std::uint64_t seed) {
       spec.feed_every = rng.uniform_i32(12, 30);
       spec.target_cells = rng.uniform_i32(60, 160);
       break;
+    case 6:  // closed blocks: the sharded deletion loop decomposes
+      spec.blocks = rng.uniform_i32(2, 6);
+      spec.rows = rng.uniform_i32(1, 4);
+      spec.target_cells = spec.blocks * rng.uniform_i32(30, 110);
+      spec.levels = rng.uniform_i32(3, 6);
+      spec.diff_pairs = rng.uniform_i32(0, spec.blocks);
+      spec.clock_buffers = rng.uniform_i32(0, 2);
+      break;
     default:  // generic medium design, fields as sampled
       break;
   }
@@ -92,6 +100,7 @@ std::string spec_to_text(const CircuitSpec& spec) {
   os << "name " << spec.name << "\n";
   os << "seed " << spec.seed << "\n";
   os << "rows " << spec.rows << "\n";
+  os << "blocks " << spec.blocks << "\n";
   os << "target_cells " << spec.target_cells << "\n";
   os << "levels " << spec.levels << "\n";
   os << "register_percent " << spec.register_percent << "\n";
@@ -141,6 +150,8 @@ CircuitSpec spec_from_text(const std::string& text,
       spec.seed = *value;
     } else if (key == "rows") {
       spec.rows = fr.i32_in("rows", 1, 65536);
+    } else if (key == "blocks") {
+      spec.blocks = fr.i32_in("blocks", 1, 10000);
     } else if (key == "target_cells") {
       spec.target_cells = fr.i32_in("target_cells", 1, 1'000'000);
     } else if (key == "levels") {

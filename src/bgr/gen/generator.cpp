@@ -41,11 +41,21 @@ struct Slot {
 };
 
 /// Netlist construction state: producer nets and consumer slots per level.
+/// `prefix` namespaces every cell/net/pad name, so several builders can
+/// fill one netlist with independent blocks (blocked scale presets).
 struct Builder {
   const CircuitSpec& spec;
   Netlist& nl;
   Rng& rng;
   TypeIds types;
+  std::string prefix;
+
+  /// Closed-block mode: a cone with no open slot above parks on a fresh
+  /// (unclocked) register instead of minting a pad output. A pad reaches
+  /// the chip edge, so a minted output anywhere but the edge-owning block
+  /// would span every band in between and glue their shards together.
+  bool orphans_to_registers = false;
+  std::int32_t sink_count = 0;
 
   std::vector<std::vector<Slot>> slots_by_level;
   std::vector<std::vector<NetId>> nets_by_level;
@@ -164,13 +174,13 @@ void build_logic(Builder& b) {
   // Registers: Q nets are level-0 producers, D pins are top-level slots.
   std::vector<CellId> regs;
   for (std::int32_t i = 0; i < n_ff; ++i) {
-    const CellId cell = nl.add_cell("ff" + std::to_string(i), b.types.dff);
+    const CellId cell = nl.add_cell(b.prefix + "ff" + std::to_string(i), b.types.dff);
     // Registers wrap the pipeline: spread them across the level range.
     b.note_level(cell, static_cast<double>(i % spec.levels));
     b.note_col(cell, b.rng.uniform01());
     regs.push_back(cell);
     const CellType& type = lib.type(b.types.dff);
-    const NetId q = nl.add_net("q" + std::to_string(i));
+    const NetId q = nl.add_net(b.prefix + "q" + std::to_string(i));
     (void)nl.connect(q, cell, type.find_pin("Q"));
     b.note_net_col(q, b.col_of_cell(cell));
     b.nets_by_level[0].push_back(q);
@@ -179,8 +189,8 @@ void build_logic(Builder& b) {
 
   // Primary inputs.
   for (std::int32_t i = 0; i < spec.primary_inputs; ++i) {
-    const NetId net = nl.add_net("pi" + std::to_string(i));
-    (void)nl.add_pad_input("PI" + std::to_string(i), net, 100.0, 220.0);
+    const NetId net = nl.add_net(b.prefix + "pi" + std::to_string(i));
+    (void)nl.add_pad_input(b.prefix + "PI" + std::to_string(i), net, 100.0, 220.0);
     b.note_net_col(net, (static_cast<double>(i) + 0.5) /
                             static_cast<double>(spec.primary_inputs));
     b.nets_by_level[0].push_back(net);
@@ -201,11 +211,11 @@ void build_logic(Builder& b) {
     const std::int32_t level =
         1 + std::min(b.rng.uniform_i32(0, spec.levels - 2),
                      b.rng.uniform_i32(0, spec.levels - 2));
-    const CellId cell = nl.add_cell("g" + std::to_string(i), type_id);
+    const CellId cell = nl.add_cell(b.prefix + "g" + std::to_string(i), type_id);
     b.note_level(cell, static_cast<double>(level));
     b.note_col(cell, b.rng.uniform01());
     const CellType& type = lib.type(type_id);
-    const NetId out = nl.add_net("n" + std::to_string(i));
+    const NetId out = nl.add_net(b.prefix + "n" + std::to_string(i));
     b.note_net_col(out, b.col_of_cell(cell));
     for (PinId p{0}; p.value() < type.pin_count(); p = PinId{p.value() + 1}) {
       if (type.pin(p).dir == PinDir::kOutput) {
@@ -223,12 +233,12 @@ void build_logic(Builder& b) {
   // nets keep exactly their receiver sinks (homogeneity).
   for (std::int32_t i = 0; i < spec.diff_pairs; ++i) {
     const std::int32_t level = b.rng.uniform_i32(1, std::max(1, spec.levels - 3));
-    const CellId drv = nl.add_cell("ddrv" + std::to_string(i), b.types.ddrv);
+    const CellId drv = nl.add_cell(b.prefix + "ddrv" + std::to_string(i), b.types.ddrv);
     b.note_level(drv, static_cast<double>(level));
     b.note_col(drv, b.rng.uniform01());
     const CellType& drv_type = lib.type(b.types.ddrv);
-    const NetId nt = nl.add_net("dt" + std::to_string(i));
-    const NetId nc = nl.add_net("dc" + std::to_string(i));
+    const NetId nt = nl.add_net(b.prefix + "dt" + std::to_string(i));
+    const NetId nc = nl.add_net(b.prefix + "dc" + std::to_string(i));
     (void)nl.connect(nt, drv, drv_type.find_pin("OT"));
     (void)nl.connect(nc, drv, drv_type.find_pin("OC"));
     b.add_slot(level, drv, drv_type.find_pin("I"));
@@ -236,13 +246,13 @@ void build_logic(Builder& b) {
     const CellType& rcv_type = lib.type(b.types.drcv);
     for (std::int32_t r = 0; r < receivers; ++r) {
       const CellId rcv = nl.add_cell(
-          "drcv" + std::to_string(i) + "_" + std::to_string(r), b.types.drcv);
+          b.prefix + "drcv" + std::to_string(i) + "_" + std::to_string(r), b.types.drcv);
       b.note_level(rcv, static_cast<double>(level + 1));
       b.note_col(rcv, std::clamp(b.col_of_cell(drv) + b.rng.uniform_real(-0.08, 0.08), 0.0, 1.0));
       (void)nl.connect(nt, rcv, rcv_type.find_pin("IT"));
       (void)nl.connect(nc, rcv, rcv_type.find_pin("IC"));
       const NetId out =
-          nl.add_net("dr" + std::to_string(i) + "_" + std::to_string(r));
+          nl.add_net(b.prefix + "dr" + std::to_string(i) + "_" + std::to_string(r));
       (void)nl.connect(out, rcv, rcv_type.find_pin("O"));
       const std::int32_t out_level = std::min(level + 1, spec.levels - 1);
       b.nets_by_level[static_cast<std::size_t>(out_level)].push_back(out);
@@ -254,17 +264,17 @@ void build_logic(Builder& b) {
   // per buffer driving its register partition (§4.2). With zero buffers the
   // design is unclocked — building ck_root anyway would leave it sinkless.
   const NetId ck_root =
-      spec.clock_buffers > 0 ? nl.add_net("ck_root") : NetId::invalid();
+      spec.clock_buffers > 0 ? nl.add_net(b.prefix + "ck_root") : NetId::invalid();
   if (spec.clock_buffers > 0) {
-    (void)nl.add_pad_input("CK", ck_root, 60.0, 140.0);
+    (void)nl.add_pad_input(b.prefix + "CK", ck_root, 60.0, 140.0);
   }
   const CellType& ckbuf_type = lib.type(b.types.ckbuf);
   const CellType& ff_type = lib.type(b.types.dff);
   for (std::int32_t i = 0; i < spec.clock_buffers; ++i) {
-    const CellId buf = nl.add_cell("ckbuf" + std::to_string(i), b.types.ckbuf);
+    const CellId buf = nl.add_cell(b.prefix + "ckbuf" + std::to_string(i), b.types.ckbuf);
     b.note_level(buf, static_cast<double>(spec.levels) / 2.0);
     (void)nl.connect(ck_root, buf, ckbuf_type.find_pin("I"));
-    const NetId ck = nl.add_net("ck" + std::to_string(i), spec.clock_pitch);
+    const NetId ck = nl.add_net(b.prefix + "ck" + std::to_string(i), spec.clock_pitch);
     (void)nl.connect(ck, buf, ckbuf_type.find_pin("O"));
     for (std::size_t r = static_cast<std::size_t>(i); r < regs.size();
          r += static_cast<std::size_t>(spec.clock_buffers)) {
@@ -280,8 +290,30 @@ void build_logic(Builder& b) {
       const Slot slot = b.take_slot_above(l, b.col_of_net(net));
       if (slot.cell.valid()) {
         (void)nl.connect(net, slot.cell, slot.pin);
+      } else if (b.orphans_to_registers) {
+        const CellId cell = nl.add_cell(
+            b.prefix + "sink" + std::to_string(b.sink_count), b.types.dff);
+        b.note_level(cell, static_cast<double>(spec.levels));
+        b.note_col(cell, b.col_of_net(net));
+        const CellType& type = lib.type(b.types.dff);
+        (void)nl.connect(net, cell, type.find_pin("D"));
+        const NetId q =
+            nl.add_net(b.prefix + "sq" + std::to_string(b.sink_count));
+        ++b.sink_count;
+        b.note_net_col(q, b.col_of_net(net));
+        (void)nl.connect(q, cell, type.find_pin("Q"));
+        // The register's Q restarts at level 0, so any remaining slot can
+        // absorb it; with the whole block exhausted, fall back to a pad.
+        const Slot qs = b.take_slot_above(0, b.col_of_net(net));
+        if (qs.cell.valid()) {
+          (void)nl.connect(q, qs.cell, qs.pin);
+        } else {
+          (void)nl.add_pad_output(
+              b.prefix + "PO" + std::to_string(b.po_count), q, 0.05);
+          ++b.po_count;
+        }
       } else {
-        (void)nl.add_pad_output("PO" + std::to_string(b.po_count), net, 0.05);
+        (void)nl.add_pad_output(b.prefix + "PO" + std::to_string(b.po_count), net, 0.05);
         ++b.po_count;
       }
     }
@@ -290,7 +322,7 @@ void build_logic(Builder& b) {
   while (b.po_count < spec.primary_outputs && !b.high_nets.empty()) {
     const NetId net = b.high_nets[static_cast<std::size_t>(b.rng.uniform(
         0, static_cast<std::int64_t>(b.high_nets.size()) - 1))];
-    (void)nl.add_pad_output("PO" + std::to_string(b.po_count), net, 0.05);
+    (void)nl.add_pad_output(b.prefix + "PO" + std::to_string(b.po_count), net, 0.05);
     ++b.po_count;
   }
 
@@ -302,6 +334,32 @@ void build_logic(Builder& b) {
     }
     b.slots_by_level[static_cast<std::size_t>(l)].clear();
   }
+}
+
+/// Pad windows: PIs (and the clock pad) on top, POs on bottom, spread
+/// across the edge with generous overlap.
+void spread_pads(const Netlist& nl, Placement& placement, std::int32_t width) {
+  std::vector<TerminalId> top_pads;
+  std::vector<TerminalId> bottom_pads;
+  for (const TerminalId t : nl.terminals()) {
+    const Terminal& term = nl.terminal(t);
+    if (term.kind == TerminalKind::kPadIn) top_pads.push_back(t);
+    if (term.kind == TerminalKind::kPadOut) bottom_pads.push_back(t);
+  }
+  auto spread = [&](const std::vector<TerminalId>& pads, bool top) {
+    const auto n = static_cast<std::int32_t>(pads.size());
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::int32_t center =
+          static_cast<std::int32_t>((static_cast<std::int64_t>(i) * 2 + 1) *
+                                    width / (2 * std::max(n, 1)));
+      const std::int32_t half = std::max(width / 6, 8);
+      placement.place_pad(pads[static_cast<std::size_t>(i)], top,
+                          IntInterval{std::max(0, center - half),
+                                      std::min(width - 1, center + half)});
+    }
+  };
+  spread(top_pads, /*top=*/true);
+  spread(bottom_pads, /*top=*/false);
 }
 
 /// Packs each row left to right, sprinkling FEED cells and gaps (the
@@ -349,29 +407,124 @@ Placement build_placement(Netlist& nl, const CircuitSpec& spec,
     }
   }
 
-  // Pad windows: PIs (and the clock pad) on top, POs on bottom, spread
-  // across the edge with generous overlap.
-  std::vector<TerminalId> top_pads;
-  std::vector<TerminalId> bottom_pads;
+  spread_pads(nl, placement, width);
+  return placement;
+}
+
+/// Rank-partitions one block's cells into `rows` equal-width rows straight
+/// from the level/column hints — the placer's partitioning scheme applied
+/// per block. The global force placer would migrate cells across block
+/// boundaries, gluing the blocks' channel footprints together, which is
+/// exactly what the blocked presets exist to avoid.
+std::vector<std::vector<CellId>> block_rank_rows(
+    const Netlist& nl, const std::vector<CellId>& cells, std::int32_t rows,
+    const std::vector<double>& cell_level,
+    const std::vector<double>& cell_col) {
+  struct Ranked {
+    CellId cell;
+    double level;
+    double col;
+  };
+  auto level_of = [&](CellId c) {
+    return c.index() < cell_level.size() ? cell_level[c.index()] : 0.0;
+  };
+  auto col_of = [&](CellId c) {
+    return c.index() < cell_col.size() ? cell_col[c.index()] : 0.5;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(cells.size());
+  double total = 0.0;
+  for (const CellId c : cells) {
+    ranked.push_back(Ranked{c, level_of(c), col_of(c)});
+    total += nl.cell_type(c).width();
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.level != b.level) return a.level < b.level;
+              if (a.col != b.col) return a.col < b.col;
+              return a.cell.index() < b.cell.index();
+            });
+  std::vector<std::vector<CellId>> out(static_cast<std::size_t>(rows));
+  double acc = 0.0;
+  std::size_t row = 0;
+  for (const Ranked& r : ranked) {
+    while (row + 1 < out.size() &&
+           acc >= total * static_cast<double>(row + 1) /
+                      static_cast<double>(rows)) {
+      ++row;
+    }
+    out[row].push_back(r.cell);
+    acc += nl.cell_type(r.cell).width();
+  }
+  for (auto& r : out) {
+    std::sort(r.begin(), r.end(), [&](CellId a, CellId b) {
+      if (col_of(a) != col_of(b)) return col_of(a) < col_of(b);
+      return a.index() < b.index();
+    });
+  }
+  return out;
+}
+
+/// Packs B blocks into vertical bands of `spec.rows` rows each, separated
+/// by one empty row, so consecutive blocks share no channel. The chip
+/// width is the pad-aware floor re-derived for the scale presets: each
+/// band must fit its own block (per-band packing need — dividing the
+/// *global* cell area by the *per-band* row count, as the single-block
+/// formula effectively did, would overflow every band), and every pad
+/// still needs its own edge column, where at 100k/1M scale the coverage
+/// pass can mint more pad outputs than any one band is wide — hence the
+/// floor takes the global pad counts, not the band need.
+Placement build_blocked_placement(
+    Netlist& nl, const CircuitSpec& spec,
+    const std::vector<std::vector<CellId>>& block_cells,
+    const std::vector<double>& cell_level, const std::vector<double>& cell_col,
+    Rng& rng, TypeIds types) {
+  const auto blocks = static_cast<std::int32_t>(block_cells.size());
+  const std::int32_t total_rows = blocks * spec.rows + (blocks - 1);
+  std::int32_t top_pad_count = 0;
+  std::int32_t bottom_pad_count = 0;
   for (const TerminalId t : nl.terminals()) {
     const Terminal& term = nl.terminal(t);
-    if (term.kind == TerminalKind::kPadIn) top_pads.push_back(t);
-    if (term.kind == TerminalKind::kPadOut) bottom_pads.push_back(t);
+    if (term.kind == TerminalKind::kPadIn) ++top_pad_count;
+    if (term.kind == TerminalKind::kPadOut) ++bottom_pad_count;
   }
-  auto spread = [&](const std::vector<TerminalId>& pads, bool top) {
-    const auto n = static_cast<std::int32_t>(pads.size());
-    for (std::int32_t i = 0; i < n; ++i) {
-      const std::int32_t center =
-          static_cast<std::int32_t>((static_cast<std::int64_t>(i) * 2 + 1) *
-                                    width / (2 * std::max(n, 1)));
-      const std::int32_t half = std::max(width / 6, 8);
-      placement.place_pad(pads[static_cast<std::size_t>(i)], top,
-                          IntInterval{std::max(0, center - half),
-                                      std::min(width - 1, center + half)});
+  std::int32_t width = std::max(top_pad_count, bottom_pad_count);
+  for (const auto& cells : block_cells) {
+    double total = 0.0;
+    for (const CellId c : cells) total += nl.cell_type(c).width();
+    const double feeds = total / std::max(1, spec.feed_every);
+    const double gaps = total * spec.gap_fraction;
+    width = std::max(width, static_cast<std::int32_t>(
+                                (total + feeds + gaps) / spec.rows + 12.0));
+  }
+
+  Placement placement(total_rows, width);
+  std::int32_t feed_seq = 0;
+  for (std::int32_t blk = 0; blk < blocks; ++blk) {
+    const auto rows = block_rank_rows(nl, block_cells[static_cast<std::size_t>(blk)],
+                                      spec.rows, cell_level, cell_col);
+    const std::int32_t base = blk * (spec.rows + 1);
+    for (std::int32_t row = 0; row < spec.rows; ++row) {
+      std::int32_t x = 0;
+      std::int32_t feed_counter = 0;
+      for (const CellId c : rows[static_cast<std::size_t>(row)]) {
+        const std::int32_t w = nl.cell_type(c).width();
+        if (feed_counter >= spec.feed_every && x + 1 + w <= width) {
+          const CellId feed =
+              nl.add_cell("pfeed" + std::to_string(feed_seq++), types.feed);
+          placement.place(nl, feed, RowId{base + row}, x);
+          ++x;
+          feed_counter = 0;
+        }
+        if (rng.bernoulli(spec.gap_fraction) && x + 1 + w <= width) ++x;
+        BGR_CHECK_MSG(x + w <= width, "placement overflow: widen rows");
+        placement.place(nl, c, RowId{base + row}, x);
+        x += w;
+        feed_counter += w;
+      }
     }
-  };
-  spread(top_pads, /*top=*/true);
-  spread(bottom_pads, /*top=*/false);
+  }
+  spread_pads(nl, placement, width);
   return placement;
 }
 
@@ -448,15 +601,76 @@ std::vector<PathConstraint> derive_constraints(const Netlist& nl,
   return constraints;
 }
 
-}  // namespace
-
-Dataset generate_circuit(const CircuitSpec& spec) {
+/// Blocked build: B independent logic cones filled into one netlist with
+/// name prefixes b0_, b1_, ..., then band-packed by
+/// build_blocked_placement. One shared Rng keeps the whole dataset a
+/// deterministic function of spec.seed.
+Dataset generate_blocked_circuit(const CircuitSpec& spec) {
   Library lib = Library::make_ecl_default();
   const TypeIds types = lookup_types(lib);
   Rng rng(spec.seed);
   Netlist nl(std::move(lib));
 
-  Builder builder{spec, nl, rng, types, {}, {}, {}, 0, {}, {}, {}};
+  const std::int32_t blocks = spec.blocks;
+  std::vector<std::vector<CellId>> block_cells(
+      static_cast<std::size_t>(blocks));
+  std::vector<double> cell_level;
+  std::vector<double> cell_col;
+  for (std::int32_t blk = 0; blk < blocks; ++blk) {
+    CircuitSpec bs = spec;
+    bs.blocks = 1;
+    bs.target_cells = std::max(spec.target_cells / blocks, 24);
+    bs.diff_pairs =
+        spec.diff_pairs / blocks + (blk < spec.diff_pairs % blocks ? 1 : 0);
+    // Chip edges belong to the end blocks: input pads (and the clock pad)
+    // sit on the top edge — channel row_count, adjacent to the *last*
+    // band — and output pads on the bottom edge next to block 0. Middle
+    // blocks get neither, which is what keeps their channel sets closed.
+    bs.primary_inputs = blk == blocks - 1 ? spec.primary_inputs : 0;
+    bs.primary_outputs = blk == 0 ? spec.primary_outputs : 0;
+    bs.clock_buffers = blk == blocks - 1 ? spec.clock_buffers : 0;
+
+    const auto first_cell = static_cast<std::size_t>(nl.cell_count());
+    Builder builder{bs, nl, rng, types};
+    builder.prefix = "b" + std::to_string(blk) + "_";
+    builder.orphans_to_registers = blk != 0;
+    build_logic(builder);
+
+    const auto cell_count = static_cast<std::size_t>(nl.cell_count());
+    cell_level.resize(cell_count, 0.0);
+    cell_col.resize(cell_count, 0.5);
+    for (std::size_t c = first_cell; c < cell_count; ++c) {
+      if (c < builder.cell_level.size()) cell_level[c] = builder.cell_level[c];
+      if (c < builder.cell_col.size()) cell_col[c] = builder.cell_col[c];
+      block_cells[static_cast<std::size_t>(blk)].push_back(
+          CellId{static_cast<std::int32_t>(c)});
+    }
+  }
+  nl.validate();
+
+  Placement placement = build_blocked_placement(nl, spec, block_cells,
+                                                cell_level, cell_col, rng,
+                                                types);
+  placement.validate(nl);
+
+  TechParams tech;
+  tech.channel_depth_est_um = spec.channel_depth_est_um;
+  auto constraints = derive_constraints(nl, placement, tech, spec, rng);
+
+  return Dataset{spec.name, spec, std::move(nl), std::move(placement),
+                 std::move(constraints), tech};
+}
+
+}  // namespace
+
+Dataset generate_circuit(const CircuitSpec& spec) {
+  if (spec.blocks > 1) return generate_blocked_circuit(spec);
+  Library lib = Library::make_ecl_default();
+  const TypeIds types = lookup_types(lib);
+  Rng rng(spec.seed);
+  Netlist nl(std::move(lib));
+
+  Builder builder{spec, nl, rng, types};
   build_logic(builder);
   nl.validate();
 
@@ -525,7 +739,58 @@ CircuitSpec c3_spec() {
   return spec;
 }
 
+CircuitSpec scale_10k_spec() {
+  CircuitSpec spec;
+  spec.name = "10k";
+  spec.seed = 9410;
+  spec.blocks = 32;
+  spec.rows = 4;
+  spec.target_cells = 10000;
+  spec.levels = 6;
+  spec.primary_inputs = 24;
+  spec.primary_outputs = 24;
+  spec.diff_pairs = 32;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 40;
+  return spec;
+}
+
+CircuitSpec scale_100k_spec() {
+  CircuitSpec spec;
+  spec.name = "100k";
+  spec.seed = 9420;
+  spec.blocks = 320;
+  spec.rows = 4;
+  spec.target_cells = 100000;
+  spec.levels = 6;
+  spec.primary_inputs = 32;
+  spec.primary_outputs = 32;
+  spec.diff_pairs = 160;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 60;
+  return spec;
+}
+
+CircuitSpec scale_1m_spec() {
+  CircuitSpec spec;
+  spec.name = "1M";
+  spec.seed = 9430;
+  spec.blocks = 2500;
+  spec.rows = 4;
+  spec.target_cells = 1000000;
+  spec.levels = 6;
+  spec.primary_inputs = 32;
+  spec.primary_outputs = 32;
+  spec.diff_pairs = 500;
+  spec.clock_buffers = 2;
+  spec.path_constraints = 60;
+  return spec;
+}
+
 Dataset make_dataset(const std::string& name) {
+  if (name == "10k") return generate_circuit(scale_10k_spec());
+  if (name == "100k") return generate_circuit(scale_100k_spec());
+  if (name == "1M") return generate_circuit(scale_1m_spec());
   BGR_CHECK_MSG(name.size() == 4 && name[0] == 'C' && name[2] == 'P',
                 "dataset name must look like C1P1");
   CircuitSpec spec;
@@ -555,5 +820,7 @@ Dataset make_dataset(const std::string& name) {
 std::vector<std::string> dataset_names() {
   return {"C1P1", "C1P2", "C2P1", "C2P2", "C3P1"};
 }
+
+std::vector<std::string> scale_dataset_names() { return {"10k", "100k", "1M"}; }
 
 }  // namespace bgr

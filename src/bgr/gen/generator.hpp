@@ -18,6 +18,18 @@ struct CircuitSpec {
   std::uint64_t seed = 1;
   std::int32_t rows = 10;
   std::int32_t target_cells = 600;  // logic cells (registers included)
+  /// Closed sub-circuits stacked vertically (scale presets). With B > 1
+  /// blocks the circuit is built as B independent logic cones, each `rows`
+  /// rows tall, separated by one empty row; `target_cells` and
+  /// `diff_pairs` are totals shared across the blocks. Pads reach the
+  /// chip edges (inputs the top channel, outputs channel 0), so only the
+  /// last block — adjacent to the top edge — receives the primary inputs
+  /// and the clock tree, and only block 0 the primary outputs; every
+  /// other cone that runs out of sinks parks on a fresh register instead
+  /// of minting an edge-spanning pad. Middle blocks therefore touch no
+  /// chip edge and the blocks' channel footprints stay disjoint — the
+  /// structure the sharded deletion loop exploits.
+  std::int32_t blocks = 1;
   std::int32_t levels = 10;         // combinational depth
   std::int32_t register_percent = 12;
   std::int32_t primary_inputs = 16;
@@ -61,11 +73,22 @@ struct Dataset {
 [[nodiscard]] CircuitSpec c2_spec();
 [[nodiscard]] CircuitSpec c3_spec();
 
-/// Builds a named dataset: "C1P1", "C1P2", "C2P1", "C2P2" or "C3P1". The
-/// P2 variants sweep the feed cells to the row ends (§5).
+/// Block-structured scale presets (DESIGN.md §13): ~10k / ~100k / ~1M
+/// logic cells split into closed blocks, for the sharded-deletion bench
+/// and the scale property tests.
+[[nodiscard]] CircuitSpec scale_10k_spec();
+[[nodiscard]] CircuitSpec scale_100k_spec();
+[[nodiscard]] CircuitSpec scale_1m_spec();
+
+/// Builds a named dataset: "C1P1", "C1P2", "C2P1", "C2P2" or "C3P1" (the
+/// P2 variants sweep the feed cells to the row ends, §5), or a scale
+/// preset "10k", "100k" or "1M".
 [[nodiscard]] Dataset make_dataset(const std::string& name);
 
 /// All five dataset names of Table 1/2, in paper order.
 [[nodiscard]] std::vector<std::string> dataset_names();
+
+/// The scale preset names, smallest first.
+[[nodiscard]] std::vector<std::string> scale_dataset_names();
 
 }  // namespace bgr

@@ -40,9 +40,7 @@ void group_by_level(const std::vector<std::int32_t>& level_of,
 
 std::int32_t Dag::add_vertex() {
   BGR_CHECK(!frozen_);
-  out_.emplace_back();
-  in_.emplace_back();
-  return static_cast<std::int32_t>(out_.size()) - 1;
+  return vertex_count_++;
 }
 
 std::int32_t Dag::add_edge(std::int32_t from, std::int32_t to, double weight,
@@ -53,14 +51,30 @@ std::int32_t Dag::add_edge(std::int32_t from, std::int32_t to, double weight,
   BGR_CHECK(from != to);
   const auto id = static_cast<std::int32_t>(edges_.size());
   edges_.push_back(Edge{from, to, weight, label});
-  out_[static_cast<std::size_t>(from)].push_back(id);
-  in_[static_cast<std::size_t>(to)].push_back(id);
   return id;
+}
+
+template <typename KeyFn>
+void Dag::build_csr(std::vector<std::int32_t>& offsets,
+                    std::vector<std::int32_t>& list, KeyFn&& key) const {
+  const auto n = static_cast<std::size_t>(vertex_count_);
+  offsets.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++offsets[static_cast<std::size_t>(key(e)) + 1];
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  list.resize(edges_.size());
+  std::vector<std::int32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto v = static_cast<std::size_t>(key(edges_[e]));
+    list[static_cast<std::size_t>(cursor[v]++)] = static_cast<std::int32_t>(e);
+  }
 }
 
 void Dag::freeze() {
   BGR_CHECK(!frozen_);
-  const auto n = static_cast<std::size_t>(vertex_count());
+  const auto n = static_cast<std::size_t>(vertex_count_);
+  build_csr(out_offsets_, out_list_, [](const Edge& e) { return e.from; });
+  build_csr(in_offsets_, in_list_, [](const Edge& e) { return e.to; });
+
   std::vector<std::int32_t> indegree(n, 0);
   for (const Edge& e : edges_) ++indegree[static_cast<std::size_t>(e.to)];
   std::vector<std::int32_t> queue;
@@ -73,19 +87,23 @@ void Dag::freeze() {
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const auto v = queue[head];
     topo_.push_back(v);
-    for (auto e : out_[static_cast<std::size_t>(v)]) {
+    const auto lo = out_offsets_[static_cast<std::size_t>(v)];
+    const auto hi = out_offsets_[static_cast<std::size_t>(v) + 1];
+    for (std::int32_t k = lo; k < hi; ++k) {
+      const auto e = out_list_[static_cast<std::size_t>(k)];
       const auto w = edges_[static_cast<std::size_t>(e)].to;
       if (--indegree[static_cast<std::size_t>(w)] == 0) queue.push_back(w);
     }
   }
   BGR_CHECK_MSG(topo_.size() == n, "timing graph contains a cycle");
+  frozen_ = true;  // adjacency views below are now valid
 
   // Forward and reverse topological levels for the levelized (parallel)
   // sweeps: every edge goes from a strictly lower to a higher forward
   // level, and from a higher to a strictly lower reverse level.
   level_of_.assign(n, 0);
   for (const auto v : topo_) {
-    for (const auto e : in_[static_cast<std::size_t>(v)]) {
+    for (const auto e : in_edges(v)) {
       const auto u = edges_[static_cast<std::size_t>(e)].from;
       level_of_[static_cast<std::size_t>(v)] =
           std::max(level_of_[static_cast<std::size_t>(v)],
@@ -95,7 +113,7 @@ void Dag::freeze() {
   rlevel_of_.assign(n, 0);
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const auto v = *it;
-    for (const auto e : out_[static_cast<std::size_t>(v)]) {
+    for (const auto e : out_edges(v)) {
       const auto w = edges_[static_cast<std::size_t>(e)].to;
       rlevel_of_[static_cast<std::size_t>(v)] =
           std::max(rlevel_of_[static_cast<std::size_t>(v)],
@@ -109,7 +127,6 @@ void Dag::freeze() {
     level_offsets_.assign(1, 0);
     rlevel_offsets_.assign(1, 0);
   }
-  frozen_ = true;
 }
 
 std::vector<double> Dag::longest_from(const std::vector<std::int32_t>& sources,
@@ -133,7 +150,7 @@ std::vector<double> Dag::longest_from(const std::vector<std::int32_t>& sources,
       const auto v = level_vertices_[static_cast<std::size_t>(i)];
       if (!in_subset(v)) return;
       double best = is_source[static_cast<std::size_t>(v)] ? 0.0 : kMinusInf;
-      for (const auto e : in_[static_cast<std::size_t>(v)]) {
+      for (const auto e : in_edges(v)) {
         const Edge& ed = edges_[static_cast<std::size_t>(e)];
         if (!in_subset(ed.from)) continue;
         best = std::max(best, lp[static_cast<std::size_t>(ed.from)] + ed.weight);
@@ -156,7 +173,7 @@ std::vector<double> Dag::longest_from(const std::vector<std::int32_t>& sources,
   }
   for (auto v : topo_) {
     if (lp[static_cast<std::size_t>(v)] == kMinusInf || !in_subset(v)) continue;
-    for (auto e : out_[static_cast<std::size_t>(v)]) {
+    for (auto e : out_edges(v)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       if (!in_subset(ed.to)) continue;
       lp[static_cast<std::size_t>(ed.to)] =
@@ -185,7 +202,7 @@ std::vector<double> Dag::longest_to(const std::vector<std::int32_t>& sinks,
       const auto v = rlevel_vertices_[static_cast<std::size_t>(i)];
       if (!in_subset(v)) return;
       double best = is_sink[static_cast<std::size_t>(v)] ? 0.0 : kMinusInf;
-      for (const auto e : out_[static_cast<std::size_t>(v)]) {
+      for (const auto e : out_edges(v)) {
         const Edge& ed = edges_[static_cast<std::size_t>(e)];
         if (!in_subset(ed.to)) continue;
         best = std::max(best, ls[static_cast<std::size_t>(ed.to)] + ed.weight);
@@ -211,7 +228,7 @@ std::vector<double> Dag::longest_to(const std::vector<std::int32_t>& sinks,
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const auto v = *it;
     if (ls[static_cast<std::size_t>(v)] == kMinusInf || !in_subset(v)) continue;
-    for (auto e : in_[static_cast<std::size_t>(v)]) {
+    for (auto e : in_edges(v)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       if (!in_subset(ed.from)) continue;
       ls[static_cast<std::size_t>(ed.from)] =
@@ -224,6 +241,7 @@ std::vector<double> Dag::longest_to(const std::vector<std::int32_t>& sinks,
 
 std::vector<bool> Dag::reachable_from(const std::vector<std::int32_t>& sources,
                                       bool forward) const {
+  BGR_CHECK(frozen_);
   const auto n = static_cast<std::size_t>(vertex_count());
   std::vector<bool> seen(n, false);
   std::vector<std::int32_t> stack;
@@ -236,9 +254,7 @@ std::vector<bool> Dag::reachable_from(const std::vector<std::int32_t>& sources,
   while (!stack.empty()) {
     const auto v = stack.back();
     stack.pop_back();
-    const auto& edges = forward ? out_[static_cast<std::size_t>(v)]
-                                : in_[static_cast<std::size_t>(v)];
-    for (auto e : edges) {
+    for (auto e : forward ? out_edges(v) : in_edges(v)) {
       const Edge& ed = edges_[static_cast<std::size_t>(e)];
       const auto w = forward ? ed.to : ed.from;
       if (!seen[static_cast<std::size_t>(w)]) {

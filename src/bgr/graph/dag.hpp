@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "bgr/common/check.hpp"
@@ -13,6 +14,11 @@ namespace bgr {
 /// delay graph G_D and the per-constraint subgraphs G_d(P). Structure is
 /// fixed after freeze(); weights change every time a net's estimated wire
 /// capacitance changes.
+///
+/// Adjacency is stored in CSR (offset + flat index array) form, built once
+/// in freeze(): the longest-path sweeps and dirty-cone propagations walk
+/// in/out edges for every relaxed vertex, and at the 100k/1M-cell presets
+/// the vector-of-vectors layout's pointer chase dominated the sweep.
 class Dag {
  public:
   static constexpr double kMinusInf = -std::numeric_limits<double>::infinity();
@@ -30,14 +36,13 @@ class Dag {
                                       double weight,
                                       std::int32_t label = kNoLabel);
 
-  /// Validates acyclicity and computes the topological order. Must be
-  /// called once after construction, before any longest-path query.
+  /// Validates acyclicity, builds the CSR adjacency and computes the
+  /// topological order. Must be called once after construction, before any
+  /// adjacency or longest-path query.
   void freeze();
   [[nodiscard]] bool frozen() const { return frozen_; }
 
-  [[nodiscard]] std::int32_t vertex_count() const {
-    return static_cast<std::int32_t>(out_.size());
-  }
+  [[nodiscard]] std::int32_t vertex_count() const { return vertex_count_; }
   [[nodiscard]] std::int32_t edge_count() const {
     return static_cast<std::int32_t>(edges_.size());
   }
@@ -47,11 +52,13 @@ class Dag {
   void set_edge_weight(std::int32_t e, double w) {
     edges_[static_cast<std::size_t>(e)].weight = w;
   }
-  [[nodiscard]] const std::vector<std::int32_t>& out_edges(std::int32_t v) const {
-    return out_[static_cast<std::size_t>(v)];
+  /// Edge ids leaving/entering v in insertion order. CSR views, valid
+  /// after freeze().
+  [[nodiscard]] std::span<const std::int32_t> out_edges(std::int32_t v) const {
+    return adjacency(out_offsets_, out_list_, v);
   }
-  [[nodiscard]] const std::vector<std::int32_t>& in_edges(std::int32_t v) const {
-    return in_[static_cast<std::size_t>(v)];
+  [[nodiscard]] std::span<const std::int32_t> in_edges(std::int32_t v) const {
+    return adjacency(in_offsets_, in_list_, v);
   }
   [[nodiscard]] const std::vector<std::int32_t>& topo_order() const {
     BGR_CHECK(frozen_);
@@ -94,12 +101,30 @@ class Dag {
       const std::vector<std::int32_t>& sinks) const;
 
  private:
+  [[nodiscard]] std::span<const std::int32_t> adjacency(
+      const std::vector<std::int32_t>& offsets,
+      const std::vector<std::int32_t>& list, std::int32_t v) const {
+    BGR_CHECK(frozen_);
+    const auto lo = offsets[static_cast<std::size_t>(v)];
+    const auto hi = offsets[static_cast<std::size_t>(v) + 1];
+    return {list.data() + lo, static_cast<std::size_t>(hi - lo)};
+  }
+
+  /// Counting sort of edge ids by key(edge), insertion order preserved
+  /// within a vertex (same order the old per-vertex push_back produced).
+  template <typename KeyFn>
+  void build_csr(std::vector<std::int32_t>& offsets,
+                 std::vector<std::int32_t>& list, KeyFn&& key) const;
+
   [[nodiscard]] std::vector<bool> reachable_from(
       const std::vector<std::int32_t>& sources, bool forward) const;
 
-  std::vector<std::vector<std::int32_t>> out_;
-  std::vector<std::vector<std::int32_t>> in_;
+  std::int32_t vertex_count_ = 0;
   std::vector<Edge> edges_;
+  std::vector<std::int32_t> out_offsets_;
+  std::vector<std::int32_t> out_list_;
+  std::vector<std::int32_t> in_offsets_;
+  std::vector<std::int32_t> in_list_;
   std::vector<std::int32_t> topo_;
   /// Forward levels: level_vertices_[level_offsets_[l] .. level_offsets_[l+1])
   /// lists the vertices of level l in ascending id order; mirrored for the

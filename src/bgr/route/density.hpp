@@ -32,13 +32,21 @@ struct EdgeDensityParams {
 /// edges — the unrecoverable lower bound) for every channel. Channel
 /// aggregates are cached and recomputed lazily; a per-channel version
 /// counter lets the edge-selection cache detect staleness.
+///
+/// Storage is two flat channels×width arenas plus parallel per-channel
+/// vectors (SoA): the charts are the hottest arrays in the deletion loop,
+/// and one contiguous block keeps the span scans prefetch-friendly at the
+/// 100k/1M-cell presets. All per-channel state (chart rows, params slot,
+/// dirty byte, version) occupies disjoint memory per channel, so callers
+/// touching disjoint channel sets may mutate and read concurrently — the
+/// contract the sharded deletion loop relies on. The dirty flags are
+/// deliberately char, not vector<bool>: distinct bytes are distinct memory
+/// locations, packed bits are not.
 class DensityMap {
  public:
   DensityMap(std::int32_t channels, std::int32_t width);
 
-  [[nodiscard]] std::int32_t channel_count() const {
-    return static_cast<std::int32_t>(channels_.size());
-  }
+  [[nodiscard]] std::int32_t channel_count() const { return channel_count_; }
   [[nodiscard]] std::int32_t width() const { return width_; }
 
   /// Adds/removes a w-pitch trunk edge's contribution to d_M.
@@ -57,35 +65,36 @@ class DensityMap {
   [[nodiscard]] EdgeDensityParams edge_params(std::int32_t channel,
                                               IntInterval span) const;
   [[nodiscard]] std::uint64_t version(std::int32_t channel) const {
-    return channels_[static_cast<std::size_t>(channel)].version;
+    return version_[static_cast<std::size_t>(channel)];
   }
 
   [[nodiscard]] std::int32_t total_at(std::int32_t channel, std::int32_t x) const {
-    return channels_[static_cast<std::size_t>(channel)]
-        .total[static_cast<std::size_t>(x)];
+    return total_[flat(channel, x)];
   }
   [[nodiscard]] std::int32_t bridge_at(std::int32_t channel, std::int32_t x) const {
-    return channels_[static_cast<std::size_t>(channel)]
-        .bridge[static_cast<std::size_t>(x)];
+    return bridge_[flat(channel, x)];
   }
 
   /// Σ_c C_M(c): the track-count proxy minimized by the area phase.
   [[nodiscard]] std::int64_t sum_max_density() const;
 
  private:
-  struct Channel {
-    std::vector<std::int32_t> total;
-    std::vector<std::int32_t> bridge;
-    mutable ChannelDensityParams params;
-    mutable bool dirty = true;
-    std::uint64_t version = 0;
-  };
+  [[nodiscard]] std::size_t flat(std::int32_t channel, std::int32_t x) const {
+    return static_cast<std::size_t>(channel) *
+               static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
 
-  void apply(std::vector<std::int32_t>& chart, Channel& ch, IntInterval span,
-             std::int32_t delta);
+  void apply(std::vector<std::int32_t>& chart, std::int32_t channel,
+             IntInterval span, std::int32_t delta);
 
   std::int32_t width_;
-  std::vector<Channel> channels_;
+  std::int32_t channel_count_;
+  std::vector<std::int32_t> total_;   // channels × width arena
+  std::vector<std::int32_t> bridge_;  // channels × width arena
+  mutable std::vector<ChannelDensityParams> params_;
+  mutable std::vector<char> dirty_;
+  std::vector<std::uint64_t> version_;
 };
 
 }  // namespace bgr

@@ -38,6 +38,18 @@ struct RouteMetrics {
       "layout.widen_pitches", MetricScope::kSemantic);
   Histogram& graph_edges = MetricsRegistry::global().histogram(
       "route.graph_edges", MetricScope::kSemantic);
+  /// Sharded-deletion decomposition (DESIGN.md §13). All semantic: the
+  /// decomposition is a pure function of the net footprints and each
+  /// shard's loop is value-driven, so every count matches at any thread
+  /// count (worker adds commute through the atomic counters).
+  Counter& shard_components = MetricsRegistry::global().counter(
+      "shard.components", MetricScope::kSemantic);
+  Counter& shard_commits = MetricsRegistry::global().counter(
+      "shard.commits", MetricScope::kSemantic);
+  Counter& shard_fallbacks = MetricsRegistry::global().counter(
+      "shard.fallbacks", MetricScope::kSemantic);
+  Histogram& shard_nets = MetricsRegistry::global().histogram(
+      "shard.nets", MetricScope::kSemantic);
 };
 
 RouteMetrics& route_metrics() {
@@ -183,7 +195,8 @@ double GlobalRouter::net_extra_um(NetId net) const {
   return extra_um_.empty() ? 0.0 : extra_um_.at(net);
 }
 
-void GlobalRouter::refresh_net_estimate(NetId net) {
+void GlobalRouter::refresh_net_estimate(NetId net,
+                                        TimingAnalyzer::UpdateSlot* slot) {
   const RoutingGraph& g = *graphs_[net];
   const double cap =
       tech_.wire_cap_pf(g.estimated_length_um() + net_extra_um(net),
@@ -198,7 +211,11 @@ void GlobalRouter::refresh_net_estimate(NetId net) {
     delay_graph_->set_net_cap(net, cap);
   }
   if (timing_active_for(net)) {
-    analyzer_->update_for_net(net);
+    if (slot != nullptr) {
+      analyzer_->update_for_net(net, *slot);
+    } else {
+      analyzer_->update_for_net(net);
+    }
   }
   ++net_version_[net];
 }
@@ -376,19 +393,211 @@ void GlobalRouter::delete_in_graph(NetId net, std::int32_t edge) {
   }
 }
 
-void GlobalRouter::commit_delete(NetId net, std::int32_t edge,
-                                 PhaseStats& stats) {
+void GlobalRouter::apply_delete(NetId net, std::int32_t edge,
+                                TimingAnalyzer::UpdateSlot* slot) {
   delete_in_graph(net, edge);
-  refresh_net_estimate(net);
+  refresh_net_estimate(net, slot);
   const Net& n = netlist_.net(net);
   if (n.is_differential()) {
     // Mirrored deletion on the homogeneous shadow graph (§4.1).
     delete_in_graph(n.diff_partner, edge);
-    refresh_net_estimate(n.diff_partner);
+    refresh_net_estimate(n.diff_partner, slot);
   }
+}
+
+void GlobalRouter::commit_delete(NetId net, std::int32_t edge,
+                                 PhaseStats& stats) {
+  apply_delete(net, edge, /*slot=*/nullptr);
   ++stats.deletions;
   route_metrics().deleted_edges.add(1);
   if (options_.deletion_observer) options_.deletion_observer(net, edge);
+}
+
+bool GlobalRouter::run_sharded_deletion(
+    const std::vector<Candidate>& candidates, PhaseStats& stats) {
+  // Footprints of the nets that still own deletable edges. A net whose
+  // graph is already a tree neither reads nor writes anything in the loop,
+  // so it joins no shard (and cannot glue otherwise-independent components
+  // together).
+  std::vector<ShardNetInfo> infos;
+  IdVector<NetId, std::int32_t> info_of;
+  info_of.assign(static_cast<std::size_t>(netlist_.net_count()), -1);
+  for (const Candidate& c : candidates) {
+    if (info_of[c.net] >= 0) continue;
+    info_of[c.net] = static_cast<std::int32_t>(infos.size());
+    ShardNetInfo info;
+    info.net = c.net;
+    auto add_member = [&](NetId member) {
+      // Channels of *all* alive edges, not just the current candidates:
+      // pruned tails and freshly re-flagged bridges update density on any
+      // of them, and candidate scoring reads the channel-wide aggregates.
+      const RoutingGraph& g = *graphs_[member];
+      for (const auto e : g.alive_edges()) {
+        const RouteEdgeInfo& ei = g.edge_info(e);
+        info.channels.push_back(ei.channel);
+        if (ei.kind == RouteEdgeKind::kFeed) {
+          info.channels.push_back(ei.channel + 1);
+        }
+      }
+      if (options_.use_constraints) {
+        for (const ConstraintId p : analyzer_->constraints_of_net(member)) {
+          info.constraints.push_back(p.index());
+        }
+      }
+    };
+    add_member(c.net);
+    const Net& n = netlist_.net(c.net);
+    if (n.is_differential()) add_member(n.diff_partner);
+    auto uniq = [](std::vector<std::int32_t>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    uniq(info.channels);
+    uniq(info.constraints);
+    infos.push_back(std::move(info));
+  }
+
+  shards_ = compute_shards(std::move(infos), density_->channel_count(),
+                           analyzer_->constraint_count());
+  route_metrics().shard_components.add(shards_.shard_count());
+  for (const auto& members : shards_.shards) {
+    route_metrics().shard_nets.record(
+        static_cast<std::int64_t>(members.size()));
+  }
+  if (shards_.shard_count() <= 1) {
+    // One interaction component: the global scan loop the caller falls
+    // back to *is* that single shard's loop, minus the replay detour.
+    route_metrics().shard_fallbacks.add(1);
+    return false;
+  }
+
+  const auto shard_count = static_cast<std::size_t>(shards_.shard_count());
+  std::vector<std::vector<Candidate>> per_shard(shard_count);
+  for (const Candidate& c : candidates) {
+    per_shard[static_cast<std::size_t>(
+                  shards_.shard_of[static_cast<std::size_t>(info_of[c.net])])]
+        .push_back(c);
+  }
+
+  // One timing slot per exec slot: workers run their STA refreshes through
+  // private scratch and the caller folds the counters back after the join.
+  std::vector<TimingAnalyzer::UpdateSlot> slots;
+  slots.reserve(static_cast<std::size_t>(exec_->thread_count()));
+  for (std::int32_t i = 0; i < exec_->thread_count(); ++i) {
+    slots.emplace_back(*analyzer_);
+  }
+
+  // Each worker runs the exact serial greedy over its shard, recording
+  // every commit with the key it was selected under. Cross-shard state is
+  // disjoint, so that key equals the key the unsharded global loop would
+  // see at the step where it commits the same edge — which is what makes
+  // the replay below a faithful reconstruction of the serial order.
+  struct CommitRec {
+    NetId net;
+    std::int32_t edge;
+    SelectionKey key;  // key at selection == key at global commit time
+  };
+  std::vector<std::vector<CommitRec>> logs(shard_count);
+  parallel_for(
+      *exec_, static_cast<std::int64_t>(shard_count),
+      [&](std::int64_t s) {
+        std::vector<Candidate>& cand = per_shard[static_cast<std::size_t>(s)];
+        std::vector<CommitRec>& log = logs[static_cast<std::size_t>(s)];
+        TimingAnalyzer::UpdateSlot& slot =
+            slots[static_cast<std::size_t>(exec_->current_slot())];
+        std::int64_t scanned = 0;
+        while (true) {
+          // Same compaction scan and (key, net name, edge) tie-break as
+          // the global loop in initial_routing(); no parallel warm-up —
+          // regions never nest.
+          std::size_t write = 0;
+          std::size_t best_index = 0;
+          bool have_best = false;
+          SelectionKey best_key;
+          for (std::size_t i = 0; i < cand.size(); ++i) {
+            const Candidate& c = cand[i];
+            const RoutingGraph& g = *graphs_[c.net];
+            if (!g.graph().edge_alive(c.edge) || g.is_bridge(c.edge)) continue;
+            const SelectionKey& key = cached_key(c.net, c.edge);
+            cand[write] = c;
+            bool take = !have_best || key_less(key, best_key, order_);
+            if (!take && !key_less(best_key, key, order_)) {
+              const Candidate& b = cand[best_index];
+              const std::string& cn = netlist_.net(c.net).name;
+              const std::string& bn = netlist_.net(b.net).name;
+              take = natural_less(cn, bn) || (cn == bn && c.edge < b.edge);
+            }
+            if (take) {
+              best_key = key;
+              best_index = write;
+              have_best = true;
+            }
+            ++write;
+          }
+          cand.resize(write);
+          scanned += static_cast<std::int64_t>(write);
+          if (!have_best) break;
+          const Candidate chosen = cand[best_index];
+          log.push_back(CommitRec{chosen.net, chosen.edge, best_key});
+          apply_delete(chosen.net, chosen.edge, &slot);
+        }
+        shards_.scans[static_cast<std::size_t>(s)] = scanned;
+        shards_.commits[static_cast<std::size_t>(s)] =
+            static_cast<std::int64_t>(log.size());
+      },
+      /*grain=*/1);
+  for (auto& slot : slots) analyzer_->absorb(slot);
+
+  // Canonical replay: k-way merge of the shard logs, always advancing the
+  // best *front*. The serial loop's next commit is the minimum over all
+  // candidates; within a shard that minimum is the shard's own next local
+  // commit (nothing outside the shard can change its keys), so the global
+  // minimum is the best front. Comparing fronts — never sorting whole
+  // logs, since a shard's key sequence is not monotone — reproduces the
+  // serial commit order exactly, and with it the observer call sequence
+  // and stats.
+  struct HeapEntry {
+    SelectionKey key;
+    const std::string* name;
+    std::int32_t edge;
+    std::int32_t shard;
+  };
+  auto better = [&](const HeapEntry& a, const HeapEntry& b) {
+    if (key_less(a.key, b.key, order_)) return true;
+    if (key_less(b.key, a.key, order_)) return false;
+    return natural_less(*a.name, *b.name) ||
+           (*a.name == *b.name && a.edge < b.edge);
+  };
+  // std::push_heap keeps the comparator's greatest on top; invert.
+  auto heap_cmp = [&](const HeapEntry& a, const HeapEntry& b) {
+    return better(b, a);
+  };
+  std::vector<HeapEntry> heap;
+  std::vector<std::size_t> pos(shard_count, 0);
+  auto push_front = [&](std::int32_t s) {
+    const auto& log = logs[static_cast<std::size_t>(s)];
+    const std::size_t i = pos[static_cast<std::size_t>(s)];
+    if (i >= log.size()) return;
+    heap.push_back(HeapEntry{log[i].key, &netlist_.net(log[i].net).name,
+                             log[i].edge, s});
+    std::push_heap(heap.begin(), heap.end(), heap_cmp);
+  };
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    push_front(static_cast<std::int32_t>(s));
+  }
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+    const std::int32_t s = heap.back().shard;
+    heap.pop_back();
+    const CommitRec& rec =
+        logs[static_cast<std::size_t>(s)][pos[static_cast<std::size_t>(s)]++];
+    ++stats.deletions;
+    route_metrics().deleted_edges.add(1);
+    route_metrics().shard_commits.add(1);
+    if (options_.deletion_observer) options_.deletion_observer(rec.net, rec.edge);
+    push_front(s);
+  }
+  return true;
 }
 
 void GlobalRouter::compute_net_budgets() {
@@ -454,6 +663,10 @@ void GlobalRouter::initial_routing(PhaseStats& stats) {
     for (const auto e : graphs_[n]->non_bridge_edges()) {
       candidates.push_back(Candidate{n, e});
     }
+  }
+
+  if (options_.shard_deletion && run_sharded_deletion(candidates, stats)) {
+    return;
   }
 
   while (true) {

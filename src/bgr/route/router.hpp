@@ -14,6 +14,7 @@
 #include "bgr/route/criteria.hpp"
 #include "bgr/route/density.hpp"
 #include "bgr/route/routing_graph.hpp"
+#include "bgr/route/shard.hpp"
 #include "bgr/timing/analyzer.hpp"
 #include "bgr/timing/delay_graph.hpp"
 
@@ -46,6 +47,16 @@ struct RouterOptions {
   /// one at a time in slack order, each seeing only the earlier nets'
   /// decisions.
   bool concurrent_initial = true;
+  /// Sharded concurrent deletion (DESIGN.md §13): partition the nets into
+  /// interaction-disjoint shards (connected components of the channel- and
+  /// constraint-sharing graph) and run each shard's greedy deletion loop on
+  /// its own worker, then replay the commits in the canonical merged order.
+  /// Because cross-shard state is disjoint, the merged sequence — and hence
+  /// the RouteOutcome — is bit-identical to the unsharded serial greedy at
+  /// any thread count. Designs that form a single interaction component
+  /// fall back to the unsharded loop automatically. Only the concurrent
+  /// initial-routing phase shards; `false` keeps the global scan loop.
+  bool shard_deletion = true;
   /// Improvement phases (§3.5).
   bool enable_violation_recovery = true;
   bool enable_delay_improvement = true;
@@ -67,10 +78,13 @@ struct RouterOptions {
   /// distances alone, so the RouteOutcome is bit-identical either way —
   /// A* just settles far fewer vertices per candidate evaluation.
   PathSearchBackend path_search = PathSearchBackend::kAstar;
-  /// Test hook: called after every committed edge deletion (differential
-  /// pairs fire once, for the primary). Used by the differential STA test
-  /// to cross-check incremental state after each step; leave empty in
-  /// production use.
+  /// Test hook: called for every committed edge deletion (differential
+  /// pairs fire once, for the primary), in the canonical serial commit
+  /// order. When the sharded loop is active the calls are replayed after
+  /// its workers join — the sequence is identical to the serial loop's,
+  /// but the router state seen by the callback is the post-phase state.
+  /// Used by the differential tests to compare deletion sequences; leave
+  /// empty in production use.
   std::function<void(NetId, std::int32_t)> deletion_observer;
   /// Worker threads for the exec/ subsystem: per-net routing-graph
   /// construction, candidate-edge criteria scoring, and the levelized STA
@@ -187,6 +201,14 @@ class GlobalRouter {
   /// Routed (tree) length of a net after run(), um.
   [[nodiscard]] double net_length_um(NetId net) const;
 
+  /// Interaction-disjoint shard decomposition the initial-routing phase
+  /// used (empty when sharding was disabled or the phase ran sequentially).
+  /// Exposed for the shard property tests and the scale bench's
+  /// work-balance gates.
+  [[nodiscard]] const ShardDecomposition& shard_decomposition() const {
+    return shards_;
+  }
+
  private:
   struct Candidate {
     NetId net;
@@ -196,7 +218,8 @@ class GlobalRouter {
   void build_all_graphs();
   void register_graph_density(NetId net);
   void unregister_graph_density(NetId net);
-  void refresh_net_estimate(NetId net);
+  void refresh_net_estimate(NetId net,
+                            TimingAnalyzer::UpdateSlot* slot = nullptr);
   [[nodiscard]] std::int32_t net_density_width(NetId net) const;
   [[nodiscard]] std::uint64_t stamp_for(NetId net, std::int32_t edge) const;
   [[nodiscard]] bool score_is_fresh(NetId net, std::int32_t edge) const;
@@ -207,7 +230,18 @@ class GlobalRouter {
   /// cache fill — values are exactly what the scan would compute lazily —
   /// so thread count cannot change the selected edge.
   void warm_scores(const std::vector<Candidate>& candidates);
+  /// State mutation of one committed deletion (graph surgery + density +
+  /// estimate/STA refresh). The sharded loop calls it from workers with a
+  /// per-worker timing slot; commit_delete wraps it with the bookkeeping
+  /// (stats, metrics, observer) that must stay on the caller thread.
+  void apply_delete(NetId net, std::int32_t edge,
+                    TimingAnalyzer::UpdateSlot* slot);
   void commit_delete(NetId net, std::int32_t edge, PhaseStats& stats);
+  /// Sharded §3.4 deletion loop (DESIGN.md §13). Returns false when the
+  /// decomposition degenerates to a single shard — the caller then runs
+  /// the classic global scan loop instead.
+  bool run_sharded_deletion(const std::vector<Candidate>& candidates,
+                            PhaseStats& stats);
   void delete_in_graph(NetId net, std::int32_t edge);
   /// Deletes edges of one net until its graph is a tree (local loop used by
   /// rip-up/re-route).
@@ -243,6 +277,7 @@ class GlobalRouter {
   IdVector<NetId, std::uint64_t> net_version_;
   IdVector<NetId, double> net_budget_ps_;  // kNetBudgets mode only
   IdVector<NetId, double> extra_um_;       // back-annotated length corrections
+  ShardDecomposition shards_;
   CriteriaOrder order_ = CriteriaOrder::kDelayFirst;
   RunState run_state_ = RunState::kIdle;
   std::int32_t feed_cells_added_ = 0;

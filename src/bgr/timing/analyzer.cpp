@@ -164,6 +164,57 @@ void TimingAnalyzer::update_for_net(NetId net) {
   }
 }
 
+TimingAnalyzer::UpdateSlot::UpdateSlot(const TimingAnalyzer& analyzer) {
+  if (analyzer.incremental_ && !analyzer.constraints_.empty()) {
+    propagator_ = std::make_unique<DirtyPropagator>(analyzer.delay_graph_->dag());
+  }
+}
+
+void TimingAnalyzer::update_for_net(NetId net, UpdateSlot& slot) {
+  const auto& members = constraints_of_net_[net];
+  if (members.empty()) return;
+  if (!incremental_) {
+    for (const ConstraintId p : members) {
+      recompute(p, /*inner_exec=*/nullptr);
+      ++slot.stats_.full_sweeps;
+      slot.stats_.full_vertices += states_[p.index()].mask_size;
+      sta_metrics().full_sweeps.add(1);
+      sta_metrics().full_vertices.add(states_[p.index()].mask_size);
+    }
+    return;
+  }
+  const Dag& dag = delay_graph_->dag();
+  slot.seeds_.clear();
+  for (const auto arc : delay_graph_->net_arcs(net)) {
+    slot.seeds_.push_back(dag.edge(arc).to);
+  }
+  for (const ConstraintId p : members) {
+    ConstraintState& st = states_[p.index()];
+    const DirtyPropagator::Result res = slot.propagator_->propagate(
+        slot.seeds_, st.mask, st.is_source, st.lp, /*exec=*/nullptr);
+    ++slot.stats_.incremental_updates;
+    slot.stats_.dirty_seeds += res.seeds;
+    slot.stats_.dirty_vertices += res.relaxed;
+    sta_metrics().incremental_updates.add(1);
+    sta_metrics().dirty_seeds.add(res.seeds);
+    sta_metrics().dirty_vertices.add(res.relaxed);
+    sta_metrics().dirty_cone.record(res.relaxed);
+    if (res.any_change) {
+      refresh_margin(p);
+      ++versions_[p.index()];
+    }
+  }
+}
+
+void TimingAnalyzer::absorb(UpdateSlot& slot) {
+  stats_.incremental_updates += slot.stats_.incremental_updates;
+  stats_.full_sweeps += slot.stats_.full_sweeps;
+  stats_.dirty_seeds += slot.stats_.dirty_seeds;
+  stats_.dirty_vertices += slot.stats_.dirty_vertices;
+  stats_.full_vertices += slot.stats_.full_vertices;
+  slot.stats_ = StaStats{};
+}
+
 void TimingAnalyzer::update_all() {
   ScopedSpan span("sta_update_all", "sta");
   const auto n = static_cast<std::int64_t>(constraints_.size());

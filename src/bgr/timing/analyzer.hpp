@@ -78,6 +78,34 @@ class TimingAnalyzer {
   /// Recomputes lp / critical delay / margin for every constraint touched
   /// by this net (to be called after DelayGraph::set_net_cap).
   void update_for_net(NetId net);
+
+  /// Scratch for one concurrent caller of the slot variant of
+  /// update_for_net: a private dirty-cone propagator, seed buffer and
+  /// StaStats accumulator. The sharded deletion loop gives every worker
+  /// its own slot; the workers' nets touch disjoint constraint sets by
+  /// construction, so the shared per-constraint arrays (lp, margins,
+  /// versions) are written without overlap.
+  class UpdateSlot {
+   public:
+    explicit UpdateSlot(const TimingAnalyzer& analyzer);
+
+   private:
+    friend class TimingAnalyzer;
+    std::unique_ptr<DirtyPropagator> propagator_;  // incremental mode only
+    std::vector<std::int32_t> seeds_;
+    StaStats stats_;
+  };
+
+  /// Concurrent-caller variant of update_for_net: identical values and
+  /// version bumps, but every piece of mutable scratch lives in `slot` and
+  /// the sweeps stay strictly serial (no nested parallel regions).
+  /// Concurrent callers must touch disjoint constraint sets; fold the
+  /// slot's counters into sta_stats() with absorb() after joining.
+  void update_for_net(NetId net, UpdateSlot& slot);
+
+  /// Adds a slot's accumulated counters into sta_stats() and zeroes them.
+  void absorb(UpdateSlot& slot);
+
   /// Full recompute of all constraints.
   void update_all();
 

@@ -47,15 +47,18 @@ TEST(SpecSampler, CoversTheExtremeRegimes) {
   bool one_row = false;
   bool overtight = false;
   bool wide_clock = false;
+  bool blocked = false;
   for (std::uint64_t seed = 1; seed <= 200; ++seed) {
     const CircuitSpec spec = sample_spec(seed);
     one_row = one_row || spec.rows == 1;
     overtight = overtight || spec.tightness_lo < 1.0;
     wide_clock = wide_clock || spec.clock_pitch >= 3;
+    blocked = blocked || spec.blocks > 1;
   }
   EXPECT_TRUE(one_row);
   EXPECT_TRUE(overtight);
   EXPECT_TRUE(wide_clock);
+  EXPECT_TRUE(blocked);
 }
 
 TEST(SpecText, RoundTrips) {

@@ -125,5 +125,137 @@ TEST(Generator, UnknownNameRejected) {
   EXPECT_THROW((void)make_dataset("bogus"), CheckError);
 }
 
+// ---- Block-structured scale presets (DESIGN.md §13) ----
+
+CircuitSpec blocked_spec(std::uint64_t seed, std::int32_t blocks) {
+  CircuitSpec spec;
+  spec.name = "B" + std::to_string(blocks);
+  spec.seed = seed;
+  spec.blocks = blocks;
+  spec.rows = 4;
+  spec.target_cells = 250 * blocks;
+  spec.levels = 6;
+  spec.primary_inputs = 8;
+  spec.primary_outputs = 8;
+  spec.diff_pairs = blocks;
+  spec.clock_buffers = 1;
+  spec.path_constraints = 10;
+  return spec;
+}
+
+/// Band of block `blk`: rows [blk·(rows+1), blk·(rows+1)+rows).
+bool row_in_band(std::int32_t row, std::int32_t blk, std::int32_t rows) {
+  const std::int32_t base = blk * (rows + 1);
+  return row >= base && row < base + rows;
+}
+
+TEST(Generator, ScaleDatasetNames) {
+  EXPECT_EQ(scale_dataset_names(),
+            (std::vector<std::string>{"10k", "100k", "1M"}));
+}
+
+TEST(Generator, BlockedStructureValidates) {
+  const CircuitSpec spec = blocked_spec(21, 4);
+  const Dataset ds = generate_circuit(spec);
+  ds.netlist.validate();
+  ds.placement.validate(ds.netlist);
+  ASSERT_EQ(ds.placement.row_count(), spec.blocks * (spec.rows + 1) - 1);
+  // Separator rows stay empty and every cell stays inside its own band —
+  // cells carry their block index as a "b<k>_" name prefix.
+  for (std::int32_t r = spec.rows; r < ds.placement.row_count();
+       r += spec.rows + 1) {
+    EXPECT_TRUE(ds.placement.row_cells(RowId{r}).empty())
+        << "separator row " << r << " not empty";
+  }
+  for (const CellId c : ds.netlist.cells()) {
+    if (ds.netlist.cell_type(c).is_feed()) continue;  // placement-time fill
+    const std::string& name = ds.netlist.cell(c).name;
+    ASSERT_EQ(name[0], 'b') << name;
+    const std::int32_t blk = std::stoi(name.substr(1));
+    EXPECT_TRUE(row_in_band(ds.placement.placed(c).row.index(), blk, spec.rows))
+        << name << " in row " << ds.placement.placed(c).row.index();
+  }
+}
+
+TEST(Generator, BlockedDeterministicPerSeed) {
+  const Dataset a = generate_circuit(blocked_spec(22, 3));
+  const Dataset b = generate_circuit(blocked_spec(22, 3));
+  ASSERT_EQ(a.netlist.cell_count(), b.netlist.cell_count());
+  EXPECT_EQ(a.netlist.net_count(), b.netlist.net_count());
+  EXPECT_EQ(a.netlist.terminal_count(), b.netlist.terminal_count());
+  for (const CellId c : a.netlist.cells()) {
+    EXPECT_EQ(a.placement.placed(c).row, b.placement.placed(c).row);
+    EXPECT_EQ(a.placement.placed(c).x, b.placement.placed(c).x);
+  }
+}
+
+TEST(Generator, PadsOnlyTouchEdgeBlocks) {
+  // Pads reach the chip edges, so a pad on a middle block's net would span
+  // every band in between and glue their shards together: input pads (top
+  // edge) may only serve the last block, output pads (bottom edge) only
+  // block 0. Orphan cones in other blocks must park on sink registers.
+  const CircuitSpec spec = blocked_spec(23, 5);
+  const Dataset ds = generate_circuit(spec);
+  for (const TerminalId t : ds.netlist.terminals()) {
+    const Terminal& term = ds.netlist.terminal(t);
+    if (term.kind == TerminalKind::kCellPin) continue;
+    const std::int32_t blk =
+        term.kind == TerminalKind::kPadIn ? spec.blocks - 1 : 0;
+    const Net& net = ds.netlist.net(term.net);
+    auto check = [&](TerminalId other) {
+      const Terminal& o = ds.netlist.terminal(other);
+      if (o.kind != TerminalKind::kCellPin) return;
+      EXPECT_TRUE(
+          row_in_band(ds.placement.placed(o.cell).row.index(), blk, spec.rows))
+          << "pad " << term.pad_name << " reaches cell "
+          << ds.netlist.cell(o.cell).name;
+    };
+    check(net.driver);
+    for (const TerminalId s : net.sinks) check(s);
+  }
+}
+
+TEST(Generator, PadAwareWidthFloorRegression) {
+  // Tiny blocks with many pads: the per-band packing need is far below the
+  // pad count, so without the global pad floor the edge columns overflow.
+  CircuitSpec spec = blocked_spec(24, 5);
+  spec.rows = 3;
+  spec.target_cells = 150;
+  spec.primary_inputs = 60;
+  spec.primary_outputs = 60;
+  const Dataset ds = generate_circuit(spec);
+  ds.netlist.validate();
+  ds.placement.validate(ds.netlist);
+  EXPECT_GE(ds.placement.width(), 60);
+}
+
+TEST(Generator, ScaleTenKPresetBuilds) {
+  const Dataset ds = make_dataset("10k");
+  EXPECT_EQ(ds.name, "10k");
+  ds.netlist.validate();
+  ds.placement.validate(ds.netlist);
+  std::int32_t logic = 0;
+  for (const CellId c : ds.netlist.cells()) {
+    if (!ds.netlist.cell_type(c).is_feed()) ++logic;
+  }
+  EXPECT_GE(logic, 10000);
+  for (std::int32_t r = ds.spec.rows; r < ds.placement.row_count();
+       r += ds.spec.rows + 1) {
+    EXPECT_TRUE(ds.placement.row_cells(RowId{r}).empty());
+  }
+}
+
+TEST(Generator, ScalePresetSpecsAreBlocked) {
+  for (const std::string& name : scale_dataset_names()) {
+    SCOPED_TRACE(name);
+    const CircuitSpec spec = name == "10k"    ? scale_10k_spec()
+                             : name == "100k" ? scale_100k_spec()
+                                              : scale_1m_spec();
+    EXPECT_EQ(spec.name, name);
+    EXPECT_GT(spec.blocks, 1);
+    EXPECT_GT(spec.target_cells / spec.blocks, 100);
+  }
+}
+
 }  // namespace
 }  // namespace bgr

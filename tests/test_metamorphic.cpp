@@ -7,14 +7,17 @@
 //    critical delay does not depend on the limits.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgr/common/rng.hpp"
 #include "bgr/gen/generator.hpp"
 #include "bgr/route/router.hpp"
+#include "bgr/route/shard.hpp"
 
 namespace bgr {
 namespace {
@@ -180,6 +183,71 @@ TEST(Metamorphic, RelabelingYieldsIsomorphicRouteOutcome) {
     // relabeling does not move.
     EXPECT_EQ(a.margins, b.margins) << "seed " << seed;
     EXPECT_EQ(a.channel_c_max, b.channel_c_max) << "seed " << seed;
+  }
+}
+
+/// Blocked variant of meta_spec: several closed cones, so the sharded
+/// deletion loop actually decomposes (DESIGN.md §13).
+CircuitSpec meta_blocked_spec(std::uint64_t seed) {
+  CircuitSpec spec = meta_spec(seed);
+  spec.blocks = 3;
+  spec.rows = 3;
+  spec.target_cells = 240;
+  spec.diff_pairs = 3;
+  spec.path_constraints = 9;
+  return spec;
+}
+
+TEST(Metamorphic, RelabelingPreservesShardedRouteAndDecomposition) {
+  // Shard membership hangs off net ids, but the *partition* is a function
+  // of the physical footprints alone: relabeling the nets must yield the
+  // same routed result and the same shard-size multiset, with each shard
+  // covering the same channels.
+  for (const std::uint64_t seed : {5u, 18u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Dataset design = generate_circuit(meta_blocked_spec(seed));
+    Rng rng(seed * 1000 + 31);
+    const auto cell_perm = random_permutation(design.netlist.cell_count(), rng);
+    const auto net_perm = random_permutation(design.netlist.net_count(), rng);
+    const Dataset relabeled = relabel(design, cell_perm, net_perm);
+
+    struct ShardShape {
+      Routed routed;
+      // (shard size, channel footprint) multiset, sorted.
+      std::vector<std::pair<std::int32_t, std::vector<std::int32_t>>> shape;
+    };
+    auto run = [](Dataset d) {
+      RouterOptions options;
+      GlobalRouter router(d.netlist, std::move(d.placement), d.tech,
+                          d.constraints, options);
+      ShardShape s;
+      s.routed.outcome = router.run();
+      const ShardDecomposition& dec = router.shard_decomposition();
+      for (const auto& shard : dec.shards) {
+        std::vector<std::int32_t> channels;
+        for (const std::int32_t i : shard) {
+          const auto& ch = dec.nets[static_cast<std::size_t>(i)].channels;
+          channels.insert(channels.end(), ch.begin(), ch.end());
+        }
+        std::sort(channels.begin(), channels.end());
+        channels.erase(std::unique(channels.begin(), channels.end()),
+                       channels.end());
+        s.shape.emplace_back(static_cast<std::int32_t>(shard.size()),
+                             std::move(channels));
+      }
+      std::sort(s.shape.begin(), s.shape.end());
+      return s;
+    };
+    const ShardShape a = run(design);
+    const ShardShape b = run(relabeled);
+    ASSERT_GT(a.shape.size(), 1u) << "design did not decompose";
+    EXPECT_EQ(a.routed.outcome.total_length_um,
+              b.routed.outcome.total_length_um);
+    EXPECT_EQ(a.routed.outcome.critical_delay_ps,
+              b.routed.outcome.critical_delay_ps);
+    EXPECT_EQ(a.routed.outcome.worst_margin_ps,
+              b.routed.outcome.worst_margin_ps);
+    EXPECT_EQ(a.shape, b.shape);
   }
 }
 

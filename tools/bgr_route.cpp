@@ -12,6 +12,10 @@
 //                         the default) or full per-constraint re-sweeps
 //                         (off, the original behavior); the routed result
 //                         is bit-identical either way
+//     --shard-deletion {on,off}
+//                         sharded concurrent edge deletion (on, the
+//                         default) or the single global scan loop (off);
+//                         the routed result is bit-identical either way
 //     --path-search {astar,dijkstra}
 //                         tentative-tree search backend: goal-oriented A*
 //                         over a dial queue (astar, the default) or the
@@ -61,7 +65,8 @@ void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
                "[--rc] [--sequential] [--no-improve] "
-               "[--incremental-sta on|off] [--path-search astar|dijkstra] "
+               "[--incremental-sta on|off] [--shard-deletion on|off] "
+               "[--path-search astar|dijkstra] "
                "[--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
                "[--skew] [--metrics-out FILE] [--trace-out FILE] "
@@ -138,6 +143,16 @@ int main(int argc, char** argv) {
         options.incremental_sta = false;
       } else {
         std::fprintf(stderr, "error: --incremental-sta must be on or off\n");
+        return cli::kExitUsage;
+      }
+    } else if (arg == "--shard-deletion" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "on") {
+        options.shard_deletion = true;
+      } else if (mode == "off") {
+        options.shard_deletion = false;
+      } else {
+        std::fprintf(stderr, "error: --shard-deletion must be on or off\n");
         return cli::kExitUsage;
       }
     } else if (arg == "--path-search" && i + 1 < argc) {

@@ -41,7 +41,17 @@ ROUTE_SEMANTIC_METRICS = (
     "path.cache_hits",
     "path.cone_repairs",
     "sta.full_sweeps",
+    "shard.components",
+    "shard.commits",
+    "shard.fallbacks",
+    "shard.nets",
 )
+# The scale bench (bench_scale) routes a block-structured preset and
+# records the deletion loop's shard decomposition alongside throughput.
+SCALE_SECTIONS = ("design", "route", "shards", "result", "run")
+SCALE_SHARD_FIELDS = ("count", "scan_work", "commits", "lpt")
+SCALE_RESULT_FIELDS = ("nets_per_second_floor", "parallel_ratio_8",
+                       "sharded", "pass")
 # Daemon reports ("bgr_serve" and the in-process "bench.serve") carry the
 # serve/totals sections plus the admission/cache/cancellation counters —
 # all semantic: for a given request stream they are functions of the
@@ -112,6 +122,31 @@ def check_report(report, path):
         for ph in report["phases"]:
             if "name" not in ph or "wall" not in ph:
                 fail(f"{path}: phase entry lacks name/wall: {ph}")
+    if kind == "bench.scale":
+        for section in SCALE_SECTIONS:
+            if section not in report:
+                fail(f"{path}: missing '{section}' section")
+        for name in ROUTE_SEMANTIC_METRICS:
+            if name not in report["metrics"]["semantic"]:
+                fail(f"{path}: metrics.semantic lacks '{name}'")
+        shards = report["shards"]
+        for field in SCALE_SHARD_FIELDS:
+            if field not in shards:
+                fail(f"{path}: shards.{field} missing")
+        if not isinstance(shards["lpt"], list) or not shards["lpt"]:
+            fail(f"{path}: shards.lpt must be a non-empty array")
+        for entry in shards["lpt"]:
+            for field in ("workers", "makespan", "work_ratio"):
+                if field not in entry:
+                    fail(f"{path}: shards.lpt entry lacks '{field}': {entry}")
+        result = report["result"]
+        for field in SCALE_RESULT_FIELDS:
+            if field not in result:
+                fail(f"{path}: result.{field} missing")
+        # The decomposition's counters must be self-consistent with the
+        # registry: shard.components counts one increment per sharded run.
+        if shards["count"] >= 0 and shards["scan_work"] < shards["commits"]:
+            fail(f"{path}: shards.scan_work < shards.commits")
     if kind in SERVE_KINDS:
         for section in SERVE_SECTIONS:
             if section not in report:
