@@ -78,7 +78,9 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task();  // exceptions are the region's job (see ExecContext::run_chunks)
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -29,6 +30,12 @@ class ThreadPool {
     return static_cast<std::int32_t>(workers_.size());
   }
 
+  /// Workers executing a task right now (0..worker_count()). A sampled
+  /// gauge for telemetry — instantaneous and schedule-dependent.
+  [[nodiscard]] std::int32_t active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// Slot of the calling thread *within* `pool`: 1..worker_count() on that
   /// pool's own workers, 0 everywhere else — including the thread that
   /// entered the parallel region and the workers of any *other* pool (a
@@ -44,6 +51,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::atomic<std::int32_t> active_{0};  // workers inside task() right now
   bool stop_ = false;
 };
 

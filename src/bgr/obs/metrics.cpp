@@ -134,6 +134,42 @@ JsonValue MetricsRegistry::to_json() const {
   return out;
 }
 
+std::vector<MetricsRegistry::CounterSample> MetricsRegistry::counter_samples()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    out.push_back({c->name(), c->scope(), c->value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSample>
+MetricsRegistry::histogram_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramSample sample;
+    sample.name = h->name();
+    sample.scope = h->scope();
+    sample.count = h->count();
+    sample.sum = h->sum();
+    sample.min = h->min();
+    sample.max = h->max();
+    for (std::int32_t i = 0; i < Histogram::kBuckets; ++i) {
+      sample.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    }
+    out.push_back(std::move(sample));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;

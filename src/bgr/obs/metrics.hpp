@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -126,6 +127,26 @@ class MetricsRegistry {
   [[nodiscard]] JsonValue to_json() const;
   /// Sorted names of every registered metric (both scopes).
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Point-in-time value snapshots, sorted by name — the exposition
+  /// renderer (obs/telemetry) consumes these instead of holding metric
+  /// references so a scrape sees one coherent pass over the registry.
+  struct CounterSample {
+    std::string name;
+    MetricScope scope;
+    std::int64_t value;
+  };
+  struct HistogramSample {
+    std::string name;
+    MetricScope scope;
+    std::int64_t count;
+    std::int64_t sum;
+    std::int64_t min;
+    std::int64_t max;
+    std::array<std::int64_t, Histogram::kBuckets> buckets;
+  };
+  [[nodiscard]] std::vector<CounterSample> counter_samples() const;
+  [[nodiscard]] std::vector<HistogramSample> histogram_samples() const;
 
  private:
   mutable std::mutex mutex_;

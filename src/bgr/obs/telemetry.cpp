@@ -1,0 +1,262 @@
+#include "bgr/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace bgr {
+
+namespace {
+
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+void SlidingHistogram::Epoch::clear() {
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0, std::memory_order_relaxed);
+  min.store(kInt64Max, std::memory_order_relaxed);
+  max.store(kInt64Min, std::memory_order_relaxed);
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+}
+
+SlidingHistogram::SlidingHistogram(std::int32_t epochs) {
+  if (epochs < 1) epochs = 1;
+  ring_.reserve(static_cast<std::size_t>(epochs));
+  for (std::int32_t i = 0; i < epochs; ++i) {
+    ring_.push_back(std::make_unique<Epoch>());
+  }
+}
+
+void SlidingHistogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  Epoch& epoch = *ring_[current_.load(std::memory_order_acquire)];
+  const auto u = static_cast<std::uint64_t>(v);
+  const std::int32_t b = static_cast<std::int32_t>(std::bit_width(u));
+  epoch.buckets[static_cast<std::size_t>(std::min<std::int32_t>(b, kBuckets - 1))]
+      .fetch_add(1, std::memory_order_relaxed);
+  epoch.sum.fetch_add(v, std::memory_order_relaxed);
+  epoch.count.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t cur = epoch.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !epoch.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = epoch.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !epoch.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void SlidingHistogram::advance() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t next =
+      (current_.load(std::memory_order_relaxed) + 1) % ring_.size();
+  // Clear *before* publishing: a racing record() must never land in a
+  // bucket that is about to be zeroed out from under it. A record that
+  // still targets the outgoing epoch simply counts toward the oldest
+  // window slice — acceptable skew for a rolling estimate.
+  ring_[next]->clear();
+  current_.store(next, std::memory_order_release);
+}
+
+void SlidingHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& epoch : ring_) epoch->clear();
+}
+
+double SlidingHistogram::quantile(const std::int64_t* buckets,
+                                  std::int64_t count, double q,
+                                  std::int64_t min_value,
+                                  std::int64_t max_value) {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil — p50 of 2 samples is the 1st).
+  const auto rank = static_cast<std::int64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count))));
+  std::int64_t seen = 0;
+  for (std::int32_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    // The rank-th sample lies in bucket i: interpolate linearly between
+    // the bucket's value bounds by the rank's position inside the bucket.
+    const double lo = static_cast<double>(Histogram::bucket_lo(i));
+    const double hi =
+        i == 0 ? 0.0 : static_cast<double>(Histogram::bucket_lo(i)) * 2.0 - 1.0;
+    const double frac = buckets[i] > 1
+                            ? static_cast<double>(rank - seen - 1) /
+                                  static_cast<double>(buckets[i] - 1)
+                            : 0.5;
+    double estimate = lo + (hi - lo) * frac;
+    estimate = std::max(estimate, static_cast<double>(min_value));
+    estimate = std::min(estimate, static_cast<double>(max_value));
+    return estimate;
+  }
+  return static_cast<double>(max_value);
+}
+
+SlidingHistogram::Snapshot SlidingHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  std::int64_t min_value = kInt64Max;
+  std::int64_t max_value = kInt64Min;
+  for (const auto& epoch : ring_) {
+    out.count += epoch->count.load(std::memory_order_relaxed);
+    out.sum += epoch->sum.load(std::memory_order_relaxed);
+    min_value =
+        std::min(min_value, epoch->min.load(std::memory_order_relaxed));
+    max_value =
+        std::max(max_value, epoch->max.load(std::memory_order_relaxed));
+    for (std::int32_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += epoch->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count > 0) {
+    out.min = min_value;
+    out.max = max_value;
+    out.p50 = quantile(out.buckets, out.count, 0.50, out.min, out.max);
+    out.p90 = quantile(out.buckets, out.count, 0.90, out.min, out.max);
+    out.p99 = quantile(out.buckets, out.count, 0.99, out.min, out.max);
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "bgr_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool watchdog_should_flag(double elapsed_us, double p99_us, double multiple,
+                          std::int64_t window_count,
+                          std::int64_t min_samples) {
+  if (multiple < 0.0) return false;  // negative multiple disables
+  if (window_count < min_samples) return false;
+  return elapsed_us > multiple * p99_us;
+}
+
+void TelemetryHub::add_gauge(std::string name, std::string help, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.push_back({std::move(name), std::move(help), std::move(fn)});
+}
+
+void TelemetryHub::add_window(std::string name, std::string help,
+                              const SlidingHistogram* window) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windows_.push_back({std::move(name), std::move(help), window});
+}
+
+namespace {
+
+const char* scope_label(MetricScope scope) {
+  return scope == MetricScope::kSemantic ? "semantic" : "nondeterministic";
+}
+
+/// Doubles print shortest-round-trip-ish; integral values drop the ".0"
+/// so counter samples stay bit-stable text across runs.
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void render_histogram(std::ostringstream& os, const std::string& pname,
+                      const char* scope, std::int64_t count, std::int64_t sum,
+                      const std::int64_t* buckets) {
+  os << "# TYPE " << pname << " histogram\n";
+  std::int64_t cumulative = 0;
+  for (std::int32_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    // Bucket i spans [2^(i-1), 2^i - 1]; le is the inclusive upper bound.
+    const std::int64_t le =
+        i == 0 ? 0 : (Histogram::bucket_lo(i) * 2 - 1);
+    os << pname << "_bucket{scope=\"" << scope << "\",le=\"" << le << "\"} "
+       << cumulative << "\n";
+  }
+  os << pname << "_bucket{scope=\"" << scope << "\",le=\"+Inf\"} " << count
+     << "\n";
+  os << pname << "_sum{scope=\"" << scope << "\"} " << sum << "\n";
+  os << pname << "_count{scope=\"" << scope << "\"} " << count << "\n";
+}
+
+}  // namespace
+
+std::string TelemetryHub::render(const MetricsRegistry& registry) const {
+  std::ostringstream os;
+
+  for (const MetricsRegistry::CounterSample& c : registry.counter_samples()) {
+    const std::string pname = prometheus_name(c.name);
+    os << "# TYPE " << pname << " counter\n";
+    os << pname << "{scope=\"" << scope_label(c.scope) << "\"} " << c.value
+       << "\n";
+  }
+  for (const MetricsRegistry::HistogramSample& h :
+       registry.histogram_samples()) {
+    render_histogram(os, prometheus_name(h.name), scope_label(h.scope),
+                     h.count, h.sum, h.buckets.data());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const GaugeEntry& gauge : gauges_) {
+    const std::string pname = prometheus_name(gauge.name);
+    if (!gauge.help.empty()) {
+      os << "# HELP " << pname << " " << gauge.help << "\n";
+    }
+    os << "# TYPE " << pname << " gauge\n";
+    for (const GaugeSample& sample : gauge.fn()) {
+      os << pname << "{scope=\"nondeterministic\"";
+      for (const auto& [key, value] : sample.labels) {
+        os << "," << key << "=\"" << prometheus_label_value(value) << "\"";
+      }
+      os << "} " << format_value(sample.value) << "\n";
+    }
+  }
+  for (const WindowEntry& window : windows_) {
+    const std::string pname = prometheus_name(window.name);
+    const SlidingHistogram::Snapshot snap = window.window->snapshot();
+    if (!window.help.empty()) {
+      os << "# HELP " << pname << " " << window.help << "\n";
+    }
+    os << "# TYPE " << pname << " summary\n";
+    for (const auto& [q, value] :
+         {std::pair<const char*, double>{"0.5", snap.p50},
+          std::pair<const char*, double>{"0.9", snap.p90},
+          std::pair<const char*, double>{"0.99", snap.p99}}) {
+      os << pname << "{scope=\"nondeterministic\",quantile=\"" << q << "\"} "
+         << format_value(value) << "\n";
+    }
+    os << pname << "_sum{scope=\"nondeterministic\"} " << snap.sum << "\n";
+    os << pname << "_count{scope=\"nondeterministic\"} " << snap.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bgr

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bgr/obs/metrics.hpp"
+
+namespace bgr {
+
+/// Live-telemetry companions to the post-run MetricsRegistry (DESIGN.md
+/// §14): rolling-window latency histograms with quantile estimates, pull
+/// gauges sampled at scrape time, and a Prometheus text-format renderer
+/// that exposes all of it (plus the registry) on the bgr_serve admin
+/// endpoint. Everything here is operational instrumentation — windows and
+/// gauges are wall-clock/schedule shaped and therefore always outside the
+/// kSemantic determinism contract; the renderer labels every sample with
+/// its scope so scrapers can tell the two namespaces apart.
+
+/// Rolling-window histogram: a ring of `epochs` power-of-two bucket
+/// arrays (same bucketing as obs::Histogram — bucket i counts samples of
+/// bit width i). record() lands in the current epoch; advance() rotates
+/// the ring, dropping the oldest epoch, so at any instant the merged view
+/// covers the last `epochs` advance periods. The caller owns the advance
+/// cadence (the serve scheduler's housekeeping thread ticks once per
+/// second), making the window length = epochs × tick.
+///
+/// record() is lock-free (relaxed atomics on the current epoch);
+/// advance() and snapshot() take a small mutex that only serializes
+/// rotation against snapshotting, never against recording.
+class SlidingHistogram {
+ public:
+  static constexpr std::int32_t kBuckets = Histogram::kBuckets;
+
+  explicit SlidingHistogram(std::int32_t epochs = 10);
+
+  void record(std::int64_t v);
+  /// Rotates the ring: the oldest epoch is zeroed and becomes current.
+  void advance();
+  /// Drops every epoch (the window restarts empty).
+  void reset();
+
+  [[nodiscard]] std::int32_t epochs() const {
+    return static_cast<std::int32_t>(ring_.size());
+  }
+
+  /// Merged view over the whole window with quantile estimates
+  /// interpolated inside the power-of-two buckets. Quantiles are 0 while
+  /// the window is empty.
+  struct Snapshot {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    std::int64_t buckets[kBuckets] = {};
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Quantile estimate (q in [0,1]) from power-of-two bucket counts:
+  /// linear interpolation across the bucket holding the q-th sample,
+  /// clamped to [min_value, max_value]. Exposed for reuse/testing.
+  [[nodiscard]] static double quantile(const std::int64_t* buckets,
+                                       std::int64_t count, double q,
+                                       std::int64_t min_value,
+                                       std::int64_t max_value);
+
+ private:
+  struct Epoch {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> min{std::numeric_limits<std::int64_t>::max()};
+    std::atomic<std::int64_t> max{std::numeric_limits<std::int64_t>::min()};
+    std::atomic<std::int64_t> buckets[kBuckets] = {};
+    void clear();
+  };
+
+  std::vector<std::unique_ptr<Epoch>> ring_;
+  std::atomic<std::size_t> current_{0};
+  mutable std::mutex mutex_;  // serializes advance() against snapshot()
+};
+
+/// One gauge sample: value plus optional labels ({"client","stdio"}, ...).
+struct GaugeSample {
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Scrape-time telemetry registry for one exposition endpoint: pull
+/// gauges (a callback producing samples, invoked per scrape) and named
+/// rolling-latency windows. Registration happens at server wiring time;
+/// render() may be called concurrently with record()/advance() on the
+/// windows. Gauge callbacks run on the scrape thread and may take their
+/// owner's locks (queue depths, cache sizes), so they must not call back
+/// into the hub.
+class TelemetryHub {
+ public:
+  using GaugeFn = std::function<std::vector<GaugeSample>()>;
+
+  /// `name` is a raw metric name ("serve.queue_depth"); it is sanitized
+  /// into the Prometheus namespace ("bgr_serve_queue_depth") at render
+  /// time. `help` becomes the # HELP line.
+  void add_gauge(std::string name, std::string help, GaugeFn fn);
+  /// `window` must outlive the hub. Rendered as a Prometheus summary
+  /// (quantile series + _count/_sum over the rolling window).
+  void add_window(std::string name, std::string help,
+                  const SlidingHistogram* window);
+
+  /// Prometheus text exposition (format version 0.0.4) of `registry`
+  /// (counters and histograms, each labeled scope="semantic" or
+  /// scope="nondeterministic") plus every registered gauge and window
+  /// (always scope="nondeterministic" — they are wall-clock shaped).
+  [[nodiscard]] std::string render(const MetricsRegistry& registry) const;
+
+ private:
+  struct GaugeEntry {
+    std::string name;
+    std::string help;
+    GaugeFn fn;
+  };
+  struct WindowEntry {
+    std::string name;
+    std::string help;
+    const SlidingHistogram* window;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<WindowEntry> windows_;
+};
+
+/// "route.deleted_edges" → "bgr_route_deleted_edges": prefixed and every
+/// character outside [a-zA-Z0-9_:] mapped to '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+[[nodiscard]] std::string prometheus_label_value(std::string_view value);
+
+/// Slow-job watchdog predicate: flag a job whose elapsed time exceeds
+/// `multiple` × the rolling p99, once at least `min_samples` completions
+/// back the estimate (an empty window flags nothing unless min_samples is
+/// 0, which makes every running job flag — useful in tests).
+[[nodiscard]] bool watchdog_should_flag(double elapsed_us, double p99_us,
+                                        double multiple,
+                                        std::int64_t window_count,
+                                        std::int64_t min_samples);
+
+}  // namespace bgr

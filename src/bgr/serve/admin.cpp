@@ -1,0 +1,144 @@
+#include "bgr/serve/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace bgr::serve {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, 0);
+    if (n <= 0) return;
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& body,
+                          const char* content_type) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(MetricsProvider metrics, ReadyProvider ready)
+    : metrics_(std::move(metrics)), ready_(std::move(ready)) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+bool AdminServer::start(std::int32_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = static_cast<std::int32_t>(ntohs(bound.sin_port));
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void AdminServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;  // EINTR / aborted handshake
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  // Read until the end of the request head (or a sane cap); only the
+  // request line matters — this endpoint ignores headers and bodies.
+  std::string request;
+  char chunk[1024];
+  while (request.size() < 16384 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    request.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  std::string method;
+  std::string path;
+  {
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos) {
+      method = line.substr(0, sp1);
+      path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+
+  if (method != "GET") {
+    send_all(fd, http_response(405, "Method Not Allowed", "method not allowed\n",
+                               "text/plain; charset=utf-8"));
+    return;
+  }
+  if (path == "/metrics") {
+    send_all(fd, http_response(200, "OK", metrics_ ? metrics_() : "",
+                               "text/plain; version=0.0.4; charset=utf-8"));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response(200, "OK", "ok\n",
+                               "text/plain; charset=utf-8"));
+  } else if (path == "/readyz") {
+    const bool ready = ready_ ? ready_() : true;
+    send_all(fd, ready ? http_response(200, "OK", "ready\n",
+                                       "text/plain; charset=utf-8")
+                       : http_response(503, "Service Unavailable",
+                                       "draining\n",
+                                       "text/plain; charset=utf-8"));
+  } else {
+    send_all(fd, http_response(404, "Not Found", "not found\n",
+                               "text/plain; charset=utf-8"));
+  }
+}
+
+}  // namespace bgr::serve

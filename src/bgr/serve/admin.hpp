@@ -1,0 +1,55 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace bgr::serve {
+
+/// Loopback HTTP admin endpoint of the bgr_serve daemon (DESIGN.md §14):
+///
+///   GET /metrics   Prometheus text exposition (the wired provider)
+///   GET /healthz   200 "ok" while the process is alive
+///   GET /readyz    200 "ready" while accepting jobs, 503 "draining"
+///                  once shutdown began (drain-aware: load balancers stop
+///                  sending before the queue runs out)
+///
+/// Deliberately minimal: HTTP/1.0, Connection: close, requests handled
+/// serially on one thread — this is an operator/scraper port bound to
+/// 127.0.0.1, not a traffic surface. start() binds (0 = ephemeral, port()
+/// reports the resolution); stop() is idempotent and joins the thread.
+class AdminServer {
+ public:
+  /// Returns the /metrics body; invoked per scrape on the admin thread.
+  using MetricsProvider = std::function<std::string()>;
+  /// Returns true while the daemon accepts jobs (readyz 200 vs 503).
+  using ReadyProvider = std::function<bool()>;
+
+  AdminServer(MetricsProvider metrics, ReadyProvider ready);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` and starts serving; false on bind failure.
+  bool start(std::int32_t port);
+  void stop();
+
+  /// Bound port (ephemeral requests resolve here); -1 before start().
+  [[nodiscard]] std::int32_t port() const { return bound_port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  MetricsProvider metrics_;
+  ReadyProvider ready_;
+  int listen_fd_ = -1;
+  std::int32_t bound_port_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace bgr::serve

@@ -133,4 +133,42 @@ DesignCache::Stats DesignCache::stats() const {
   return stats_;
 }
 
+namespace {
+
+std::int64_t approx_dataset_bytes(const Dataset& dataset) {
+  // Per-cell / per-net payload estimate: name + ids + terminal vectors.
+  // Deliberately coarse — the gauge tracks growth, not exact residency.
+  constexpr std::int64_t kPerCell = 64;
+  constexpr std::int64_t kPerNet = 96;
+  return static_cast<std::int64_t>(sizeof(Dataset)) +
+         static_cast<std::int64_t>(dataset.name.size()) +
+         kPerCell * dataset.netlist.cell_count() +
+         kPerNet * dataset.netlist.net_count() +
+         static_cast<std::int64_t>(dataset.constraints.size() *
+                                   sizeof(PathConstraint));
+}
+
+std::int64_t approx_result_bytes(const SessionResult& result) {
+  return static_cast<std::int64_t>(sizeof(SessionResult)) +
+         static_cast<std::int64_t>(result.route_text.size()) +
+         static_cast<std::int64_t>(result.digest.size()) +
+         static_cast<std::int64_t>(result.error.size());
+}
+
+}  // namespace
+
+DesignCache::Usage DesignCache::usage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Usage usage;
+  for (const auto& entry : datasets_) {
+    ++usage.dataset_entries;
+    usage.dataset_bytes += approx_dataset_bytes(*entry.value);
+  }
+  for (const auto& entry : results_) {
+    ++usage.result_entries;
+    usage.result_bytes += approx_result_bytes(*entry.value);
+  }
+  return usage;
+}
+
 }  // namespace bgr::serve

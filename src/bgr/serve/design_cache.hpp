@@ -80,6 +80,17 @@ class DesignCache {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Resident-size snapshot for the telemetry gauges. Byte figures are
+  /// approximations (container payload estimates, not allocator truth) —
+  /// good enough to watch the cache grow, wrong to bill against an RSS.
+  struct Usage {
+    std::int64_t dataset_entries = 0;
+    std::int64_t dataset_bytes = 0;
+    std::int64_t result_entries = 0;
+    std::int64_t result_bytes = 0;
+  };
+  [[nodiscard]] Usage usage() const;
+
  private:
   template <typename V>
   struct Entry {

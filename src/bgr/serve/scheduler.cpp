@@ -1,7 +1,11 @@
 #include "bgr/serve/scheduler.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
+#include "bgr/common/hash.hpp"
+#include "bgr/common/log.hpp"
 #include "bgr/obs/metrics.hpp"
 #include "bgr/serve/design_cache.hpp"
 
@@ -13,7 +17,9 @@ namespace {
 /// stream the admission decisions, terminal statuses and cancellation
 /// count are functions of the submitted contents and the configured
 /// bounds, not of scheduling (admission runs synchronously under the
-/// scheduler mutex in request order).
+/// scheduler mutex in request order). serve.watchdog_flags is the
+/// opposite — whether a job trips the rolling-p99 watchdog depends on
+/// wall-clock speed — so it is quarantined as nondeterministic.
 struct ServeMetrics {
   MetricsRegistry& reg = MetricsRegistry::global();
   Counter& accepted = reg.counter("serve.jobs_accepted", MetricScope::kSemantic);
@@ -23,11 +29,17 @@ struct ServeMetrics {
   Counter& failed = reg.counter("serve.jobs_failed", MetricScope::kSemantic);
   Counter& cancellations =
       reg.counter("serve.cancellations", MetricScope::kSemantic);
+  Counter& watchdog_flags =
+      reg.counter("serve.watchdog_flags", MetricScope::kNonDeterministic);
 };
 
 ServeMetrics& serve_metrics() {
   static ServeMetrics* const m = new ServeMetrics();
   return *m;
+}
+
+std::int64_t seconds_to_us(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6);
 }
 
 }  // namespace
@@ -40,14 +52,20 @@ JobScheduler::JobScheduler(const SchedulerConfig& config, DesignCache* cache,
   (void)serve_metrics();
   if (config_.max_jobs < 1) config_.max_jobs = 1;
   if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  if (config_.housekeeping_interval_ms < 1) {
+    config_.housekeeping_interval_ms = 1;
+  }
+  if (config_.window_epoch_ms < 1) config_.window_epoch_ms = 1;
   if (config_.pool_workers > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.pool_workers);
   }
   paused_ = config_.start_paused;
+  epoch_ = std::chrono::steady_clock::now();
   runners_.reserve(static_cast<std::size_t>(config_.max_jobs));
   for (std::int32_t i = 0; i < config_.max_jobs; ++i) {
     runners_.emplace_back([this] { runner_loop(); });
   }
+  housekeeper_ = std::thread([this] { housekeeping_loop(); });
 }
 
 JobScheduler::~JobScheduler() { drain_and_stop(); }
@@ -92,13 +110,33 @@ Admission JobScheduler::submit(const std::string& client, JobRequest request) {
   const std::string id = request.id;
   Job job;
   job.client = client;
+  // Trace id: unique per admitted job, threaded through the session's
+  // phase spans and every NDJSON event of this job's lifecycle. The
+  // fingerprint folds a per-scheduler token so ids from different daemon
+  // runs do not collide in an aggregated trace store.
+  {
+    Fingerprint fp;
+    fp.mix(reinterpret_cast<std::uint64_t>(this));
+    fp.mix(static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            epoch_.time_since_epoch())
+            .count()));
+    fp.mix(next_trace_++);
+    job.trace_id = "t-" + fp.hex();
+  }
+  job.admit_us = now_us();
   job.session = std::make_shared<RoutingSession>(std::move(request), cache_,
                                                  pool_.get());
+  // Set before the job is published to the queue: once queued, other
+  // threads (runner, watchdog) may read it concurrently.
+  job.session->set_trace_id(job.trace_id);
+  const std::string trace_id = job.trace_id;
   queues_[client].push_back(std::move(job));
   admission.queue_depth = queued_locked();
   // Emit "accepted" before a runner can pop the job (we still hold the
   // mutex), so a client never sees "started" precede it.
   JsonValue event = make_event("accepted", id);
+  event.set("trace", trace_id);
   event.set("queue_depth", static_cast<std::int64_t>(admission.queue_depth));
   emit_(client, event);
   cv_.notify_one();
@@ -112,7 +150,7 @@ CancelOutcome JobScheduler::cancel(const std::string& client,
     std::lock_guard<std::mutex> lock(mutex_);
     auto run_it = running_.find({client, id});
     if (run_it != running_.end()) {
-      running = run_it->second;
+      running = run_it->second.session;
     } else {
       auto it = queues_.find(client);
       if (it != queues_.end()) {
@@ -122,6 +160,7 @@ CancelOutcome JobScheduler::cancel(const std::string& client,
             ++totals_.cancelled;
             serve_metrics().cancellations.add(1);
             JsonValue event = make_event("cancelled", id);
+            event.set("trace", job.trace_id);
             emit_(client, event);
             return CancelOutcome::kCancelledQueued;
           }
@@ -148,9 +187,111 @@ void JobScheduler::drain_and_stop() {
     stopping_ = true;
     paused_ = false;  // a paused scheduler still drains its queue
     cv_.notify_all();
+    housekeeping_cv_.notify_all();
   }
   for (std::thread& t : runners_) {
     if (t.joinable()) t.join();
+  }
+  if (housekeeper_.joinable()) housekeeper_.join();
+}
+
+std::int64_t JobScheduler::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<std::pair<std::string, std::int32_t>>
+JobScheduler::queue_depths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int32_t>> out;
+  for (const auto& [client, queue] : queues_) {
+    std::int32_t n = 0;
+    for (const Job& job : queue) {
+      if (!job.cancelled) ++n;
+    }
+    out.emplace_back(client, n);
+  }
+  return out;
+}
+
+std::int64_t JobScheduler::watchdog_flags() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watchdog_flags_;
+}
+
+void JobScheduler::record_latency(const Job& job, const SessionResult& result,
+                                  std::int64_t started_us,
+                                  std::int64_t finished_us) {
+  latency_.queue_wait_us.record(started_us - job.admit_us);
+  if (result.status != SessionStatus::kDone) return;
+  latency_.e2e_us.record(finished_us - job.admit_us);
+  for (const auto& [phase, seconds] : result.phase_seconds) {
+    SlidingHistogram* window = nullptr;
+    if (phase == std::string_view("parse")) window = &latency_.parse_us;
+    else if (phase == std::string_view("route")) window = &latency_.route_us;
+    else if (phase == std::string_view("channel")) window = &latency_.channel_us;
+    else if (phase == std::string_view("verify")) window = &latency_.verify_us;
+    else if (phase == std::string_view("report")) window = &latency_.report_us;
+    if (window != nullptr) window->record(seconds_to_us(seconds));
+  }
+}
+
+void JobScheduler::housekeeping_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::int64_t last_rotate = now_us();
+  while (!stopping_) {
+    housekeeping_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.housekeeping_interval_ms));
+    if (stopping_) break;
+    const std::int64_t now = now_us();
+    if (now - last_rotate >=
+        static_cast<std::int64_t>(config_.window_epoch_ms) * 1000) {
+      last_rotate = now;
+      lock.unlock();
+      // Rotation takes each window's own mutex only — never under the
+      // scheduler mutex, so a scrape can't stall admission.
+      latency_.queue_wait_us.advance();
+      latency_.e2e_us.advance();
+      latency_.parse_us.advance();
+      latency_.route_us.advance();
+      latency_.channel_us.advance();
+      latency_.verify_us.advance();
+      latency_.report_us.advance();
+      lock.lock();
+      if (stopping_) break;
+    }
+    watchdog_scan();
+  }
+}
+
+/// Caller holds mutex_. One warning per job: logs id, client, trace id,
+/// the phase the session is in right now, its elapsed time and the
+/// rolling p99 it is being judged against.
+void JobScheduler::watchdog_scan() {
+  if (config_.watchdog_multiple < 0.0) return;
+  const SlidingHistogram::Snapshot e2e = latency_.e2e_us.snapshot();
+  const std::int64_t now = now_us();
+  for (auto& [key, running] : running_) {
+    if (running.warned) continue;
+    const double elapsed_us = static_cast<double>(now - running.start_us);
+    if (!watchdog_should_flag(elapsed_us, e2e.p99, config_.watchdog_multiple,
+                              e2e.count, config_.watchdog_min_samples)) {
+      continue;
+    }
+    running.warned = true;
+    ++watchdog_flags_;
+    serve_metrics().watchdog_flags.add(1);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "watchdog: slow job %s (client %s, trace %s) in phase %s: "
+                  "%.1f ms elapsed vs rolling p99 %.1f ms (x%.1f)",
+                  key.second.c_str(), key.first.c_str(),
+                  running.trace_id.c_str(),
+                  session_phase_name(running.session->phase()),
+                  elapsed_us / 1000.0, e2e.p99 / 1000.0,
+                  config_.watchdog_multiple);
+    log_warn(line);
   }
 }
 
@@ -211,17 +352,26 @@ bool JobScheduler::pop_next(Job* out, std::unique_lock<std::mutex>& lock) {
 void JobScheduler::runner_loop() {
   while (true) {
     Job job;
+    std::int64_t started_us = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (!pop_next(&job, lock)) return;
+      started_us = now_us();
+      RunningJob running;
+      running.session = job.session;
+      running.trace_id = job.trace_id;
+      running.start_us = started_us;
       running_.emplace(std::make_pair(job.client, job.session->request().id),
-                       job.session);
+                       std::move(running));
     }
     const std::string& id = job.session->request().id;
     JsonValue started = make_event("started", id);
+    started.set("trace", job.trace_id);
     emit_(job.client, started);
 
     SessionResult result = job.session->run();
+    const std::int64_t finished_us = now_us();
+    record_latency(job, result, started_us, finished_us);
 
     JsonValue event;
     {
@@ -250,6 +400,7 @@ void JobScheduler::runner_loop() {
           event.set("error", result.error);
           break;
       }
+      event.set("trace", job.trace_id);
     }
     emit_(job.client, event);
   }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "bgr/exec/thread_pool.hpp"
+#include "bgr/obs/telemetry.hpp"
 #include "bgr/serve/protocol.hpp"
 #include "bgr/serve/session.hpp"
 
@@ -35,6 +38,18 @@ struct SchedulerConfig {
   /// Tests: accept submissions but do not start running them until
   /// resume() — makes queue-state transitions observable.
   bool start_paused = false;
+
+  /// Live-telemetry knobs (DESIGN.md §14). The housekeeping thread ticks
+  /// every `housekeeping_interval_ms`: it runs the slow-job watchdog scan
+  /// on every tick and rotates the rolling latency windows roughly once
+  /// per `window_epoch_ms`. The watchdog logs (once per job) any running
+  /// job older than `watchdog_multiple` × the rolling end-to-end p99,
+  /// provided the window holds at least `watchdog_min_samples` finished
+  /// jobs; a negative multiple disables the watchdog entirely.
+  std::int32_t housekeeping_interval_ms = 250;
+  std::int32_t window_epoch_ms = 1000;
+  double watchdog_multiple = 8.0;
+  std::int64_t watchdog_min_samples = 16;
 };
 
 /// Synchronous answer to submit(): the accept/reject decision the server
@@ -104,15 +119,53 @@ class JobScheduler {
   [[nodiscard]] std::int32_t running_jobs() const;
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  /// Queued (non-tombstone) jobs per client, for the queue-depth gauge.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int32_t>>
+  queue_depths() const;
+
+  /// Rolling latency windows (microsecond samples), advanced by the
+  /// housekeeping thread once per configured epoch. Exposed read-only so
+  /// the admin endpoint can render quantiles per scrape.
+  struct LatencyWindows {
+    SlidingHistogram queue_wait_us;  // accepted → started
+    SlidingHistogram e2e_us;         // accepted → terminal event
+    SlidingHistogram parse_us;
+    SlidingHistogram route_us;
+    SlidingHistogram channel_us;
+    SlidingHistogram verify_us;
+    SlidingHistogram report_us;
+  };
+  [[nodiscard]] const LatencyWindows& latency() const { return latency_; }
+
+  /// Jobs the watchdog has flagged so far (also counted by the
+  /// nondeterministic serve.watchdog_flags metric).
+  [[nodiscard]] std::int64_t watchdog_flags() const;
+
  private:
   struct Job {
     std::string client;
     std::shared_ptr<RoutingSession> session;  // created at admission
+    std::string trace_id;                     // minted at admission
+    std::int64_t admit_us = 0;                // steady-clock admission time
     bool cancelled = false;                   // lazy queued-cancel mark
   };
   using ClientQueues = std::map<std::string, std::deque<Job>>;
 
+  /// Watchdog view of an in-flight job. `warned` keeps the log to one
+  /// line per job however long it runs on.
+  struct RunningJob {
+    std::shared_ptr<RoutingSession> session;
+    std::string trace_id;
+    std::int64_t start_us = 0;
+    bool warned = false;
+  };
+
   void runner_loop();
+  void housekeeping_loop();
+  void watchdog_scan();
+  [[nodiscard]] std::int64_t now_us() const;
+  void record_latency(const Job& job, const SessionResult& result,
+                      std::int64_t started_us, std::int64_t finished_us);
   /// Pops the next runnable job round-robin across clients; returns false
   /// on stop-with-empty-queues. Caller holds mutex_.
   bool pop_next(Job* out, std::unique_lock<std::mutex>& lock);
@@ -129,15 +182,20 @@ class JobScheduler {
   /// Fairness cursor: name of the client that was served last; the next
   /// pop starts strictly after it in client order (wrapping).
   std::string rr_cursor_;
-  /// Running jobs by (client, id) for cancel routing.
-  std::map<std::pair<std::string, std::string>,
-           std::shared_ptr<RoutingSession>>
-      running_;
+  /// Running jobs by (client, id) for cancel routing and watchdog scans.
+  std::map<std::pair<std::string, std::string>, RunningJob> running_;
   bool paused_ = false;
   bool stopping_ = false;
   Totals totals_;
+  std::int64_t next_trace_ = 0;
+  std::int64_t watchdog_flags_ = 0;
+
+  LatencyWindows latency_;
+  std::chrono::steady_clock::time_point epoch_{};  // now_us() origin
 
   std::vector<std::thread> runners_;
+  std::thread housekeeper_;
+  std::condition_variable housekeeping_cv_;
 };
 
 }  // namespace bgr::serve

@@ -12,6 +12,7 @@
 
 #include "bgr/common/stopwatch.hpp"
 #include "bgr/obs/run_report.hpp"
+#include "bgr/obs/trace.hpp"
 
 namespace bgr::serve {
 
@@ -24,22 +25,120 @@ constexpr const char* kStdioClient = "stdio";
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       cache_(config_.dataset_cache_capacity, config_.result_cache_capacity) {
+  event_epoch_ = std::chrono::steady_clock::now();
   scheduler_ = std::make_unique<JobScheduler>(
       config_.scheduler, &cache_,
       [this](const std::string& client, const JsonValue& event) {
         emit(client, event);
       });
+  register_telemetry();
 }
 
 Server::~Server() {
+  admin_.reset();  // stop scrapes before the things the gauges sample
   close_tcp();
   // The scheduler joins its runners before cache_/emit go away.
   scheduler_.reset();
 }
 
+void Server::register_telemetry() {
+  hub_.add_gauge(
+      "serve.queue_depth", "Queued (not yet started) jobs per client.",
+      [this] {
+        std::vector<GaugeSample> out;
+        for (const auto& [client, depth] : scheduler_->queue_depths()) {
+          GaugeSample sample;
+          sample.labels.emplace_back("client", client);
+          sample.value = static_cast<double>(depth);
+          out.push_back(std::move(sample));
+        }
+        return out;
+      });
+  hub_.add_gauge("serve.inflight_jobs", "Jobs currently running.", [this] {
+    return std::vector<GaugeSample>{
+        {{}, static_cast<double>(scheduler_->running_jobs())}};
+  });
+  hub_.add_gauge(
+      "serve.cache_entries",
+      "DesignCache resident entries by level (dataset/result).", [this] {
+        const DesignCache::Usage usage = cache_.usage();
+        GaugeSample dataset;
+        dataset.labels.emplace_back("level", "dataset");
+        dataset.value = static_cast<double>(usage.dataset_entries);
+        GaugeSample result;
+        result.labels.emplace_back("level", "result");
+        result.value = static_cast<double>(usage.result_entries);
+        return std::vector<GaugeSample>{std::move(dataset), std::move(result)};
+      });
+  hub_.add_gauge(
+      "serve.cache_bytes",
+      "Approximate DesignCache resident bytes by level.", [this] {
+        const DesignCache::Usage usage = cache_.usage();
+        GaugeSample dataset;
+        dataset.labels.emplace_back("level", "dataset");
+        dataset.value = static_cast<double>(usage.dataset_bytes);
+        GaugeSample result;
+        result.labels.emplace_back("level", "result");
+        result.value = static_cast<double>(usage.result_bytes);
+        return std::vector<GaugeSample>{std::move(dataset), std::move(result)};
+      });
+  hub_.add_gauge("exec.pool_workers", "Workers on the shared compute pool.",
+                 [this] {
+                   ThreadPool* pool = scheduler_->pool();
+                   return std::vector<GaugeSample>{
+                       {{}, pool != nullptr
+                                ? static_cast<double>(pool->worker_count())
+                                : 0.0}};
+                 });
+  hub_.add_gauge("exec.pool_busy_workers",
+                 "Pool workers executing a task right now.", [this] {
+                   ThreadPool* pool = scheduler_->pool();
+                   return std::vector<GaugeSample>{
+                       {{}, pool != nullptr
+                                ? static_cast<double>(pool->active_workers())
+                                : 0.0}};
+                 });
+
+  const JobScheduler::LatencyWindows& lat = scheduler_->latency();
+  hub_.add_window("serve.queue_wait_us",
+                  "Rolling accepted-to-started wait (microseconds).",
+                  &lat.queue_wait_us);
+  hub_.add_window("serve.e2e_us",
+                  "Rolling accepted-to-done end-to-end latency "
+                  "(microseconds, completed jobs).",
+                  &lat.e2e_us);
+  hub_.add_window("serve.phase_parse_us",
+                  "Rolling parse-phase latency (microseconds).",
+                  &lat.parse_us);
+  hub_.add_window("serve.phase_route_us",
+                  "Rolling route-phase latency (microseconds).",
+                  &lat.route_us);
+  hub_.add_window("serve.phase_channel_us",
+                  "Rolling channel-phase latency (microseconds).",
+                  &lat.channel_us);
+  hub_.add_window("serve.phase_verify_us",
+                  "Rolling verify-phase latency (microseconds).",
+                  &lat.verify_us);
+  hub_.add_window("serve.phase_report_us",
+                  "Rolling report-phase latency (microseconds).",
+                  &lat.report_us);
+}
+
 void Server::emit(const std::string& client, const JsonValue& event) {
-  const std::string line = response_line(event) + "\n";
+  std::string line;
   std::lock_guard<std::mutex> out_lock(out_mutex_);
+  {
+    // Stamp under out_mutex_: the stream order, the sequence numbers and
+    // the timestamps all agree (seq strictly increasing, ts_us
+    // non-decreasing on the steady clock).
+    JsonValue stamped = event;
+    stamped.set("ts_us",
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - event_epoch_)
+                    .count());
+    stamped.set("seq", event_seq_++);
+    line = response_line(stamped) + "\n";
+  }
   if (client == kStdioClient) {
     if (stdio_out_ != nullptr) {
       (*stdio_out_) << line;
@@ -129,12 +228,25 @@ int Server::run(std::istream& in, std::ostream& out) {
     std::lock_guard<std::mutex> lock(out_mutex_);
     stdio_out_ = &out;
   }
+  if (!config_.trace_out.empty()) Trace::global().enable();
   if (config_.tcp_port >= 0 && !open_listener()) {
     JsonValue event = make_event("fatal");
     event.set("reason", "cannot bind loopback port " +
                             std::to_string(config_.tcp_port));
     emit(kStdioClient, event);
     return 1;
+  }
+  if (config_.admin_port >= 0) {
+    admin_ = std::make_unique<AdminServer>(
+        [this] { return hub_.render(MetricsRegistry::global()); },
+        [this] { return !draining_.load(std::memory_order_relaxed); });
+    if (!admin_->start(config_.admin_port)) {
+      JsonValue event = make_event("fatal");
+      event.set("reason", "cannot bind admin port " +
+                              std::to_string(config_.admin_port));
+      emit(kStdioClient, event);
+      return 1;
+    }
   }
   {
     JsonValue ready = make_event("ready");
@@ -145,6 +257,9 @@ int Server::run(std::istream& in, std::ostream& out) {
     if (bound_port_ >= 0) {
       ready.set("port", static_cast<std::int64_t>(bound_port_));
     }
+    if (admin_ != nullptr) {
+      ready.set("admin_port", static_cast<std::int64_t>(admin_->port()));
+    }
     emit(kStdioClient, ready);
   }
 
@@ -154,9 +269,15 @@ int Server::run(std::istream& in, std::ostream& out) {
     if (!handle_line(kStdioClient, line, /*allow_shutdown=*/true)) break;
   }
 
-  // Orderly shutdown: no new clients, run out the queue, then report.
+  // Orderly shutdown: /readyz flips to draining first, then no new
+  // clients, run out the queue, report. The admin endpoint stays up
+  // through the drain so probes see the 503 instead of a dead port.
+  draining_.store(true, std::memory_order_relaxed);
   close_tcp();
   scheduler_->drain_and_stop();
+  if (!config_.trace_out.empty()) {
+    Trace::global().save(config_.trace_out);
+  }
 
   const JsonValue report = final_report(watch.seconds());
   if (!config_.metrics_out.empty()) {
@@ -204,6 +325,7 @@ JsonValue Server::final_report(double wall_seconds) const {
   run.set("cache_result_misses", cache.result_misses);
   run.set("cache_dataset_hits", cache.dataset_hits);
   run.set("cache_evictions", cache.evictions);
+  run.set("watchdog_flags", scheduler_->watchdog_flags());
 
   report.add_metrics(MetricsRegistry::global());
   return report.root();

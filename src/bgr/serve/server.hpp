@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -9,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "bgr/obs/telemetry.hpp"
+#include "bgr/serve/admin.hpp"
 #include "bgr/serve/design_cache.hpp"
 #include "bgr/serve/scheduler.hpp"
 
@@ -19,9 +22,16 @@ struct ServerConfig {
   /// Loopback TCP listener; < 0 disables the socket (stdio only), 0 binds
   /// an ephemeral port (printed in the startup banner event).
   std::int32_t tcp_port = -1;
+  /// Loopback admin/telemetry endpoint (GET /metrics, /healthz, /readyz);
+  /// < 0 disables it, 0 binds an ephemeral port (reported in the ready
+  /// banner as "admin_port").
+  std::int32_t admin_port = -1;
   /// Path for the final "bgr_serve" run report ("" = stdout only when
   /// report_to_stdout is set; never written otherwise).
   std::string metrics_out;
+  /// Chrome trace-event JSON of every job's phase spans ("" = tracing
+  /// off). Enabling costs one atomic load per span when idle.
+  std::string trace_out;
   std::size_t dataset_cache_capacity = 32;
   std::size_t result_cache_capacity = 128;
 };
@@ -56,6 +66,10 @@ class Server {
   /// Port the TCP listener actually bound (ephemeral ports resolve here);
   /// -1 when the socket is disabled or failed to open.
   [[nodiscard]] std::int32_t tcp_port() const { return bound_port_; }
+  /// Port the admin endpoint actually bound; -1 when disabled/failed.
+  [[nodiscard]] std::int32_t admin_port() const {
+    return admin_ != nullptr ? admin_->port() : -1;
+  }
 
  private:
   /// One request line from `client`; responses route back through emit().
@@ -68,6 +82,9 @@ class Server {
   void accept_loop();
   void connection_loop(int fd, std::string client);
   void close_tcp();
+  /// Registers the live gauges and latency windows on hub_ (called once,
+  /// after the scheduler exists).
+  void register_telemetry();
 
   [[nodiscard]] JsonValue final_report(double wall_seconds) const;
 
@@ -75,8 +92,19 @@ class Server {
   DesignCache cache_;  // must outlive scheduler_ (sessions hold it)
   std::unique_ptr<JobScheduler> scheduler_;
 
+  TelemetryHub hub_;
+  std::unique_ptr<AdminServer> admin_;
+  /// Flipped at shutdown before the drain: /readyz turns 503 while the
+  /// queue runs out, so a load balancer stops sending work first.
+  std::atomic<bool> draining_{false};
+
   std::mutex out_mutex_;        // serializes every response line
   std::ostream* stdio_out_ = nullptr;
+  /// Every NDJSON event is stamped under out_mutex_ with a monotonic
+  /// microsecond timestamp and a strictly increasing sequence number, so
+  /// a consumer can totally order the stream even across clients.
+  std::int64_t event_seq_ = 0;
+  std::chrono::steady_clock::time_point event_epoch_{};
   /// Live TCP connections by client name; fd < 0 after disconnect.
   struct Connection {
     int fd = -1;

@@ -12,12 +12,42 @@
 #include "bgr/io/io_error.hpp"
 #include "bgr/io/route_io.hpp"
 #include "bgr/metrics/report.hpp"
+#include "bgr/obs/trace.hpp"
 #include "bgr/serve/design_cache.hpp"
 #include "bgr/verify/verifier.hpp"
 
 namespace bgr::serve {
 
 namespace {
+
+/// Per-phase bookkeeping: publishes the phase, opens a Chrome-trace span
+/// named "<phase>@<trace-id>" (category "job") so the job's spans
+/// correlate with its NDJSON lifecycle events, and appends the phase's
+/// wall time to result.phase_seconds for the rolling latency windows.
+class PhaseScope {
+ public:
+  PhaseScope(std::atomic<SessionPhase>* slot, SessionPhase phase,
+             const std::string& trace_id, SessionResult* result)
+      : name_(session_phase_name(phase)),
+        result_(result),
+        span_(trace_id.empty() ? std::string(name_)
+                               : std::string(name_) + "@" + trace_id,
+              "job") {
+    slot->store(phase, std::memory_order_relaxed);
+  }
+  ~PhaseScope() {
+    result_->phase_seconds.emplace_back(name_, watch_.seconds());
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* name_;
+  SessionResult* result_;
+  Stopwatch watch_;
+  ScopedSpan span_;
+};
 
 std::string slurp_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
@@ -144,83 +174,108 @@ SessionResult RoutingSession::run() {
 SessionResult RoutingSession::run_pipeline() {
   Stopwatch watch;
   SessionResult result;
+  // One enclosing span per job; the per-phase spans nest inside it on the
+  // runner thread, so the whole lifecycle reads as one block in the trace.
+  ScopedSpan job_span(
+      trace_id_.empty() ? std::string("job") : "job@" + trace_id_, "job");
 
   // -- Parse / fetch the design ------------------------------------------
-  phase_.store(SessionPhase::kParse, std::memory_order_relaxed);
-  check_cancel("parse");
-
   std::uint64_t design_key = 0;
   std::shared_ptr<const Dataset> base;
+  std::unique_ptr<Dataset> local;
   bool dataset_hit = false;
-  if (!request_.preset.empty()) {
-    design_key = DesignCache::preset_key(request_.preset);
-    const std::uint64_t result_key = request_result_key(request_, design_key);
-    if (cache_ != nullptr) {
-      if (auto cached = cache_->find_result(result_key)) {
-        result = *cached;
-        result.cache = "result-hit";
-        return result;
+  bool result_hit = false;
+  {
+    PhaseScope phase(&phase_, SessionPhase::kParse, trace_id_, &result);
+    check_cancel("parse");
+    if (!request_.preset.empty()) {
+      design_key = DesignCache::preset_key(request_.preset);
+      const std::uint64_t result_key =
+          request_result_key(request_, design_key);
+      if (cache_ != nullptr) {
+        if (auto cached = cache_->find_result(result_key)) {
+          result = *cached;
+          result.cache = "result-hit";
+          result_hit = true;
+        } else {
+          base = cache_->dataset_for_preset(request_.preset, &dataset_hit);
+        }
+      } else {
+        base = std::make_shared<const Dataset>(make_dataset(request_.preset));
       }
-      base = cache_->dataset_for_preset(request_.preset, &dataset_hit);
     } else {
-      base = std::make_shared<const Dataset>(make_dataset(request_.preset));
-    }
-  } else {
-    std::string text = request_.design_text;
-    std::string source = "request:" + request_.id;
-    if (!request_.design_file.empty()) {
-      text = slurp_file(request_.design_file);
-      source = request_.design_file;
-    }
-    design_key = DesignCache::text_key(text);
-    const std::uint64_t result_key = request_result_key(request_, design_key);
-    if (cache_ != nullptr) {
-      if (auto cached = cache_->find_result(result_key)) {
-        result = *cached;
-        result.cache = "result-hit";
-        return result;
+      std::string text = request_.design_text;
+      std::string source = "request:" + request_.id;
+      if (!request_.design_file.empty()) {
+        text = slurp_file(request_.design_file);
+        source = request_.design_file;
       }
-      base = cache_->dataset_for_text(text, source, &dataset_hit);
+      design_key = DesignCache::text_key(text);
+      const std::uint64_t result_key =
+          request_result_key(request_, design_key);
+      if (cache_ != nullptr) {
+        if (auto cached = cache_->find_result(result_key)) {
+          result = *cached;
+          result.cache = "result-hit";
+          result_hit = true;
+        } else {
+          base = cache_->dataset_for_text(text, source, &dataset_hit);
+        }
+      } else {
+        std::istringstream is(text);
+        base = std::make_shared<const Dataset>(read_design(is, source));
+      }
+    }
+    if (result_hit) {
+      // The cached run's phase timings are not this job's; the PhaseScope
+      // destructor appends this run's (cheap) parse lookup afterwards.
+      result.phase_seconds.clear();
     } else {
-      std::istringstream is(text);
-      base = std::make_shared<const Dataset>(read_design(is, source));
+      result.cache = dataset_hit ? "design-hit" : "miss";
+      // The router consumes its inputs (feed cells are inserted into the
+      // netlist), so every run works on a private copy of the shared
+      // parsed dataset — this is what makes the session re-entrant and
+      // the cache entry immutable.
+      local = std::make_unique<Dataset>(*base);
     }
   }
-  result.cache = dataset_hit ? "design-hit" : "miss";
-
-  // The router consumes its inputs (feed cells are inserted into the
-  // netlist), so every run works on a private copy of the shared parsed
-  // dataset — this is what makes the session re-entrant and the cache
-  // entry immutable.
-  Dataset local = *base;
+  if (result_hit) return result;
 
   // -- Global routing ----------------------------------------------------
-  phase_.store(SessionPhase::kRoute, std::memory_order_relaxed);
-  check_cancel("route");
-  RouterOptions options = request_.options;
-  options.use_constraints = request_.constrained;
-  options.shared_pool = pool_;
-  options.cancel_requested = [this] { return cancel_requested(); };
+  std::unique_ptr<GlobalRouter> router;
+  {
+    PhaseScope phase(&phase_, SessionPhase::kRoute, trace_id_, &result);
+    check_cancel("route");
+    RouterOptions options = request_.options;
+    options.use_constraints = request_.constrained;
+    options.shared_pool = pool_;
+    options.cancel_requested = [this] { return cancel_requested(); };
 
-  GlobalRouter router(local.netlist, std::move(local.placement), local.tech,
-                      local.constraints, options);
-  result.outcome = router.run();  // throws CancelledError on cancellation
+    router = std::make_unique<GlobalRouter>(local->netlist,
+                                            std::move(local->placement),
+                                            local->tech, local->constraints,
+                                            options);
+    result.outcome = router->run();  // throws CancelledError on cancellation
+  }
 
   // -- Channel stage (detailed lengths, area, final delay) ---------------
-  phase_.store(SessionPhase::kChannel, std::memory_order_relaxed);
-  check_cancel("channel");
-  ChannelStage channel(router);
-  channel.run();
-  result.detailed_delay_ps = channel.apply_and_critical_delay_ps(
-      router.delay_graph(), options.delay_model);
-  result.area_mm2 = channel.chip_area_mm2();
-  result.total_length_um = channel.total_detailed_length_um();
+  std::unique_ptr<ChannelStage> channel;
+  {
+    PhaseScope phase(&phase_, SessionPhase::kChannel, trace_id_, &result);
+    check_cancel("channel");
+    channel = std::make_unique<ChannelStage>(*router);
+    channel->run();
+    result.detailed_delay_ps = channel->apply_and_critical_delay_ps(
+        router->delay_graph(), request_.options.delay_model);
+    result.area_mm2 = channel->chip_area_mm2();
+    result.total_length_um = channel->total_detailed_length_um();
+  }
 
   // -- Optional signoff --------------------------------------------------
   if (request_.verify) {
-    phase_.store(SessionPhase::kVerify, std::memory_order_relaxed);
+    PhaseScope phase(&phase_, SessionPhase::kVerify, trace_id_, &result);
     check_cancel("verify");
-    const RouteVerifier verifier(router, &channel);
+    const RouteVerifier verifier(*router, channel.get());
     result.verify_errors = 0;
     result.verify_warnings = 0;
     for (const VerifyIssue& issue : verifier.run()) {
@@ -233,29 +288,31 @@ SessionResult RoutingSession::run_pipeline() {
   }
 
   // -- Result assembly ---------------------------------------------------
-  phase_.store(SessionPhase::kReport, std::memory_order_relaxed);
-  // The routed-result text always feeds the digest (it is the strongest
-  // bit-identity witness: every tree edge and track assignment), whether
-  // or not the client asked for the text itself.
-  std::string route_text;
   {
-    std::ostringstream os;
-    write_route(os, router, channel);
-    route_text = os.str();
-  }
-  result.digest =
-      outcome_digest(result.outcome, result.detailed_delay_ps,
-                     result.area_mm2, result.total_length_um, route_text);
-  if (request_.want_route_text) result.route_text = std::move(route_text);
+    PhaseScope phase(&phase_, SessionPhase::kReport, trace_id_, &result);
+    // The routed-result text always feeds the digest (it is the strongest
+    // bit-identity witness: every tree edge and track assignment), whether
+    // or not the client asked for the text itself.
+    std::string route_text;
+    {
+      std::ostringstream os;
+      write_route(os, *router, *channel);
+      route_text = os.str();
+    }
+    result.digest =
+        outcome_digest(result.outcome, result.detailed_delay_ps,
+                       result.area_mm2, result.total_length_um, route_text);
+    if (request_.want_route_text) result.route_text = std::move(route_text);
 
-  if (request_.want_report) {
-    RunReportInfo info;
-    info.design = local.name;
-    info.constrained = request_.constrained;
-    info.detailed_delay_ps = result.detailed_delay_ps;
-    info.wall_seconds = watch.seconds();
-    result.report =
-        make_run_report(router, channel, result.outcome, info).root();
+    if (request_.want_report) {
+      RunReportInfo info;
+      info.design = local->name;
+      info.constrained = request_.constrained;
+      info.detailed_delay_ps = result.detailed_delay_ps;
+      info.wall_seconds = watch.seconds();
+      result.report =
+          make_run_report(*router, *channel, result.outcome, info).root();
+    }
   }
 
   result.status = SessionStatus::kDone;

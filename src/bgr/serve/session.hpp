@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bgr/obs/json.hpp"
 #include "bgr/route/router.hpp"
@@ -57,6 +59,11 @@ struct SessionResult {
   std::string cache = "miss";
   /// Full run report document (kind "bgr_route"); filled when requested.
   JsonValue report;
+  /// Wall seconds spent in each pipeline phase of *this* run, in pipeline
+  /// order ({"parse",s}, {"route",s}, ...). Operational telemetry only:
+  /// excluded from the digest and from result_to_json, cleared on a
+  /// result-cache hit (the cached run's timings are not this job's).
+  std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
 /// Re-entrant, cancellable pipeline: parse/fetch design → global routing
@@ -106,6 +113,13 @@ class RoutingSession {
   }
   [[nodiscard]] const JobRequest& request() const { return request_; }
 
+  /// Trace id minted at admission (scheduler) and threaded through every
+  /// phase span and NDJSON event of this job. Set once before the session
+  /// becomes visible to any other thread (it is read concurrently by the
+  /// watchdog); empty for sessions driven outside a scheduler.
+  void set_trace_id(std::string trace_id) { trace_id_ = std::move(trace_id); }
+  [[nodiscard]] const std::string& trace_id() const { return trace_id_; }
+
  private:
   [[nodiscard]] SessionResult run_pipeline();
   void check_cancel(const char* where) const;
@@ -113,6 +127,7 @@ class RoutingSession {
   JobRequest request_;
   DesignCache* cache_;
   ThreadPool* pool_;
+  std::string trace_id_;
   std::atomic<bool> cancel_{false};
   std::atomic<SessionPhase> phase_{SessionPhase::kIdle};
 };

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Determinism gate on the live /metrics exposition (DESIGN.md §14).
+
+Runs the same request stream through two bgr_serve daemons — --threads 1
+and --threads 8 — scrapes /metrics from each while it is live, and
+requires every scope="semantic" sample line to be bit-identical text
+across the two scrapes. Gauges and rolling-latency windows are labeled
+scope="nondeterministic" and are quarantined (excluded from comparison),
+exactly like the run-report contract in check_run_report.py.
+
+usage: metrics_scrape_determinism.py <bgr_serve-binary>
+"""
+
+import json
+import subprocess
+import sys
+import urllib.request
+
+
+def fail(msg):
+    print(f"metrics_scrape_determinism: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+REQUESTS = [
+    {"id": "j0", "dataset": "C1P1"},
+    {"id": "j1", "dataset": "C1P1", "verify": True},
+    {"id": "j2", "dataset": "C1P1", "options": {"improvement_passes": 4}},
+    {"id": "j3", "dataset": "C1P1"},  # exact duplicate -> result hit
+]
+
+
+def run_and_scrape(serve_bin, threads):
+    proc = subprocess.Popen(
+        [serve_bin, "--threads", str(threads), "--jobs", "2",
+         "--admin-port", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True)
+    proc.stdin.write("\n".join(json.dumps(r) for r in REQUESTS) + "\n")
+    proc.stdin.flush()
+
+    admin_port = None
+    terminals = 0
+    while terminals < len(REQUESTS):
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"--threads {threads}: daemon closed stdout early")
+        event = json.loads(line)
+        if event.get("event") == "ready":
+            admin_port = event.get("admin_port")
+        if event.get("event") in ("done", "cancelled", "failed"):
+            terminals += 1
+    if not admin_port:
+        fail(f"--threads {threads}: no admin_port in the ready event")
+
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{admin_port}/metrics", timeout=30) as resp:
+        text = resp.read().decode("utf-8")
+
+    proc.stdin.write(json.dumps({"shutdown": True}) + "\n")
+    proc.stdin.close()
+    proc.stdout.read()
+    if proc.wait(timeout=120) != 0:
+        fail(f"--threads {threads}: daemon exited {proc.returncode}")
+    return text
+
+
+def semantic_lines(text):
+    return [line for line in text.splitlines()
+            if not line.startswith("#") and 'scope="semantic"' in line]
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <bgr_serve>")
+    serve_bin = sys.argv[1]
+
+    a = semantic_lines(run_and_scrape(serve_bin, 1))
+    b = semantic_lines(run_and_scrape(serve_bin, 8))
+    if not a:
+        fail("no scope=\"semantic\" samples in the exposition")
+    if a != b:
+        only_a = sorted(set(a) - set(b))
+        only_b = sorted(set(b) - set(a))
+        for line in only_a[:10]:
+            print(f"  only in --threads 1: {line}", file=sys.stderr)
+        for line in only_b[:10]:
+            print(f"  only in --threads 8: {line}", file=sys.stderr)
+        fail(f"semantic exposition differs across thread counts "
+             f"({len(only_a) + len(only_b)} differing lines)")
+
+    print(f"metrics_scrape_determinism: OK ({len(a)} semantic sample "
+          f"lines bit-identical across --threads 1 and 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,24 +9,85 @@ Drives one daemon process through its full protocol surface:
   - a cancel of a queued job (terminal event "cancelled", never "done");
   - a duplicate job id, an unknown cancel target and a malformed line
     (each rejected with a diagnostic, daemon stays up);
-  - ping/pong and an orderly shutdown (exit status 0).
+  - ping/pong and an orderly shutdown (exit status 0);
+  - the live admin endpoint (DESIGN.md §14): /metrics is scraped while
+    the daemon is up and must be well-formed Prometheus text with the
+    session's semantic counters, /healthz answers 200, /readyz answers
+    "ready" while accepting;
+  - per-job tracing: every lifecycle event carries a trace id, and each
+    started job's id reappears in the Chrome trace's phase span names.
 
 The per-job embedded run report and the daemon's final --metrics-out
-report are both validated with tools/check_run_report.py.
+report are both validated with tools/check_run_report.py, the captured
+NDJSON stream with its --serve-events mode.
 
 usage: serve_smoke.py <bgr_serve-binary> <check_run_report.py> <design.txt>
 """
 
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
+import urllib.request
 
 
 def fail(msg):
     print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+EXPOSITION_NAME_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?$")
+
+
+def scrape(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=30) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def check_exposition(text):
+    """Prometheus text-format sanity: every sample line parses (name,
+    optional labels, float value), every sample's family was declared
+    with # TYPE first."""
+    declared = set()
+    samples = 0
+    for i, line in enumerate(text.splitlines()):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                declared.add(parts[2])
+            continue
+        series, _, value = line.rpartition(" ")
+        if not EXPOSITION_NAME_RE.match(series):
+            fail(f"/metrics line {i} malformed: {line!r}")
+        try:
+            float(value)
+        except ValueError:
+            fail(f"/metrics line {i} has a non-numeric value: {line!r}")
+        name = re.split(r"[{ ]", line, 1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and family not in declared:
+            fail(f"/metrics line {i}: sample {name!r} has no # TYPE")
+        samples += 1
+    if samples == 0:
+        fail("/metrics exposition has no samples")
+    return samples
+
+
+def sample_value(text, name, labels=""):
+    needle = f"{name}{labels}" if labels else name
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        if line.startswith(needle + " ") or \
+                (not labels and line.startswith(name + "{")):
+            return float(line.rsplit(" ", 1)[1])
+    fail(f"/metrics lacks sample {needle!r}")
 
 
 def main():
@@ -57,27 +118,98 @@ def main():
     ]
     stdin_lines = [json.dumps(r) for r in requests]
     stdin_lines.append("{this is not json")  # malformed -> rejected
-    stdin_lines.append(json.dumps({"shutdown": True}))
 
     with tempfile.TemporaryDirectory() as tmp:
         metrics_path = os.path.join(tmp, "serve_report.json")
-        proc = subprocess.run(
-            [serve_bin, "--jobs", "2", "--metrics-out", metrics_path],
-            input="\n".join(stdin_lines) + "\n",
-            capture_output=True, text=True, timeout=600)
-        if proc.returncode != 0:
-            sys.stderr.write(proc.stderr)
-            fail(f"daemon exited with status {proc.returncode}")
+        trace_path = os.path.join(tmp, "serve_trace.json")
+        stderr_path = os.path.join(tmp, "serve_stderr.txt")
+        stderr_file = open(stderr_path, "w", encoding="utf-8")
+        proc = subprocess.Popen(
+            [serve_bin, "--jobs", "2", "--metrics-out", metrics_path,
+             "--admin-port", "0", "--trace-out", trace_path],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=stderr_file, text=True)
 
         events = []
-        for line in proc.stdout.splitlines():
+
+        def read_event():
+            line = proc.stdout.readline()
+            if not line:
+                fail("daemon closed stdout early")
             try:
-                events.append(json.loads(line))
+                event = json.loads(line)
             except json.JSONDecodeError as e:
                 fail(f"unparseable response line {line!r}: {e}")
+            events.append(event)
+            return event
 
         def of(name):
             return [e for e in events if e.get("event") == name]
+
+        # The request block is tiny, so writing it before draining stdout
+        # cannot fill the pipe.
+        proc.stdin.write("\n".join(stdin_lines) + "\n")
+        proc.stdin.flush()
+
+        ready = read_event()
+        if ready.get("event") != "ready":
+            fail(f"first event is {ready.get('event')!r}, expected 'ready'")
+        admin_port = ready.get("admin_port")
+        if not isinstance(admin_port, int) or admin_port <= 0:
+            fail(f"ready event lacks a usable admin_port: {admin_port!r}")
+
+        # Drain until every job reached its terminal event (7 done + 1
+        # queued-cancel) and the two rejections arrived.
+        def terminals():
+            return [e for e in events
+                    if e.get("event") in ("done", "cancelled", "failed")]
+
+        while len(terminals()) < 8 or len(of("rejected")) < 2:
+            read_event()
+
+        # ---- Live admin endpoint, scraped while the daemon is up -------
+        status, health = scrape(admin_port, "/healthz")
+        if status != 200 or "ok" not in health:
+            fail(f"/healthz answered {status} {health!r}")
+        status, readyz = scrape(admin_port, "/readyz")
+        if status != 200 or "ready" not in readyz:
+            fail(f"/readyz answered {status} {readyz!r} while accepting")
+        status, metrics_text = scrape(admin_port, "/metrics")
+        if status != 200:
+            fail(f"/metrics answered {status}")
+        n_samples = check_exposition(metrics_text)
+        # The session's semantic counters, live, with their scope label.
+        for name, want in [("bgr_serve_jobs_accepted", 8),
+                           ("bgr_serve_jobs_rejected", 1),
+                           ("bgr_serve_jobs_completed", 7),
+                           ("bgr_serve_cache_misses", 2),
+                           ("bgr_serve_cache_hits", 5)]:
+            got = sample_value(metrics_text, name, '{scope="semantic"}')
+            if got != want:
+                fail(f"/metrics {name} = {got}, expected {want}")
+        # Gauges and rolling windows are present and nondeterministic.
+        for name in ("bgr_serve_inflight_jobs", "bgr_serve_cache_entries",
+                     "bgr_serve_cache_bytes", "bgr_exec_pool_workers"):
+            if name not in metrics_text:
+                fail(f"/metrics lacks gauge family {name}")
+        for q in ('quantile="0.5"', 'quantile="0.9"', 'quantile="0.99"'):
+            if f"bgr_serve_e2e_us{{{q}" not in metrics_text.replace(
+                    'scope="nondeterministic",', ""):
+                fail(f"/metrics lacks bgr_serve_e2e_us {q}")
+        if sample_value(metrics_text, "bgr_serve_e2e_us_count") != 7:
+            fail("rolling e2e window did not record the 7 completed jobs")
+
+        # ---- Orderly shutdown ------------------------------------------
+        proc.stdin.write(json.dumps({"shutdown": True}) + "\n")
+        proc.stdin.close()
+        while not of("shutdown"):
+            read_event()
+        code = proc.wait(timeout=120)
+        stderr_file.close()
+        if code != 0:
+            with open(stderr_path, encoding="utf-8") as f:
+                sys.stderr.write(f.read())
+            fail(f"daemon exited with status {code}")
 
         def terminal(job_id):
             found = [e for e in events
@@ -88,8 +220,6 @@ def main():
                      f"got {[e.get('event') for e in found]}")
             return found[0]
 
-        if not of("ready"):
-            fail("no 'ready' banner")
         if not of("pong"):
             fail("no 'pong' for ping")
         if len(of("accepted")) != 8:
@@ -144,10 +274,14 @@ def main():
         subprocess.run([sys.executable, checker, job_report_path], check=True)
 
         # Final daemon report: schema-valid, with the totals this session
-        # deterministically produced.
-        if not of("shutdown"):
-            fail("no 'shutdown' event")
-        subprocess.run([sys.executable, checker, metrics_path], check=True)
+        # deterministically produced; the captured NDJSON stream passes
+        # the --serve-events checks (trace ids, ts_us/seq ordering).
+        events_path = os.path.join(tmp, "serve_events.ndjson")
+        with open(events_path, "w", encoding="utf-8") as f:
+            f.write("\n".join(json.dumps(e) for e in events) + "\n")
+        subprocess.run([sys.executable, checker, metrics_path,
+                        "--serve-events", events_path,
+                        "--trace", trace_path], check=True)
         with open(metrics_path, encoding="utf-8") as f:
             report = json.load(f)
         totals = report["totals"]
@@ -166,8 +300,31 @@ def main():
         if totals["cache_hits"] != 5:
             fail(f"totals.cache_hits = {totals['cache_hits']}, expected 5")
 
+        # ---- Trace correlation -----------------------------------------
+        # Every started job's trace id must appear in the Chrome trace's
+        # span names ("job@t-...", "route@t-..."); j7 never started, so
+        # its id must not.
+        with open(trace_path, encoding="utf-8") as f:
+            span_names = [e.get("name", "")
+                          for e in json.load(f)["traceEvents"]]
+        started_traces = {e["trace"] for e in of("started")}
+        if not started_traces:
+            fail("no started events carried trace ids")
+        for trace_id in started_traces:
+            if not any(name.endswith("@" + trace_id) for name in span_names):
+                fail(f"trace id {trace_id} has no span in {trace_path}")
+        j7_trace = terminal("j7")["trace"]
+        if any(name.endswith("@" + j7_trace) for name in span_names):
+            fail("queued-cancelled j7 has phase spans in the trace")
+        # Phase spans carry the same correlator as the job span.
+        some_trace = sorted(started_traces)[0]
+        for phase in ("job", "parse"):
+            if f"{phase}@{some_trace}" not in span_names:
+                fail(f"no '{phase}@{some_trace}' span in the trace")
+
     print("serve_smoke: OK (8 jobs, duplicate bit-identity, queued cancel, "
-          "3 rejections, schema-valid reports)")
+          "3 rejections, schema-valid reports, live /metrics scrape "
+          f"({n_samples} samples), trace ids correlated)")
 
 
 if __name__ == "__main__":

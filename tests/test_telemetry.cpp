@@ -1,0 +1,401 @@
+// Live-telemetry unit and integration tests (DESIGN.md §14): the
+// rolling-window histogram and its quantile estimator, the watchdog
+// predicate, the Prometheus text renderer, the loopback admin endpoint
+// (scraped over a real socket, including the drain-aware /readyz flip),
+// and the scheduler integration — trace ids on every lifecycle event,
+// latency windows fed by finished jobs, the slow-job watchdog flagging.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bgr/obs/metrics.hpp"
+#include "bgr/obs/telemetry.hpp"
+#include "bgr/serve/admin.hpp"
+#include "bgr/serve/design_cache.hpp"
+#include "bgr/serve/scheduler.hpp"
+
+namespace bgr {
+namespace {
+
+// ---- SlidingHistogram -----------------------------------------------------
+
+TEST(SlidingHistogram, RecordsAndSnapshots) {
+  SlidingHistogram h(4);
+  for (const std::int64_t v : {10, 20, 30, 40, 50}) h.record(v);
+  const SlidingHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 150);
+  EXPECT_EQ(snap.min, 10);
+  EXPECT_EQ(snap.max, 50);
+  EXPECT_GE(snap.p50, 10.0);
+  EXPECT_LE(snap.p50, 50.0);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+}
+
+TEST(SlidingHistogram, EmptyWindowIsAllZero) {
+  SlidingHistogram h(3);
+  const SlidingHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(SlidingHistogram, AdvanceDropsTheOldestEpoch) {
+  SlidingHistogram h(3);
+  h.record(1000);
+  EXPECT_EQ(h.snapshot().count, 1);
+  // Two rotations keep the sample in the window (3 epochs), the third
+  // reclaims its slice.
+  h.advance();
+  h.record(2000);
+  h.advance();
+  EXPECT_EQ(h.snapshot().count, 2);
+  h.advance();
+  const SlidingHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);  // only the 2000 sample survives
+  EXPECT_EQ(snap.min, 2000);
+  h.advance();
+  h.advance();
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(SlidingHistogram, ResetEmptiesEveryEpoch) {
+  SlidingHistogram h(4);
+  h.record(7);
+  h.advance();
+  h.record(9);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(SlidingHistogram, QuantileSingleSampleClampsToValue) {
+  std::int64_t buckets[SlidingHistogram::kBuckets] = {};
+  // One sample of value 100 (bit width 7 -> bucket 7).
+  buckets[7] = 1;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(SlidingHistogram::quantile(buckets, 1, q, 100, 100),
+                     100.0)
+        << "q=" << q;
+  }
+}
+
+TEST(SlidingHistogram, QuantileIsMonotoneAndBounded) {
+  SlidingHistogram h(2);
+  for (std::int64_t v = 1; v <= 1000; ++v) h.record(v);
+  const SlidingHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  EXPECT_GE(snap.p50, 1.0);
+  EXPECT_LE(snap.p99, 1000.0);
+  // The p50 of a uniform 1..1000 stream sits near the middle; the
+  // power-of-two buckets bound the error to one bucket span.
+  EXPECT_GT(snap.p50, 250.0);
+  EXPECT_LT(snap.p50, 1000.0);
+}
+
+TEST(SlidingHistogram, NegativeValuesClampToZero) {
+  SlidingHistogram h(2);
+  h.record(-5);
+  const SlidingHistogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, 0);
+}
+
+// ---- Watchdog predicate ---------------------------------------------------
+
+TEST(Watchdog, FlagsOnlyPastTheMultiple) {
+  // 16 finished jobs, rolling p99 of 100us: flag past 800us at 8x.
+  EXPECT_FALSE(watchdog_should_flag(500.0, 100.0, 8.0, 16, 16));
+  EXPECT_TRUE(watchdog_should_flag(900.0, 100.0, 8.0, 16, 16));
+}
+
+TEST(Watchdog, RequiresEnoughSamples) {
+  EXPECT_FALSE(watchdog_should_flag(1e9, 100.0, 8.0, 15, 16));
+  EXPECT_TRUE(watchdog_should_flag(1e9, 100.0, 8.0, 16, 16));
+}
+
+TEST(Watchdog, NegativeMultipleDisables) {
+  EXPECT_FALSE(watchdog_should_flag(1e9, 100.0, -1.0, 1000, 0));
+}
+
+TEST(Watchdog, ZeroConfigFlagsEverything) {
+  // min_samples 0 + multiple 0: every running job with elapsed > 0 flags
+  // (the configuration tests use to force the code path).
+  EXPECT_TRUE(watchdog_should_flag(1.0, 0.0, 0.0, 0, 0));
+  EXPECT_FALSE(watchdog_should_flag(0.0, 0.0, 0.0, 0, 0));
+}
+
+// ---- Prometheus rendering -------------------------------------------------
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("route.deleted_edges"),
+            "bgr_route_deleted_edges");
+  EXPECT_EQ(prometheus_name("serve.e2e_us"), "bgr_serve_e2e_us");
+  EXPECT_EQ(prometheus_name("weird-name! x"), "bgr_weird_name__x");
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+  EXPECT_EQ(prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Prometheus, RenderExposesRegistryAndHub) {
+  MetricsRegistry::global().reset();
+  MetricsRegistry::global()
+      .counter("telemetry_test.hits", MetricScope::kSemantic)
+      .add(3);
+  MetricsRegistry::global()
+      .histogram("telemetry_test.sizes", MetricScope::kNonDeterministic)
+      .record(100);
+
+  TelemetryHub hub;
+  hub.add_gauge("telemetry_test.depth", "Queue depth by client.", [] {
+    GaugeSample a;
+    a.labels.emplace_back("client", "stdio");
+    a.value = 2.0;
+    return std::vector<GaugeSample>{a};
+  });
+  SlidingHistogram window(2);
+  window.record(50);
+  window.record(150);
+  hub.add_window("telemetry_test.wait_us", "Rolling wait.", &window);
+
+  const std::string text = hub.render(MetricsRegistry::global());
+  EXPECT_NE(text.find("# TYPE bgr_telemetry_test_hits counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgr_telemetry_test_hits{scope=\"semantic\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bgr_telemetry_test_sizes histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "bgr_telemetry_test_sizes_count{scope=\"nondeterministic\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("bgr_telemetry_test_depth{scope=\"nondeterministic\","
+                "client=\"stdio\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE bgr_telemetry_test_wait_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("bgr_telemetry_test_wait_us{scope=\"nondeterministic\","
+                      "quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("bgr_telemetry_test_wait_us_count{scope=\"nondeterministic\"}"
+                " 2"),
+      std::string::npos);
+  // Every non-comment line is "<series> <value>".
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+// ---- AdminServer over a real socket ---------------------------------------
+
+std::string http_get(std::int32_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(AdminServer, ServesMetricsHealthAndReadiness) {
+  std::atomic<bool> ready{true};
+  serve::AdminServer admin([] { return std::string("fake_metric 1\n"); },
+                           [&ready] { return ready.load(); });
+  ASSERT_TRUE(admin.start(0));
+  ASSERT_GT(admin.port(), 0);
+
+  const std::string metrics = http_get(admin.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("fake_metric 1"), std::string::npos);
+
+  EXPECT_NE(http_get(admin.port(), "/healthz").find("ok"),
+            std::string::npos);
+  EXPECT_NE(http_get(admin.port(), "/readyz").find("200 OK"),
+            std::string::npos);
+
+  // Drain flip: /readyz turns 503 "draining", /healthz stays 200.
+  ready.store(false);
+  const std::string draining = http_get(admin.port(), "/readyz");
+  EXPECT_NE(draining.find("503"), std::string::npos);
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+  EXPECT_NE(http_get(admin.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+
+  EXPECT_NE(http_get(admin.port(), "/nope").find("404"), std::string::npos);
+  admin.stop();
+}
+
+TEST(AdminServer, StopIsIdempotent) {
+  serve::AdminServer admin([] { return std::string(); }, [] { return true; });
+  ASSERT_TRUE(admin.start(0));
+  admin.stop();
+  admin.stop();
+}
+
+// ---- Scheduler integration ------------------------------------------------
+
+struct EventLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<JsonValue> events;
+
+  void add(const JsonValue& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(event);
+    cv.notify_all();
+  }
+  /// Blocks until `n` terminal events arrived; returns a snapshot.
+  std::vector<JsonValue> wait_terminals(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] {
+      std::size_t count = 0;
+      for (const JsonValue& e : events) {
+        const std::string& name = e.at("event").as_string();
+        if (name == "done" || name == "cancelled" || name == "failed") {
+          ++count;
+        }
+      }
+      return count >= n;
+    });
+    return events;
+  }
+};
+
+serve::JobRequest preset_request(const std::string& id) {
+  serve::JobRequest request;
+  request.id = id;
+  request.preset = "C1P1";
+  return request;
+}
+
+TEST(SchedulerTelemetry, TraceIdsThreadThroughTheLifecycle) {
+  serve::DesignCache cache;
+  EventLog log;
+  serve::SchedulerConfig config;
+  config.max_jobs = 2;
+  config.watchdog_multiple = -1.0;  // quiet
+  serve::JobScheduler scheduler(
+      config, &cache,
+      [&log](const std::string&, const JsonValue& e) { log.add(e); });
+
+  ASSERT_TRUE(scheduler.submit("stdio", preset_request("a")).accepted);
+  ASSERT_TRUE(scheduler.submit("stdio", preset_request("b")).accepted);
+  const std::vector<JsonValue> events = log.wait_terminals(2);
+
+  std::string trace_a;
+  std::string trace_b;
+  for (const JsonValue& e : events) {
+    const JsonValue* trace = e.find("trace");
+    ASSERT_NE(trace, nullptr) << e.dump();
+    EXPECT_EQ(trace->as_string().rfind("t-", 0), 0u) << e.dump();
+    const std::string& id = e.at("id").as_string();
+    std::string& slot = id == "a" ? trace_a : trace_b;
+    if (slot.empty()) {
+      slot = trace->as_string();
+    } else {
+      // accepted/started/done of one job agree on the id.
+      EXPECT_EQ(slot, trace->as_string()) << e.dump();
+    }
+  }
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_FALSE(trace_b.empty());
+  EXPECT_NE(trace_a, trace_b);
+
+  scheduler.drain_and_stop();
+  // Finished jobs fed the rolling windows before their done event.
+  EXPECT_EQ(scheduler.latency().e2e_us.snapshot().count, 2);
+  EXPECT_EQ(scheduler.latency().queue_wait_us.snapshot().count, 2);
+  EXPECT_EQ(scheduler.latency().parse_us.snapshot().count, 2);
+  // The duplicate job is a result-hit: only the first routes.
+  EXPECT_GE(scheduler.latency().route_us.snapshot().count, 1);
+  EXPECT_EQ(scheduler.watchdog_flags(), 0);
+}
+
+TEST(SchedulerTelemetry, QueueDepthsReportPausedBacklog) {
+  serve::DesignCache cache;
+  EventLog log;
+  serve::SchedulerConfig config;
+  config.start_paused = true;
+  config.watchdog_multiple = -1.0;
+  serve::JobScheduler scheduler(
+      config, &cache,
+      [&log](const std::string&, const JsonValue& e) { log.add(e); });
+
+  ASSERT_TRUE(scheduler.submit("alice", preset_request("a1")).accepted);
+  ASSERT_TRUE(scheduler.submit("alice", preset_request("a2")).accepted);
+  ASSERT_TRUE(scheduler.submit("bob", preset_request("b1")).accepted);
+  const auto depths = scheduler.queue_depths();
+  ASSERT_EQ(depths.size(), 2u);
+  EXPECT_EQ(depths[0].first, "alice");
+  EXPECT_EQ(depths[0].second, 2);
+  EXPECT_EQ(depths[1].first, "bob");
+  EXPECT_EQ(depths[1].second, 1);
+
+  scheduler.resume();
+  (void)log.wait_terminals(3);
+  EXPECT_TRUE(scheduler.queue_depths().empty());
+  scheduler.drain_and_stop();
+}
+
+TEST(SchedulerTelemetry, WatchdogFlagsASlowJob) {
+  serve::DesignCache cache;
+  EventLog log;
+  serve::SchedulerConfig config;
+  config.max_jobs = 1;
+  // Flag every running job on every 1ms tick: p99 threshold 0, no
+  // minimum sample count. A C1P1 route takes well over a millisecond.
+  config.housekeeping_interval_ms = 1;
+  config.watchdog_multiple = 0.0;
+  config.watchdog_min_samples = 0;
+  serve::JobScheduler scheduler(
+      config, &cache,
+      [&log](const std::string&, const JsonValue& e) { log.add(e); });
+
+  ASSERT_TRUE(scheduler.submit("stdio", preset_request("slow")).accepted);
+  (void)log.wait_terminals(1);
+  scheduler.drain_and_stop();
+  EXPECT_EQ(scheduler.watchdog_flags(), 1);  // once per job, not per tick
+}
+
+}  // namespace
+}  // namespace bgr

@@ -11,7 +11,12 @@
 //     --queue K           admission bound on queued jobs (default 64)
 //     --port P            also listen on loopback TCP port P (0 picks an
 //                         ephemeral port, reported in the ready event)
+//     --admin-port P      loopback HTTP telemetry endpoint (GET /metrics,
+//                         /healthz, /readyz); 0 picks an ephemeral port,
+//                         reported in the ready event as "admin_port"
 //     --metrics-out FILE  write the final "bgr_serve" run report (JSON)
+//     --trace-out FILE    write a Chrome trace (one phase span per job
+//                         phase, names carry the job's trace id)
 //     --log-format {text,json}
 //                         diagnostic log sink format (default text)
 //
@@ -34,8 +39,8 @@ namespace {
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: bgr_serve [--threads N] [--jobs K] [--queue K] "
-               "[--port P] [--metrics-out FILE] [--log-format text|json] "
-               "[--help]\n");
+               "[--port P] [--admin-port P] [--metrics-out FILE] "
+               "[--trace-out FILE] [--log-format text|json] [--help]\n");
 }
 
 }  // namespace
@@ -70,10 +75,19 @@ int main(int argc, char** argv) {
                             &config.tcp_port)) {
         return cli::kExitUsage;
       }
+    } else if (std::strcmp(arg, "--admin-port") == 0) {
+      if (!parse_int_option("--admin-port", next_value(), 0, 65535,
+                            &config.admin_port)) {
+        return cli::kExitUsage;
+      }
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       const char* value = next_value();
       if (value == nullptr) return cli::missing_value("--metrics-out");
       config.metrics_out = value;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      const char* value = next_value();
+      if (value == nullptr) return cli::missing_value("--trace-out");
+      config.trace_out = value;
     } else if (std::strcmp(arg, "--log-format") == 0) {
       if (!cli::parse_log_format_option(next_value())) {
         return cli::kExitUsage;

@@ -19,11 +19,18 @@ Checks the layout contract documented in src/bgr/obs/run_report.hpp:
       sub-object and "metrics.nondeterministic", the two reports must be
       byte-for-byte identical. Used by CI to compare --threads 1 vs N.
 
+  check_run_report.py report.json --serve-events events.ndjson
+      Also validates a captured bgr_serve NDJSON response stream: every
+      line parses, ts_us is present and non-decreasing, seq is present
+      and strictly increasing, and every job lifecycle event
+      (accepted/started/done/cancelled/failed) carries a trace id.
+
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 """
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA_VERSION = 1
@@ -245,10 +252,57 @@ def check_trace(path):
           f"{len(per_tid)} threads)")
 
 
+LIFECYCLE_EVENTS = ("accepted", "started", "done", "cancelled", "failed")
+TRACE_ID_RE = re.compile(r"^t-[0-9a-f]+$")
+
+
+def check_serve_events(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: empty event stream")
+    last_ts = None
+    last_seq = None
+    lifecycle = 0
+    for i, line in enumerate(lines):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i} is not JSON: {e}")
+        ts = event.get("ts_us")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{path}: line {i} lacks a non-negative integer 'ts_us'")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: line {i} breaks ts_us order ({ts} after "
+                 f"{last_ts})")
+        last_ts = ts
+        seq = event.get("seq")
+        if not isinstance(seq, int):
+            fail(f"{path}: line {i} lacks an integer 'seq'")
+        if last_seq is not None and seq <= last_seq:
+            fail(f"{path}: line {i} breaks seq order ({seq} after "
+                 f"{last_seq})")
+        last_seq = seq
+        if event.get("event") in LIFECYCLE_EVENTS:
+            lifecycle += 1
+            trace = event.get("trace")
+            if not isinstance(trace, str) or not TRACE_ID_RE.match(trace):
+                fail(f"{path}: line {i} ({event.get('event')} for "
+                     f"{event.get('id')!r}) lacks a valid trace id: "
+                     f"{trace!r}")
+    print(f"check_run_report: serve events OK ({path}: {len(lines)} "
+          f"events, {lifecycle} lifecycle events with trace ids)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="run report JSON (--metrics-out)")
     parser.add_argument("--trace", help="trace-event JSON (--trace-out)")
+    parser.add_argument("--serve-events", metavar="NDJSON",
+                        help="captured bgr_serve response stream to check")
     parser.add_argument("--compare-semantic", metavar="OTHER",
                         help="second report that must match semantically")
     args = parser.parse_args()
@@ -257,6 +311,8 @@ def main():
     print(f"check_run_report: report OK ({args.report})")
     if args.trace:
         check_trace(args.trace)
+    if args.serve_events:
+        check_serve_events(args.serve_events)
     if args.compare_semantic:
         check_report(load(args.compare_semantic), args.compare_semantic)
         check_compare(args.report, args.compare_semantic)
