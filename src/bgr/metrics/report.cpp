@@ -121,6 +121,8 @@ RunReport make_run_report(const GlobalRouter& router,
   options.set("path_search",
               opt.path_search == PathSearchBackend::kAstar ? "astar"
                                                            : "dijkstra");
+  options.set("lookahead",
+              opt.lookahead == LookaheadMode::kMap ? "map" : "exact");
   options.set("improvement_passes",
               static_cast<std::int64_t>(opt.improvement_passes));
 

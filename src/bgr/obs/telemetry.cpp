@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 namespace bgr {
 
@@ -32,21 +33,58 @@ SlidingHistogram::SlidingHistogram(std::int32_t epochs) {
 
 void SlidingHistogram::record(std::int64_t v) {
   if (v < 0) v = 0;
-  Epoch& epoch = *ring_[current_.load(std::memory_order_acquire)];
-  const auto u = static_cast<std::uint64_t>(v);
-  const std::int32_t b = static_cast<std::int32_t>(std::bit_width(u));
-  epoch.buckets[static_cast<std::size_t>(std::min<std::int32_t>(b, kBuckets - 1))]
-      .fetch_add(1, std::memory_order_relaxed);
-  epoch.sum.fetch_add(v, std::memory_order_relaxed);
-  epoch.count.fetch_add(1, std::memory_order_relaxed);
-  std::int64_t cur = epoch.min.load(std::memory_order_relaxed);
-  while (v < cur &&
-         !epoch.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  for (;;) {
+    Epoch& epoch = *ring_[current_.load(std::memory_order_acquire)];
+    // Writer gate (seq_cst pairs with clear_epoch_locked): either this
+    // increment lands before the drain check — then rotation waits for us
+    // and our writes complete before the zeroing — or it lands after the
+    // generation went odd, in which case the load below observes that and
+    // we back out. Without the gate, a recorder that loaded `current_`
+    // and then stalled across a full window wraparound could interleave
+    // with clear() and leave a torn epoch (count without its bucket, min
+    // above max).
+    epoch.writers.fetch_add(1, std::memory_order_seq_cst);
+    if ((epoch.generation.load(std::memory_order_seq_cst) & 1) != 0) {
+      epoch.writers.fetch_sub(1, std::memory_order_release);
+      std::this_thread::yield();
+      continue;  // epoch mid-clear; re-read current_ (republish imminent)
+    }
+    const auto u = static_cast<std::uint64_t>(v);
+    const std::int32_t b = static_cast<std::int32_t>(std::bit_width(u));
+    epoch
+        .buckets[static_cast<std::size_t>(
+            std::min<std::int32_t>(b, kBuckets - 1))]
+        .fetch_add(1, std::memory_order_relaxed);
+    epoch.sum.fetch_add(v, std::memory_order_relaxed);
+    std::int64_t cur = epoch.min.load(std::memory_order_relaxed);
+    while (v < cur && !epoch.min.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    cur = epoch.max.load(std::memory_order_relaxed);
+    while (v > cur && !epoch.max.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    // Count last, released: a snapshot that observes this sample's count
+    // also observes its bucket/min/max contributions, so a half-recorded
+    // sample can never surface as count>0 with an empty min/max.
+    epoch.count.fetch_add(1, std::memory_order_release);
+    epoch.writers.fetch_sub(1, std::memory_order_release);
+    return;
   }
-  cur = epoch.max.load(std::memory_order_relaxed);
-  while (v > cur &&
-         !epoch.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+}
+
+void SlidingHistogram::clear_epoch_locked(Epoch& epoch) {
+  // Seqlock-style clear: go odd so new recorders bounce off, drain the
+  // in-flight ones (record() is a handful of atomic ops, so the wait is
+  // bounded), zero, go even. Recorders that slipped in before the odd
+  // flip finish before the zeroing; the zeroed state is published to
+  // later recorders by the even flip they acquire.
+  epoch.generation.fetch_add(1, std::memory_order_seq_cst);
+  while (epoch.writers.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
   }
+  epoch.clear();
+  epoch.generation.fetch_add(1, std::memory_order_seq_cst);
 }
 
 void SlidingHistogram::advance() {
@@ -57,13 +95,13 @@ void SlidingHistogram::advance() {
   // bucket that is about to be zeroed out from under it. A record that
   // still targets the outgoing epoch simply counts toward the oldest
   // window slice — acceptable skew for a rolling estimate.
-  ring_[next]->clear();
+  clear_epoch_locked(*ring_[next]);
   current_.store(next, std::memory_order_release);
 }
 
 void SlidingHistogram::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& epoch : ring_) epoch->clear();
+  for (auto& epoch : ring_) clear_epoch_locked(*epoch);
 }
 
 double SlidingHistogram::quantile(const std::int64_t* buckets,
@@ -105,7 +143,9 @@ SlidingHistogram::Snapshot SlidingHistogram::snapshot() const {
   std::int64_t min_value = kInt64Max;
   std::int64_t max_value = kInt64Min;
   for (const auto& epoch : ring_) {
-    out.count += epoch->count.load(std::memory_order_relaxed);
+    // Acquire pairs with record()'s count-last release: a visible count
+    // implies that sample's bucket/min/max writes are visible too.
+    out.count += epoch->count.load(std::memory_order_acquire);
     out.sum += epoch->sum.load(std::memory_order_relaxed);
     min_value =
         std::min(min_value, epoch->min.load(std::memory_order_relaxed));

@@ -32,9 +32,14 @@ namespace bgr {
 /// cadence (the serve scheduler's housekeeping thread ticks once per
 /// second), making the window length = epochs × tick.
 ///
-/// record() is lock-free (relaxed atomics on the current epoch);
-/// advance() and snapshot() take a small mutex that only serializes
-/// rotation against snapshotting, never against recording.
+/// record() takes no lock (atomics on the current epoch, plus a bounded
+/// backoff in the rare case its target epoch is mid-clear); advance() and
+/// snapshot() take a small mutex that only serializes rotation against
+/// snapshotting, never against recording. Rotation is guarded by a
+/// per-epoch generation + in-flight-writer gate so a recorder that went
+/// stale across a full window wraparound can never interleave with the
+/// zeroing of its epoch and leave a torn slice (count without buckets,
+/// min above max) visible to a concurrent scrape.
 class SlidingHistogram {
  public:
   static constexpr std::int32_t kBuckets = Histogram::kBuckets;
@@ -81,8 +86,15 @@ class SlidingHistogram {
     std::atomic<std::int64_t> min{std::numeric_limits<std::int64_t>::max()};
     std::atomic<std::int64_t> max{std::numeric_limits<std::int64_t>::min()};
     std::atomic<std::int64_t> buckets[kBuckets] = {};
+    /// Recorders currently writing this epoch; rotation drains it to zero
+    /// before zeroing the fields.
+    std::atomic<std::int64_t> writers{0};
+    /// Bumped to odd while the epoch is being cleared, even when stable;
+    /// a recorder that catches it odd backs out and re-reads `current_`.
+    std::atomic<std::uint64_t> generation{0};
     void clear();
   };
+  void clear_epoch_locked(Epoch& epoch);
 
   std::vector<std::unique_ptr<Epoch>> ring_;
   std::atomic<std::size_t> current_{0};

@@ -1,0 +1,176 @@
+#include "bgr/route/lookahead.hpp"
+
+#include <algorithm>
+
+#include "bgr/common/check.hpp"
+#include "bgr/obs/metrics.hpp"
+#include "bgr/timing/lower_bound.hpp"
+
+namespace bgr {
+
+namespace {
+
+/// Lookahead activity. All semantic: the table is built once per design
+/// and each graph derives exactly once per (re)build, both functions of
+/// the design alone — never of thread count or timing.
+struct LookaheadMetrics {
+  Counter& builds = MetricsRegistry::global().counter(
+      "lookahead.builds", MetricScope::kSemantic);
+  Counter& derivations = MetricsRegistry::global().counter(
+      "lookahead.derivations", MetricScope::kSemantic);
+  Counter& vertices = MetricsRegistry::global().counter(
+      "lookahead.vertices", MetricScope::kSemantic);
+};
+
+LookaheadMetrics& lookahead_metrics() {
+  static LookaheadMetrics* const m = new LookaheadMetrics();
+  return *m;
+}
+
+}  // namespace
+
+void register_lookahead_metrics() { (void)lookahead_metrics(); }
+
+ChipLookahead::ChipLookahead(std::int32_t row_count, const TechParams& tech) {
+  BGR_CHECK(row_count >= 0);
+  lookahead_metrics().builds.add(1);
+  step_um_ = tech.horiz_step_um();
+  // Channel c sits below row c; crossing row r moves between channels r
+  // and r + 1 at the feed-edge weight. The rows are homogeneous today, but
+  // the table prices them individually (prefix sums), so a future
+  // per-channel geometry only changes this constructor.
+  prefix_um_.resize(static_cast<std::size_t>(row_count) + 1);
+  const double cross = row_crossing_cost_um(tech);
+  double sum = 0.0;
+  for (std::int32_t c = 0; c <= row_count; ++c) {
+    prefix_um_[static_cast<std::size_t>(c)] = sum;
+    sum += cross;
+  }
+}
+
+GoalHeuristic ChipLookahead::derive(
+    const SmallGraph& graph, const std::vector<RouteVertexInfo>& vertices,
+    std::int32_t source, const std::vector<std::int32_t>& targets) const {
+  lookahead_metrics().derivations.add(1);
+  lookahead_metrics().vertices.add(graph.vertex_count());
+  GoalHeuristic out;
+  const auto n = static_cast<std::size_t>(graph.vertex_count());
+  out.h.assign(n, PathSearchScratch::kInf);
+
+  // Portal positions: every alive candidate position of every terminal,
+  // clustered by terminal. The terminal links make each terminal's
+  // position set a zero-cost wormhole between channels (a path can enter
+  // the driver's channel-r position and leave through its channel-r+1
+  // position without paying the row crossing), so the raw geometric bound
+  // between two points is NOT admissible on its own. The bound instead
+  // routes through the portal system: cluster_d[c] is a lower bound on
+  // the cost from terminal c's vertex to the nearest target, computed by
+  // a tiny Bellman-Ford whose legs between portals are the geometric
+  // bound (valid for terminal-free path segments) and whose transits
+  // through a terminal pay its link weights. A position dead by
+  // derivation time only under-counts the portal set, which raises the
+  // bound — still admissible, because the live search can never use a
+  // dead link either.
+  struct Portal {
+    std::int32_t channel;
+    std::int32_t x;
+    double enter_um;       // link weight paid entering/leaving the terminal
+    std::size_t cluster;   // owning terminal
+  };
+  std::vector<Portal> portals;
+  std::vector<double> cluster_d;  // per terminal: bound to nearest target
+  bool target_reachable = false;
+  for (const std::int32_t tv : targets) {
+    const bool is_target = tv != source;
+    if (is_target) out.h[static_cast<std::size_t>(tv)] = 0.0;
+    const std::size_t cluster = cluster_d.size();
+    for (const std::int32_t e : graph.incident_edges(tv)) {
+      const std::int32_t p = graph.other_end(e, tv);
+      const RouteVertexInfo& info = vertices[static_cast<std::size_t>(p)];
+      BGR_CHECK(info.kind == RouteVertexKind::kPoint);
+      portals.push_back(
+          Portal{info.channel, info.x, graph.edge(e).weight, cluster});
+      target_reachable = target_reachable || is_target;
+    }
+    cluster_d.push_back(is_target ? 0.0 : PathSearchScratch::kInf);
+  }
+  if (!target_reachable) return out;  // degenerate: everything stays +inf
+
+  const auto geo = [this](const Portal& a, std::int32_t channel,
+                          std::int32_t x) {
+    const double dx = x >= a.x ? x - a.x : a.x - x;
+    return dx * step_um_ + crossing_um(a.channel, channel);
+  };
+
+  // Fixpoint over the clusters (at most one relaxation round per
+  // terminal, and nets have a handful): enter[q] is the cost of entering
+  // at portal q and continuing to a target.
+  std::vector<double> enter(portals.size());
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t q = 0; q < portals.size(); ++q) {
+      enter[q] = portals[q].enter_um + cluster_d[portals[q].cluster];
+    }
+    for (const Portal& leave : portals) {
+      double best = PathSearchScratch::kInf;
+      for (std::size_t q = 0; q < portals.size(); ++q) {
+        best = std::min(best,
+                        geo(leave, portals[q].channel, portals[q].x) +
+                            enter[q]);
+      }
+      best += leave.enter_um;
+      if (best < cluster_d[leave.cluster]) {
+        cluster_d[leave.cluster] = best;
+        changed = true;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < portals.size(); ++q) {
+    enter[q] = portals[q].enter_um + cluster_d[portals[q].cluster];
+  }
+
+  // Point vertices: any path to a target first enters some terminal, at
+  // some portal position, after a terminal-free (hence geometrically
+  // bounded) leg.
+  for (std::size_t v = 0; v < n; ++v) {
+    const RouteVertexInfo& info = vertices[v];
+    if (info.kind != RouteVertexKind::kPoint) continue;
+    double best = PathSearchScratch::kInf;
+    for (std::size_t q = 0; q < portals.size(); ++q) {
+      best = std::min(best,
+                      geo(portals[q], info.channel, info.x) + enter[q]);
+    }
+    out.h[v] = best;
+  }
+
+  // Terminal vertices (the driver, in practice): a search leaves through
+  // one of the alive incident links, so the min of link weight plus the
+  // far end's point bound is admissible too.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (vertices[v].kind != RouteVertexKind::kTerminal) continue;
+    if (out.h[v] == 0.0) continue;  // target
+    double best = PathSearchScratch::kInf;
+    for (const std::int32_t e :
+         graph.incident_edges(static_cast<std::int32_t>(v))) {
+      const std::int32_t p =
+          graph.other_end(e, static_cast<std::int32_t>(v));
+      best = std::min(best,
+                      graph.edge(e).weight + out.h[static_cast<std::size_t>(p)]);
+    }
+    out.h[v] = best;
+  }
+
+  // The same relative shave as the exact build: the bound must stay below
+  // every true path cost bitwise, whatever summation order the forward
+  // search uses (the 1e-9 margin dwarfs the ~1e-13 relative error of
+  // the table's prefix-sum and single-multiply arithmetic).
+  constexpr double kShave = 1.0 - 1e-9;
+  for (double& x : out.h) {
+    if (x != PathSearchScratch::kInf) x *= kShave;
+  }
+
+  out.quantum = heuristic_quantum(graph);
+  return out;
+}
+
+}  // namespace bgr

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgr/common/tech.hpp"
+#include "bgr/graph/small_graph.hpp"
+#include "bgr/route/path_search.hpp"
+#include "bgr/route/routing_graph.hpp"
+
+namespace bgr {
+
+/// Registers the lookahead.* counters (at zero) with the global metrics
+/// registry. The router calls this unconditionally so every routed run
+/// report carries them, exact mode included — tools/check_run_report.py
+/// requires the full semantic set whatever the configuration.
+void register_lookahead_metrics();
+
+/// Source of the A* lower bounds (DESIGN.md §15).
+///
+/// kExact runs one multi-source Dijkstra over every freshly built routing
+/// graph (`build_goal_heuristic`) — exact distances, but the build is the
+/// dominant serial cost of graph construction on large designs. kMap
+/// derives the bounds from a chip-level `ChipLookahead` table built once
+/// per design: per-graph derivation is O(vertices · goal positions) with
+/// no search at all. Both bounds are admissible, and admissible bounds
+/// never change what the search returns (the tree is derived from final
+/// distances alone), so the RouteOutcome is bit-identical either way.
+enum class LookaheadMode { kExact, kMap };
+
+/// Chip-level distance lookahead table: the geometry every per-net routing
+/// graph shares. All graphs are built from the same chip — horizontal
+/// moves cost `horiz_step_um` per grid column (trunk edges), and crossing
+/// cell row r costs exactly `row_crossing_cost_um` (feed edges: row height
+/// plus both expected in-channel verticals). The table stores the per-row
+/// crossing costs as prefix sums, so the cheapest possible route between a
+/// point in channel a and a point in channel b prices in O(1):
+///
+///   lb((a, x) -> (b, x')) = |x - x'| · step + |prefix[b] - prefix[a]|
+///
+/// Any TERMINAL-FREE path segment pays at least that: trunk edges sum to
+/// at least the horizontal extent, and every row between the two channels
+/// must be crossed by at least one feed edge. Whole paths need one more
+/// ingredient: a terminal's zero-weight links make its candidate-position
+/// set a free wormhole between channels, so `derive` first runs a tiny
+/// Bellman-Ford over the net's terminals (geometric legs between portal
+/// positions, link weights through terminals) and then bounds every
+/// vertex by its cheapest geometric leg into that portal system —
+/// admissible for the graph it is derived from, and (like the exact
+/// bound) forever after, because edge deletion only lengthens distances.
+/// Built once per design; immutable, so one table is shared freely across
+/// threads and cached across serve jobs.
+class ChipLookahead {
+ public:
+  /// `row_count` cell rows give `row_count + 1` routing channels.
+  ChipLookahead(std::int32_t row_count, const TechParams& tech);
+
+  [[nodiscard]] std::int32_t channel_count() const {
+    return static_cast<std::int32_t>(prefix_um_.size());
+  }
+  [[nodiscard]] double step_um() const { return step_um_; }
+
+  /// Cheapest possible vertical cost between two channels: the sum of the
+  /// crossing costs of every row between them.
+  [[nodiscard]] double crossing_um(std::int32_t a, std::int32_t b) const {
+    const double d = prefix_um_[static_cast<std::size_t>(b)] -
+                     prefix_um_[static_cast<std::size_t>(a)];
+    return d < 0.0 ? -d : d;
+  }
+
+  /// Derives the per-graph goal-oriented lower bound (the drop-in
+  /// replacement for `build_goal_heuristic`): h[v] = min over the net's
+  /// alive portal positions of the table bound plus that portal's
+  /// Bellman-Ford distance to a target, shaved by the same relative
+  /// epsilon as the exact build so that g + h can never exceed a true
+  /// path cost by an ULP. Terminal vertices take the min over their own
+  /// alive links. O(positions² · terminals + vertices · positions).
+  [[nodiscard]] GoalHeuristic derive(
+      const SmallGraph& graph, const std::vector<RouteVertexInfo>& vertices,
+      std::int32_t source, const std::vector<std::int32_t>& targets) const;
+
+  /// Retained-memory estimate for the serve DesignCache byte gauges.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return sizeof(ChipLookahead) + prefix_um_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::vector<double> prefix_um_;  // prefix[c] = cost of crossing rows [0, c)
+  double step_um_ = 0.0;
+};
+
+}  // namespace bgr

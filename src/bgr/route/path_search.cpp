@@ -220,6 +220,11 @@ GoalHeuristic build_goal_heuristic(const SmallGraph& graph,
     if (x != PathSearchScratch::kInf) x *= kShave;
   }
 
+  out.quantum = heuristic_quantum(graph);
+  return out;
+}
+
+double heuristic_quantum(const SmallGraph& graph) {
   // Bucket width: max(min positive weight, total/4096) bounds the live key
   // span by ~4096 whatever the weight distribution (any path costs at most
   // the total alive weight), while never splitting the smallest step across
@@ -233,11 +238,9 @@ GoalHeuristic build_goal_heuristic(const SmallGraph& graph,
     if (w > 0.0 && w < min_pos) min_pos = w;
   }
   if (min_pos == PathSearchScratch::kInf || min_pos <= 0.0) {
-    out.quantum = 1.0;
-  } else {
-    out.quantum = std::max(min_pos, total / 4096.0);
+    return 1.0;
   }
-  return out;
+  return std::max(min_pos, total / 4096.0);
 }
 
 // ---------------------------------------------------------------------------

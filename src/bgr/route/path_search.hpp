@@ -49,6 +49,13 @@ struct GoalHeuristic {
     const SmallGraph& graph, std::int32_t source,
     const std::vector<std::int32_t>& targets);
 
+/// The dial-queue bucket width for a graph: max(smallest positive alive
+/// edge weight, total alive weight / 4096). Shared by every heuristic
+/// source (the exact per-graph build and the chip-level lookahead
+/// derivation), so the backend quantizes identically whichever produced
+/// the bound.
+[[nodiscard]] double heuristic_quantum(const SmallGraph& graph);
+
 /// Monotone bucket ("dial") queue over quantized non-negative costs.
 /// Entries carry their exact float key owner-side; the queue only orders
 /// the integer buckets, so within one bucket order is LIFO. Pushes below

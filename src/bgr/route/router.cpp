@@ -82,9 +82,27 @@ GlobalRouter::GlobalRouter(Netlist& netlist, Placement placement,
                       options.threads == 0 ? ExecContext::hardware_threads()
                                            : options.threads)),
       path_engine_(std::make_unique<PathSearchEngine>(options.path_search,
-                                                      exec_.get())) {}
+                                                      exec_.get())) {
+  // The chip-level lookahead table is a pure function of the row geometry
+  // (columns may widen during routing; rows never change), so one build in
+  // the constructor serves every graph of every phase. Serve passes a
+  // cached table in; standalone runs build their own here.
+  register_lookahead_metrics();
+  if (options_.lookahead == LookaheadMode::kMap &&
+      options_.path_search == PathSearchBackend::kAstar &&
+      options_.lookahead_table == nullptr) {
+    options_.lookahead_table =
+        std::make_shared<const ChipLookahead>(placement_.row_count(), tech_);
+  }
+}
 
 GlobalRouter::~GlobalRouter() = default;
+
+const ChipLookahead* GlobalRouter::graph_lookahead() const {
+  return options_.lookahead == LookaheadMode::kMap
+             ? options_.lookahead_table.get()
+             : nullptr;
+}
 
 const RoutingGraph& GlobalRouter::net_graph(NetId net) const {
   const auto& g = graphs_.at(net);
@@ -137,8 +155,9 @@ void GlobalRouter::build_all_graphs() {
                                                       tech_, *assignment_, n);
         }
         // Attach inside the region so the A* goal heuristics (one exact
-        // multi-source Dijkstra per net) also build concurrently.
-        graphs_[n]->set_path_search(path_engine_.get());
+        // multi-source Dijkstra per net, or the O(terminals) lookahead
+        // derivation) also build concurrently.
+        graphs_[n]->set_path_search(path_engine_.get(), graph_lookahead());
       },
       /*grain=*/1);
   // Pre-size the score caches so the parallel warm-up never resizes a
@@ -746,7 +765,7 @@ void GlobalRouter::reroute_net(NetId net, PhaseStats& stats) {
       graphs_[member] = std::make_unique<RoutingGraph>(
           netlist_, placement_, tech_, *assignment_, member, net, 1);
     }
-    graphs_[member]->set_path_search(path_engine_.get());
+    graphs_[member]->set_path_search(path_engine_.get(), graph_lookahead());
     route_metrics().graphs_built.add(1);
     route_metrics().graph_edges.record(graphs_[member]->graph().edge_count());
     scores_[member].assign(

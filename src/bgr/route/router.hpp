@@ -13,6 +13,7 @@
 #include "bgr/route/assign.hpp"
 #include "bgr/route/criteria.hpp"
 #include "bgr/route/density.hpp"
+#include "bgr/route/lookahead.hpp"
 #include "bgr/route/routing_graph.hpp"
 #include "bgr/route/shard.hpp"
 #include "bgr/timing/analyzer.hpp"
@@ -78,6 +79,16 @@ struct RouterOptions {
   /// distances alone, so the RouteOutcome is bit-identical either way —
   /// A* just settles far fewer vertices per candidate evaluation.
   PathSearchBackend path_search = PathSearchBackend::kAstar;
+  /// Source of the A* lower bounds (DESIGN.md §15): the exact per-graph
+  /// multi-source Dijkstra (default) or derivation from the chip-level
+  /// ChipLookahead table, built once per design and shared by every
+  /// routing graph. Both bounds are admissible, so the RouteOutcome is
+  /// bit-identical either way; kMap removes the per-graph build cost.
+  /// Ignored by the Dijkstra backend (no bounds are used at all).
+  LookaheadMode lookahead = LookaheadMode::kExact;
+  /// Pre-built lookahead table for kMap (serve: cached per design). Null
+  /// lets the router build its own from the placement it routes.
+  std::shared_ptr<const ChipLookahead> lookahead_table;
   /// Test hook: called for every committed edge deletion (differential
   /// pairs fire once, for the primary), in the canonical serial commit
   /// order. When the sharded loop is active the calls are replayed after
@@ -216,6 +227,9 @@ class GlobalRouter {
   };
 
   void build_all_graphs();
+  /// The table graphs derive their A* bounds from, or null in kExact mode
+  /// (each graph then runs its own multi-source Dijkstra build).
+  [[nodiscard]] const ChipLookahead* graph_lookahead() const;
   void register_graph_density(NetId net);
   void unregister_graph_density(NetId net);
   void refresh_net_estimate(NetId net,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "bgr/route/lookahead.hpp"
 #include "bgr/route/net_span.hpp"
 
 namespace bgr {
@@ -238,11 +239,15 @@ double RoutingGraph::estimated_length_um(std::int32_t skip_edge) const {
   return total;
 }
 
-void RoutingGraph::set_path_search(PathSearchEngine* engine) {
+void RoutingGraph::set_path_search(PathSearchEngine* engine,
+                                   const ChipLookahead* lookahead) {
   path_engine_ = engine;
   if (engine != nullptr && engine->backend() == PathSearchBackend::kAstar) {
     heuristic_ =
-        build_goal_heuristic(graph_, driver_vertex_, terminal_vertices_);
+        lookahead != nullptr
+            ? lookahead->derive(graph_, vertices_, driver_vertex_,
+                                terminal_vertices_)
+            : build_goal_heuristic(graph_, driver_vertex_, terminal_vertices_);
     engine->refresh_cache(graph_, driver_vertex_, terminal_vertices_,
                           &search_cache_);
   }

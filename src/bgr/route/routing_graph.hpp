@@ -13,6 +13,8 @@
 
 namespace bgr {
 
+class ChipLookahead;
+
 enum class RouteVertexKind {
   kTerminal,  // circuit terminal (cell pin or pad)
   kPoint,     // physical point: (channel, column)
@@ -81,10 +83,15 @@ class RoutingGraph {
   /// accounting). With the A* backend this also builds the goal-oriented
   /// lower bound from the *current* graph, so call it right after
   /// construction, before any deletion — deletions only lengthen distances,
-  /// which keeps the build-time bound admissible forever after. Graphs
+  /// which keeps the build-time bound admissible forever after. When
+  /// `lookahead` is non-null the bound is derived from the chip-level
+  /// table (O(terminals), no per-graph Dijkstra) instead of the exact
+  /// multi-source build; both are admissible, so the searches — and the
+  /// RouteOutcome — are bit-identical either way (DESIGN.md §15). Graphs
   /// without an engine (standalone tests, tools) fall back to the reference
   /// Dijkstra backend over a thread-local scratch.
-  void set_path_search(PathSearchEngine* engine);
+  void set_path_search(PathSearchEngine* engine,
+                       const ChipLookahead* lookahead = nullptr);
 
   [[nodiscard]] bool is_bridge(std::int32_t e) const {
     return bridge_[static_cast<std::size_t>(e)];

@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -70,10 +72,14 @@ bool AdminServer::start(std::int32_t port) {
 void AdminServer::stop() {
   if (listen_fd_ < 0) return;
   stopping_.store(true, std::memory_order_relaxed);
+  // Wake the blocked accept with shutdown, but keep the fd open until the
+  // serve thread has joined: closing (and worse, resetting) it here would
+  // race the loop's own accept(listen_fd_) — and a recycled descriptor
+  // could steal an unrelated socket.
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
 }
 
 void AdminServer::serve_loop() {
@@ -89,16 +95,47 @@ void AdminServer::serve_loop() {
 }
 
 void AdminServer::handle_connection(int fd) {
+  // Every read is bounded: connections are served serially on the admin
+  // thread, so a client that connects and never sends (or trickles an
+  // endless head) must time out instead of wedging /metrics and /readyz
+  // for everyone behind it.
+  timeval tv{};
+  tv.tv_sec = request_timeout_ms_ / 1000;
+  tv.tv_usec = (request_timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
   // Read until the end of the request head (or a sane cap); only the
   // request line matters — this endpoint ignores headers and bodies.
+  constexpr std::size_t kMaxHead = 16384;
   std::string request;
   char chunk[1024];
-  while (request.size() < 16384 &&
+  bool timed_out = false;
+  while (request.size() < kMaxHead &&
          request.find("\r\n\r\n") == std::string::npos &&
          request.find("\n\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
+    if (n < 0) {
+      timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+      break;
+    }
+    if (n == 0) break;
     request.append(chunk, static_cast<std::size_t>(n));
+  }
+  const bool head_complete =
+      request.find("\r\n\r\n") != std::string::npos ||
+      request.find("\n\n") != std::string::npos;
+  if (!head_complete) {
+    if (timed_out) {
+      send_all(fd, http_response(408, "Request Timeout", "request timeout\n",
+                                 "text/plain; charset=utf-8"));
+      return;
+    }
+    if (request.size() >= kMaxHead) {
+      send_all(fd, http_response(413, "Payload Too Large",
+                                 "request head too large\n",
+                                 "text/plain; charset=utf-8"));
+      return;
+    }
   }
   const std::size_t line_end = request.find_first_of("\r\n");
   const std::string line =

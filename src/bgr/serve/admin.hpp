@@ -37,6 +37,12 @@ class AdminServer {
   bool start(std::int32_t port);
   void stop();
 
+  /// Per-read receive timeout for a connection. The admin thread serves
+  /// connections serially, so a client that connects and then goes silent
+  /// would otherwise park the thread in a blocking recv forever and starve
+  /// every later /metrics and /readyz scrape. Must be set before start().
+  void set_request_timeout_ms(std::int32_t ms) { request_timeout_ms_ = ms; }
+
   /// Bound port (ephemeral requests resolve here); -1 before start().
   [[nodiscard]] std::int32_t port() const { return bound_port_; }
 
@@ -46,6 +52,7 @@ class AdminServer {
 
   MetricsProvider metrics_;
   ReadyProvider ready_;
+  std::int32_t request_timeout_ms_ = 2000;
   int listen_fd_ = -1;
   std::int32_t bound_port_ = -1;
   std::thread thread_;

@@ -6,6 +6,7 @@
 #include "bgr/common/hash.hpp"
 #include "bgr/io/design_io.hpp"
 #include "bgr/obs/metrics.hpp"
+#include "bgr/route/lookahead.hpp"
 #include "bgr/serve/session.hpp"
 
 namespace bgr::serve {
@@ -26,6 +27,26 @@ struct CacheMetrics {
 CacheMetrics& cache_metrics() {
   static CacheMetrics* const m = new CacheMetrics();
   return *m;
+}
+
+std::int64_t approx_dataset_bytes(const Dataset& dataset) {
+  // Per-cell / per-net payload estimate: name + ids + terminal vectors.
+  // Deliberately coarse — the gauge tracks growth, not exact residency.
+  constexpr std::int64_t kPerCell = 64;
+  constexpr std::int64_t kPerNet = 96;
+  return static_cast<std::int64_t>(sizeof(Dataset)) +
+         static_cast<std::int64_t>(dataset.name.size()) +
+         kPerCell * dataset.netlist.cell_count() +
+         kPerNet * dataset.netlist.net_count() +
+         static_cast<std::int64_t>(dataset.constraints.size() *
+                                   sizeof(PathConstraint));
+}
+
+std::int64_t approx_result_bytes(const SessionResult& result) {
+  return static_cast<std::int64_t>(sizeof(SessionResult)) +
+         static_cast<std::int64_t>(result.route_text.size()) +
+         static_cast<std::int64_t>(result.digest.size()) +
+         static_cast<std::int64_t>(result.error.size());
 }
 
 }  // namespace
@@ -75,12 +96,29 @@ std::shared_ptr<const Dataset> DesignCache::dataset_locked(
   // Build under the lock: parsing serializes, but a concurrent duplicate
   // then deterministically hits instead of racing to a second parse.
   auto value = std::make_shared<const Dataset>(build());
-  datasets_.push_front({key, value});
+  DatasetEntry entry;
+  entry.key = key;
+  entry.value = value;
+  entry.bytes = approx_dataset_bytes(*value);
+  dataset_bytes_ += entry.bytes;
+  datasets_.push_front(std::move(entry));
+  evict_excess_locked();
+  return value;
+}
+
+void DesignCache::evict_excess_locked() {
+  // Eviction releases exactly the bytes insertion charged (the figure is
+  // stored on the entry, never recomputed), so usage() cannot drift.
   while (datasets_.size() > dataset_capacity_) {
+    dataset_bytes_ -= datasets_.back().bytes;
     datasets_.pop_back();
     ++stats_.evictions;
   }
-  return value;
+  while (results_.size() > result_capacity_) {
+    result_bytes_ -= results_.back().bytes;
+    results_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 std::shared_ptr<const Dataset> DesignCache::dataset_for_text(
@@ -121,11 +159,46 @@ void DesignCache::store_result(std::uint64_t request_key,
   for (const auto& entry : results_) {
     if (entry.key == request_key) return;  // first result wins
   }
-  results_.push_front({request_key, std::move(result)});
-  while (results_.size() > result_capacity_) {
-    results_.pop_back();
-    ++stats_.evictions;
+  ResultEntry entry;
+  entry.key = request_key;
+  entry.value = std::move(result);
+  entry.bytes = approx_result_bytes(*entry.value);
+  result_bytes_ += entry.bytes;
+  results_.push_front(std::move(entry));
+  evict_excess_locked();
+}
+
+std::shared_ptr<const ChipLookahead> DesignCache::lookahead_for(
+    std::uint64_t design_key, const Dataset& dataset) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = datasets_.begin(); it != datasets_.end(); ++it) {
+      if (it->key != design_key) continue;
+      if (it->lookahead == nullptr) {
+        it->lookahead = std::make_shared<const ChipLookahead>(
+            it->value->placement.row_count(), it->value->tech);
+        const auto bytes =
+            static_cast<std::int64_t>(it->lookahead->approx_bytes());
+        it->bytes += bytes;
+        dataset_bytes_ += bytes;
+      }
+      return it->lookahead;
+    }
   }
+  // Design evicted between parse and route: build an unshared table from
+  // the caller's copy rather than re-admitting the entry out of LRU order.
+  return std::make_shared<const ChipLookahead>(dataset.placement.row_count(),
+                                               dataset.tech);
+}
+
+void DesignCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evictions +=
+      static_cast<std::int64_t>(datasets_.size() + results_.size());
+  datasets_.clear();
+  results_.clear();
+  dataset_bytes_ = 0;
+  result_bytes_ = 0;
 }
 
 DesignCache::Stats DesignCache::stats() const {
@@ -133,41 +206,13 @@ DesignCache::Stats DesignCache::stats() const {
   return stats_;
 }
 
-namespace {
-
-std::int64_t approx_dataset_bytes(const Dataset& dataset) {
-  // Per-cell / per-net payload estimate: name + ids + terminal vectors.
-  // Deliberately coarse — the gauge tracks growth, not exact residency.
-  constexpr std::int64_t kPerCell = 64;
-  constexpr std::int64_t kPerNet = 96;
-  return static_cast<std::int64_t>(sizeof(Dataset)) +
-         static_cast<std::int64_t>(dataset.name.size()) +
-         kPerCell * dataset.netlist.cell_count() +
-         kPerNet * dataset.netlist.net_count() +
-         static_cast<std::int64_t>(dataset.constraints.size() *
-                                   sizeof(PathConstraint));
-}
-
-std::int64_t approx_result_bytes(const SessionResult& result) {
-  return static_cast<std::int64_t>(sizeof(SessionResult)) +
-         static_cast<std::int64_t>(result.route_text.size()) +
-         static_cast<std::int64_t>(result.digest.size()) +
-         static_cast<std::int64_t>(result.error.size());
-}
-
-}  // namespace
-
 DesignCache::Usage DesignCache::usage() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Usage usage;
-  for (const auto& entry : datasets_) {
-    ++usage.dataset_entries;
-    usage.dataset_bytes += approx_dataset_bytes(*entry.value);
-  }
-  for (const auto& entry : results_) {
-    ++usage.result_entries;
-    usage.result_bytes += approx_result_bytes(*entry.value);
-  }
+  usage.dataset_entries = static_cast<std::int64_t>(datasets_.size());
+  usage.dataset_bytes = dataset_bytes_;
+  usage.result_entries = static_cast<std::int64_t>(results_.size());
+  usage.result_bytes = result_bytes_;
   return usage;
 }
 

@@ -10,6 +10,10 @@
 
 #include "bgr/gen/generator.hpp"
 
+namespace bgr {
+class ChipLookahead;
+}
+
 namespace bgr::serve {
 
 struct SessionResult;
@@ -71,6 +75,19 @@ class DesignCache {
   void store_result(std::uint64_t request_key,
                     std::shared_ptr<const SessionResult> result);
 
+  /// Chip-level A* lookahead table for a cached dataset (`--lookahead map`
+  /// jobs, DESIGN.md §15): built at most once per resident design entry,
+  /// under the cache lock, and shared by every later job of that design —
+  /// a warm job skips the table build entirely. The table's bytes are
+  /// billed to its entry (and released with it). Falls back to a fresh,
+  /// unshared build when the design is no longer resident.
+  [[nodiscard]] std::shared_ptr<const ChipLookahead> lookahead_for(
+      std::uint64_t design_key, const Dataset& dataset);
+
+  /// Drops every entry of both levels (counted as evictions), returning
+  /// usage() to the empty baseline.
+  void clear();
+
   struct Stats {
     std::int64_t dataset_hits = 0;
     std::int64_t dataset_misses = 0;
@@ -83,6 +100,9 @@ class DesignCache {
   /// Resident-size snapshot for the telemetry gauges. Byte figures are
   /// approximations (container payload estimates, not allocator truth) —
   /// good enough to watch the cache grow, wrong to bill against an RSS.
+  /// Maintained incrementally: every insertion adds the same per-entry
+  /// figure its eviction later subtracts, so the gauge returns to the
+  /// empty baseline after full eviction instead of drifting.
   struct Usage {
     std::int64_t dataset_entries = 0;
     std::int64_t dataset_bytes = 0;
@@ -92,16 +112,24 @@ class DesignCache {
   [[nodiscard]] Usage usage() const;
 
  private:
-  template <typename V>
-  struct Entry {
-    std::uint64_t key;
-    std::shared_ptr<V> value;
+  struct DatasetEntry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const Dataset> value;
+    std::int64_t bytes = 0;  // accounted at insert, released at evict
+    /// Lazily built lookahead table; its bytes fold into `bytes` above.
+    std::shared_ptr<const ChipLookahead> lookahead;
   };
-  using DatasetList = std::list<Entry<const Dataset>>;
-  using ResultList = std::list<Entry<const SessionResult>>;
+  struct ResultEntry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const SessionResult> value;
+    std::int64_t bytes = 0;
+  };
+  using DatasetList = std::list<DatasetEntry>;
+  using ResultList = std::list<ResultEntry>;
 
   std::shared_ptr<const Dataset> dataset_locked(
       std::uint64_t key, const std::function<Dataset()>& build, bool* hit);
+  void evict_excess_locked();
 
   mutable std::mutex mutex_;
   std::size_t dataset_capacity_;
@@ -109,6 +137,8 @@ class DesignCache {
   DatasetList datasets_;  // most-recently-used first
   ResultList results_;
   Stats stats_;
+  std::int64_t dataset_bytes_ = 0;  // totals mirror the lists exactly
+  std::int64_t result_bytes_ = 0;
 };
 
 }  // namespace bgr::serve

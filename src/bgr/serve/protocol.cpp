@@ -65,6 +65,15 @@ void parse_options(const JsonValue& node, JobRequest* out) {
         bad("'path_search' must be \"astar\" or \"dijkstra\", got \"" +
             backend + "\"");
       }
+    } else if (key == "lookahead") {
+      const std::string mode = require_string(value, "lookahead");
+      if (mode == "exact") {
+        out->options.lookahead = LookaheadMode::kExact;
+      } else if (mode == "map") {
+        out->options.lookahead = LookaheadMode::kMap;
+      } else {
+        bad("'lookahead' must be \"exact\" or \"map\", got \"" + mode + "\"");
+      }
     } else if (key == "improvement_passes") {
       const std::int64_t passes = require_int(value, "improvement_passes");
       if (passes < 0 || passes > 64) {

@@ -41,6 +41,44 @@ double net_half_perimeter_um(const Netlist& netlist, const Placement& placement,
   return (max_x - min_x) + (max_y - min_y);
 }
 
+double row_crossing_cost_um(const TechParams& tech) {
+  return tech.row_cross_um() + 2.0 * tech.channel_depth_est_um;
+}
+
+double net_length_lower_bound_um(const Netlist& netlist,
+                                 const Placement& placement,
+                                 const TechParams& tech, NetId net) {
+  // Per terminal: the channels it can enter directly. A pin at row r taps
+  // channel r (below) or r + 1 (above); a pad only its chip-edge channel.
+  // Any tree must reach a common channel range, crossing every row between
+  // the lowest reachable upper channel and the highest reachable lower one.
+  std::int32_t min_col = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_col = std::numeric_limits<std::int32_t>::min();
+  std::int32_t min_hi = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_lo = std::numeric_limits<std::int32_t>::min();
+  for (const TerminalId term : netlist.net_terminals(net)) {
+    const std::int32_t col = placement.terminal_column(netlist, term);
+    min_col = std::min(min_col, col);
+    max_col = std::max(max_col, col);
+    const Terminal& t = netlist.terminal(term);
+    std::int32_t lo = 0;
+    std::int32_t hi = 0;
+    if (t.kind == TerminalKind::kCellPin) {
+      lo = placement.placed(t.cell).row.value();
+      hi = lo + 1;
+    } else {
+      lo = hi = placement.pad_site(term).top ? placement.row_count() : 0;
+    }
+    min_hi = std::min(min_hi, hi);
+    max_lo = std::max(max_lo, lo);
+  }
+  if (min_col > max_col) return 0.0;  // empty net
+  const double horiz =
+      static_cast<double>(max_col - min_col) * tech.horiz_step_um();
+  const std::int32_t crossings = std::max(0, max_lo - min_hi);
+  return horiz + static_cast<double>(crossings) * row_crossing_cost_um(tech);
+}
+
 double lower_bound_delay_ps(DelayGraph& delay_graph, const Placement& placement,
                             const TechParams& tech) {
   const Netlist& netlist = delay_graph.netlist();

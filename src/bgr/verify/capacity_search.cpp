@@ -1,0 +1,145 @@
+#include "bgr/verify/capacity_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "bgr/obs/metrics.hpp"
+#include "bgr/verify/verifier.hpp"
+
+namespace bgr {
+
+namespace {
+
+/// Routes the design from scratch and checks it against a per-channel
+/// track capacity `cap`, rip-up/re-routing the nets of over-capacity
+/// channels for up to `max_passes` passes. The channel stage is
+/// single-shot, so every pass measures through a fresh stage.
+CapacityProbe run_probe(const Netlist& base, const Placement& placement,
+                        const TechParams& tech,
+                        const std::vector<PathConstraint>& constraints,
+                        const RouterOptions& router_options, std::int32_t cap,
+                        std::int32_t max_passes) {
+  CapacityProbe probe;
+  probe.tracks = cap;
+  Netlist netlist = base;  // the router inserts feed cells
+  GlobalRouter router(netlist, placement, tech, constraints, router_options);
+  router.run();
+  std::unique_ptr<ChannelStage> channel;
+  for (std::int32_t pass = 0;; ++pass) {
+    channel = std::make_unique<ChannelStage>(router);
+    channel->run();
+    probe.max_tracks = 0;
+    for (const std::int32_t t : channel->track_counts()) {
+      probe.max_tracks = std::max(probe.max_tracks, t);
+    }
+    if (probe.max_tracks <= cap || pass >= max_passes) break;
+    // Rip up every net with a segment in an over-capacity channel; the
+    // re-route sees the live densities, so the §3.4 density criteria pull
+    // the new trees away from the saturated channels.
+    std::vector<char> seen(static_cast<std::size_t>(netlist.net_count()), 0);
+    std::vector<NetId> victims;
+    for (std::int32_t c = 0; c < channel->channel_count(); ++c) {
+      const ChannelPlan& plan = channel->plan(c);
+      if (plan.tracks <= cap) continue;
+      for (const ChannelSegment& seg : plan.segments) {
+        char& mark = seen[static_cast<std::size_t>(seg.net.value())];
+        if (mark == 0) {
+          mark = 1;
+          victims.push_back(seg.net);
+        }
+      }
+    }
+    if (victims.empty()) break;
+    std::sort(victims.begin(), victims.end(),
+              [](NetId a, NetId b) { return a.value() < b.value(); });
+    router.reroute(victims);
+    ++probe.reroute_passes;
+  }
+  const RouteVerifier verifier(router, channel.get());
+  for (const VerifyIssue& issue : verifier.run()) {
+    if (issue.severity == VerifyIssue::Severity::kError) {
+      ++probe.verify_errors;
+    }
+  }
+  probe.feasible = probe.max_tracks <= cap && probe.verify_errors == 0;
+  return probe;
+}
+
+}  // namespace
+
+CapacitySearchResult min_capacity_search(
+    const Netlist& netlist, const Placement& placement, const TechParams& tech,
+    const std::vector<PathConstraint>& constraints,
+    const RouterOptions& router_options, const CapacitySearchOptions& options) {
+  CapacitySearchResult result;
+
+  // Unconstrained reference run: its densest channel is both the upper
+  // bound of the bisection and a capacity known to be feasible (a probe at
+  // exactly that cap re-routes nothing, so it reproduces this very run).
+  CapacityProbe reference =
+      run_probe(netlist, placement, tech, constraints, router_options,
+                std::numeric_limits<std::int32_t>::max(),
+                options.max_reroute_passes);
+  result.unconstrained_tracks = reference.max_tracks;
+  const bool reference_clean = reference.verify_errors == 0;
+  reference.feasible = reference_clean;
+  // Report the probe at the capacity it established, not the +inf cap it
+  // ran under (a probe at exactly max_tracks re-routes nothing, so it is
+  // this very run).
+  reference.tracks = reference.max_tracks;
+  result.probes.push_back(reference);
+  if (reference.max_tracks <= 0 || !reference_clean) {
+    result.min_tracks = reference.max_tracks;
+    return result;
+  }
+
+  std::int32_t lo = 1;
+  std::int32_t hi = reference.max_tracks;
+  while (lo < hi) {
+    const std::int32_t mid = lo + (hi - lo) / 2;
+    const CapacityProbe probe =
+        run_probe(netlist, placement, tech, constraints, router_options, mid,
+                  options.max_reroute_passes);
+    result.probes.push_back(probe);
+    if (probe.feasible) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.min_tracks = lo;
+  return result;
+}
+
+RunReport make_capacity_report(const std::string& design_name, bool constrained,
+                               const CapacitySearchResult& result,
+                               double wall_seconds) {
+  RunReport report("bench.capacity");
+  report.section("design").set("name", design_name);
+  report.section("options").set("constrained", constrained);
+
+  JsonValue& capacity = report.section("capacity");
+  capacity.set("min_tracks", static_cast<std::int64_t>(result.min_tracks));
+  capacity.set("unconstrained_tracks",
+               static_cast<std::int64_t>(result.unconstrained_tracks));
+  JsonValue probes;
+  for (const CapacityProbe& probe : result.probes) {
+    JsonValue entry;
+    entry.set("tracks", static_cast<std::int64_t>(probe.tracks));
+    entry.set("feasible", probe.feasible);
+    entry.set("max_tracks", static_cast<std::int64_t>(probe.max_tracks));
+    entry.set("reroute_passes",
+              static_cast<std::int64_t>(probe.reroute_passes));
+    entry.set("verify_errors",
+              static_cast<std::int64_t>(probe.verify_errors));
+    probes.push_back(std::move(entry));
+  }
+  capacity.set("probes", std::move(probes));
+
+  report.section("run").set("wall_seconds", wall_seconds);
+  report.add_metrics(MetricsRegistry::global());
+  return report;
+}
+
+}  // namespace bgr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/obs/run_report.hpp"
+#include "bgr/route/router.hpp"
+
+namespace bgr {
+
+/// One feasibility probe of `min_capacity_search`: route the design from
+/// scratch, then check whether every channel fits within `tracks` tracks,
+/// re-routing the nets of over-capacity channels for a bounded number of
+/// passes before giving up.
+struct CapacityProbe {
+  std::int32_t tracks = 0;         // the capacity W probed
+  bool feasible = false;           // fits W and verifies clean
+  std::int32_t max_tracks = 0;     // densest channel after the final pass
+  std::int32_t reroute_passes = 0; // rip-up/re-route passes consumed
+  std::int32_t verify_errors = 0;  // signoff errors on the final result
+};
+
+struct CapacitySearchResult {
+  /// Smallest W for which the probe succeeded. Always well-defined: the
+  /// unconstrained probe's own track count is feasible by construction.
+  std::int32_t min_tracks = 0;
+  /// Densest channel of the unconstrained route (the binary search's upper
+  /// bound).
+  std::int32_t unconstrained_tracks = 0;
+  /// Every probe run, in execution order (unconstrained first, then the
+  /// bisection probes) — the full deterministic transcript.
+  std::vector<CapacityProbe> probes;
+};
+
+struct CapacitySearchOptions {
+  /// Rip-up/re-route passes a probe may spend squeezing over-capacity
+  /// channels before declaring W infeasible.
+  std::int32_t max_reroute_passes = 3;
+};
+
+/// Minimum-capacity binary search (DESIGN.md §15): the smallest per-channel
+/// track capacity W for which the design still routes and verifies clean.
+/// Each probe is a fresh, fully deterministic pipeline run (the router
+/// consumes its netlist, so the probe copies it), and the bisection over
+/// [1, unconstrained] asks a deterministic predicate — the result is
+/// bit-identical across repeats and thread counts even though feasibility
+/// need not be monotone in W (the search then still converges, to the
+/// canonical fixpoint of the probe sequence). `router_options.threads` et
+/// al. are honored per probe.
+[[nodiscard]] CapacitySearchResult min_capacity_search(
+    const Netlist& netlist, const Placement& placement, const TechParams& tech,
+    const std::vector<PathConstraint>& constraints,
+    const RouterOptions& router_options,
+    const CapacitySearchOptions& options = {});
+
+/// Builds the `bench.capacity` run report (tools/check_run_report.py owns
+/// the schema): the search result plus the full probe transcript, with
+/// wall time quarantined under "run" and the global metrics registry
+/// appended. Shared by `bgr_route --min-capacity-search` and
+/// `bench_capacity`.
+[[nodiscard]] RunReport make_capacity_report(const std::string& design_name,
+                                             bool constrained,
+                                             const CapacitySearchResult& result,
+                                             double wall_seconds);
+
+}  // namespace bgr

@@ -1,0 +1,229 @@
+// Differential battery for the chip-level lookahead maps (DESIGN.md §15):
+// on dozens of fuzz-sampled designs, the table-derived A* bound must be
+// admissible (never above the exact multi-source Dijkstra distance) on
+// every live mid-routing graph, the searches it drives must be
+// bit-identical to the reference Dijkstra, and the full pipeline outcome
+// under --lookahead map must match --lookahead exact at 1 and 8 threads.
+//
+// BGR_LOOKAHEAD_INFLATE=<factor> (CI's seeded must-fail check) multiplies
+// the derived bounds before use; any factor above 1 makes them
+// inadmissible, and the admissibility assertion below must catch it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/route/lookahead.hpp"
+#include "bgr/route/path_search.hpp"
+#include "bgr/route/router.hpp"
+#include "bgr/timing/lower_bound.hpp"
+
+namespace bgr {
+namespace {
+
+double inflation() {
+  const char* env = std::getenv("BGR_LOOKAHEAD_INFLATE");
+  if (env == nullptr) return 1.0;
+  const double f = std::atof(env);
+  return f > 0.0 ? f : 1.0;
+}
+
+/// The map-derived heuristic for a live routing graph, optionally
+/// inflated (test hook: an inflated bound is inadmissible by
+/// construction and must trip the assertions below).
+GoalHeuristic derive_map(const RoutingGraph& g, const ChipLookahead& table) {
+  const SmallGraph& sg = g.graph();
+  std::vector<RouteVertexInfo> vertices;
+  vertices.reserve(static_cast<std::size_t>(sg.vertex_count()));
+  for (std::int32_t v = 0; v < sg.vertex_count(); ++v) {
+    vertices.push_back(g.vertex_info(v));
+  }
+  GoalHeuristic heuristic =
+      table.derive(sg, vertices, g.driver_vertex(), g.terminal_vertices());
+  const double f = inflation();
+  if (f != 1.0) {
+    for (double& h : heuristic.h) {
+      if (std::isfinite(h)) h *= f;
+    }
+  }
+  return heuristic;
+}
+
+/// Per-graph check, mid-routing (real deletions applied): the map bound
+/// is admissible against the exact distances, and the A* searches it
+/// drives — raw and through the cache-backed engine — return the same
+/// tentative trees as the reference Dijkstra.
+void check_map_bounds_on_graph(const RoutingGraph& g,
+                               const ChipLookahead& table, std::int64_t step) {
+  const SmallGraph& sg = g.graph();
+  const GoalHeuristic exact =
+      build_goal_heuristic(sg, g.driver_vertex(), g.terminal_vertices());
+  const GoalHeuristic map = derive_map(g, table);
+  ASSERT_EQ(map.h.size(), exact.h.size());
+
+  // Admissibility: never above the exact distance to the nearest target.
+  // Both bounds carry the same relative shave, so the comparison is
+  // direct, with a hair of absolute slack for the different floating-
+  // point summation orders (prefix difference vs edge-by-edge).
+  for (std::size_t v = 0; v < exact.h.size(); ++v) {
+    if (!std::isfinite(exact.h[v])) continue;  // true distance unbounded
+    ASSERT_LE(map.h[v], exact.h[v] + 1e-6 * (1.0 + exact.h[v]))
+        << "inadmissible map bound at vertex " << v << ", deletion step "
+        << step;
+  }
+
+  PathSearchScratch dijkstra_scratch;
+  PathSearchScratch astar_scratch;
+  PathSearchEngine engine(PathSearchBackend::kAstar, nullptr);
+  SearchCache cache;
+  engine.refresh_cache(sg, g.driver_vertex(), g.terminal_vertices(), &cache);
+
+  std::vector<std::int32_t> skips{SmallGraph::kNone};
+  for (const std::int32_t e : g.non_bridge_edges()) {
+    skips.push_back(e);
+    if (skips.size() >= 6) break;
+  }
+  for (const std::int32_t skip : skips) {
+    std::vector<std::int32_t> dijkstra_tree;
+    std::vector<std::int32_t> astar_tree;
+    std::vector<std::int32_t> cached_tree;
+    (void)path_search_tree(sg, PathSearchBackend::kDijkstra, nullptr,
+                           g.driver_vertex(), g.terminal_vertices(), skip,
+                           dijkstra_scratch, &dijkstra_tree);
+    (void)path_search_tree(sg, PathSearchBackend::kAstar, &map,
+                           g.driver_vertex(), g.terminal_vertices(), skip,
+                           astar_scratch, &astar_tree);
+    engine.tentative_tree(sg, &map, &cache, g.driver_vertex(),
+                          g.terminal_vertices(), skip, &cached_tree);
+    ASSERT_EQ(dijkstra_tree, astar_tree)
+        << "map-driven tree diverged at deletion step " << step << ", skip "
+        << skip;
+    ASSERT_EQ(dijkstra_tree, cached_tree)
+        << "map-driven cone repair diverged at deletion step " << step
+        << ", skip " << skip;
+  }
+}
+
+TEST(ChipLookahead, GeometryMatchesTheSharedFeedAndTrunkWeights) {
+  const TechParams tech;
+  const ChipLookahead table(4, tech);
+  ASSERT_EQ(table.channel_count(), 5);
+  EXPECT_GT(table.step_um(), 0.0);
+  EXPECT_DOUBLE_EQ(table.crossing_um(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(table.crossing_um(0, 4), table.crossing_um(4, 0));
+  // One row between adjacent channels, priced exactly like a feed edge.
+  EXPECT_DOUBLE_EQ(table.crossing_um(1, 2), row_crossing_cost_um(tech));
+  // Crossing costs accumulate: [0,4] is [0,2] plus [2,4].
+  EXPECT_DOUBLE_EQ(table.crossing_um(0, 4),
+                   table.crossing_um(0, 2) + table.crossing_um(2, 4));
+}
+
+TEST(LookaheadDifferential, MapBoundsAdmissibleDuringRouting) {
+  for (const std::uint64_t seed : {1, 2, 3, 5, 8, 13, 21, 34, 55, 89}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Dataset design = generate_circuit(sample_spec(seed));
+    const ChipLookahead table(design.placement.row_count(), design.tech);
+
+    std::unique_ptr<GlobalRouter> router;
+    std::int64_t steps = 0;
+    RouterOptions options;
+    options.deletion_observer = [&](NetId net, std::int32_t) {
+      if (::testing::Test::HasFatalFailure()) return;
+      if (++steps > 40) return;  // first few dozen live states per seed
+      check_map_bounds_on_graph(router->net_graph(net), table, steps);
+    };
+    router = std::make_unique<GlobalRouter>(design.netlist,
+                                            std::move(design.placement),
+                                            design.tech, design.constraints,
+                                            options);
+    (void)router->run();
+    EXPECT_GT(steps, 0) << "observer never fired (seed " << seed << ")";
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+struct PipelineSnapshot {
+  RouteOutcome outcome;
+  std::vector<double> net_lengths_um;
+  std::vector<double> margins_ps;
+};
+
+PipelineSnapshot route_pipeline(const CircuitSpec& spec, LookaheadMode mode,
+                                std::int32_t threads) {
+  Dataset design = generate_circuit(spec);
+  RouterOptions options;
+  options.path_search = PathSearchBackend::kAstar;
+  options.lookahead = mode;
+  options.threads = threads;
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, options);
+  PipelineSnapshot snap;
+  snap.outcome = router.run();
+  for (const NetId n : design.netlist.nets()) {
+    snap.net_lengths_um.push_back(router.net_length_um(n));
+  }
+  for (const ConstraintId p : router.analyzer().constraints()) {
+    snap.margins_ps.push_back(router.analyzer().margin_ps(p));
+  }
+  return snap;
+}
+
+/// Bit-identity of everything the router decided. `compare_path_effort`
+/// is off across lookahead modes (pop counts differ — the exact bound is
+/// tighter) and on across thread counts.
+void expect_identical(const PipelineSnapshot& a, const PipelineSnapshot& b,
+                      bool compare_path_effort) {
+  EXPECT_EQ(a.outcome.critical_delay_ps, b.outcome.critical_delay_ps);
+  EXPECT_EQ(a.outcome.total_length_um, b.outcome.total_length_um);
+  EXPECT_EQ(a.outcome.violated_constraints, b.outcome.violated_constraints);
+  EXPECT_EQ(a.outcome.worst_margin_ps, b.outcome.worst_margin_ps);
+  EXPECT_EQ(a.outcome.feed_cells_added, b.outcome.feed_cells_added);
+  EXPECT_EQ(a.outcome.widen_pitches, b.outcome.widen_pitches);
+  ASSERT_EQ(a.outcome.phases.size(), b.outcome.phases.size());
+  for (std::size_t i = 0; i < a.outcome.phases.size(); ++i) {
+    const PhaseStats& pa = a.outcome.phases[i];
+    const PhaseStats& pb = b.outcome.phases[i];
+    EXPECT_EQ(pa.deletions, pb.deletions) << pa.name;
+    EXPECT_EQ(pa.reroutes, pb.reroutes) << pa.name;
+    EXPECT_EQ(pa.critical_delay_ps, pb.critical_delay_ps) << pa.name;
+    EXPECT_EQ(pa.worst_margin_ps, pb.worst_margin_ps) << pa.name;
+    EXPECT_EQ(pa.sum_max_density, pb.sum_max_density) << pa.name;
+    EXPECT_EQ(pa.sta_relaxations, pb.sta_relaxations) << pa.name;
+    if (compare_path_effort) {
+      EXPECT_EQ(pa.path_searches, pb.path_searches) << pa.name;
+      EXPECT_EQ(pa.path_pops, pb.path_pops) << pa.name;
+      EXPECT_EQ(pa.path_relaxations, pb.path_relaxations) << pa.name;
+    }
+  }
+  EXPECT_EQ(a.net_lengths_um, b.net_lengths_um);
+  EXPECT_EQ(a.margins_ps, b.margins_ps);
+}
+
+TEST(LookaheadDifferential, PipelineBitIdenticalAcrossModes) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const CircuitSpec spec = sample_spec(seed);
+    const PipelineSnapshot exact =
+        route_pipeline(spec, LookaheadMode::kExact, 1);
+    const PipelineSnapshot map = route_pipeline(spec, LookaheadMode::kMap, 1);
+    expect_identical(exact, map, /*compare_path_effort=*/false);
+
+    // Every fifth seed also crosses thread counts, per mode: one shared
+    // immutable table must serve the parallel graph builds unchanged.
+    if (seed % 5 == 0) {
+      expect_identical(map, route_pipeline(spec, LookaheadMode::kMap, 8),
+                       /*compare_path_effort=*/true);
+      expect_identical(exact, route_pipeline(spec, LookaheadMode::kExact, 8),
+                       /*compare_path_effort=*/true);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgr

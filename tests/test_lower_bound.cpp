@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/route/router.hpp"
 #include "test_util.hpp"
 
 namespace bgr {
@@ -69,6 +72,32 @@ TEST(LowerBound, BoundIsBelowAnyRoutedLength) {
     }
     EXPECT_LE(hpwl, star + 2.0 * 60.0 * 2.0 + 1e-9);
   }
+}
+
+TEST(LowerBound, RowCrossingCostPricesEveryFeedEdge) {
+  // The chip-level lookahead table (DESIGN.md §15) prices one row
+  // crossing at exactly row_crossing_cost_um; its admissibility rests on
+  // every feed edge of every routing graph weighing exactly that. Pin
+  // the cross-module identity on a fuzz-sampled design.
+  Dataset design = generate_circuit(sample_spec(7));
+  const double cross = row_crossing_cost_um(design.tech);
+  EXPECT_NEAR(cross,
+              design.tech.row_cross_um() +
+                  2.0 * design.tech.channel_depth_est_um,
+              1e-12);
+  GlobalRouter router(design.netlist, std::move(design.placement),
+                      design.tech, design.constraints, RouterOptions{});
+  (void)router.run();  // graphs are built lazily by the pipeline
+  std::int64_t feed_edges = 0;
+  for (const NetId n : design.netlist.nets()) {
+    const RoutingGraph& g = router.net_graph(n);
+    for (std::int32_t e = 0; e < g.graph().edge_count(); ++e) {
+      if (g.edge_info(e).kind != RouteEdgeKind::kFeed) continue;
+      ++feed_edges;
+      EXPECT_DOUBLE_EQ(g.graph().edge(e).weight, cross);
+    }
+  }
+  EXPECT_GT(feed_edges, 0);
 }
 
 }  // namespace

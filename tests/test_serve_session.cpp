@@ -14,6 +14,7 @@
 #include "bgr/fuzz/spec_sampler.hpp"
 #include "bgr/gen/generator.hpp"
 #include "bgr/io/design_io.hpp"
+#include "bgr/route/lookahead.hpp"
 #include "bgr/serve/design_cache.hpp"
 #include "bgr/serve/session.hpp"
 
@@ -233,6 +234,8 @@ TEST(RequestResultKey, SeparatesOptionsAndDesigns) {
   b.options.improvement_passes = 5;
   JobRequest c = a;
   c.constrained = false;
+  JobRequest d = a;
+  d.options.lookahead = LookaheadMode::kMap;
   const std::uint64_t design_key = DesignCache::text_key(a.design_text);
   const std::uint64_t other_key = DesignCache::text_key("something else");
   EXPECT_NE(request_result_key(a, design_key),
@@ -240,9 +243,86 @@ TEST(RequestResultKey, SeparatesOptionsAndDesigns) {
   EXPECT_NE(request_result_key(a, design_key),
             request_result_key(c, design_key));
   EXPECT_NE(request_result_key(a, design_key),
+            request_result_key(d, design_key));
+  EXPECT_NE(request_result_key(a, design_key),
             request_result_key(a, other_key));
   EXPECT_EQ(request_result_key(a, design_key),
             request_result_key(a, design_key));
+}
+
+TEST(RoutingSession, MapLookaheadMatchesExactThroughTheCache) {
+  // `--lookahead map` through the serve path: different result key (no
+  // false result-hit), shared parsed design, cached lookahead table — and
+  // a bit-identical outcome, because both heuristics are admissible.
+  DesignCache cache;
+  JobRequest exact = small_request("e", 11);
+  JobRequest map = exact;
+  map.id = "m";
+  map.options.lookahead = LookaheadMode::kMap;
+
+  RoutingSession exact_session(exact, &cache, nullptr);
+  const SessionResult a = exact_session.run();
+  ASSERT_EQ(a.status, SessionStatus::kDone);
+
+  RoutingSession map_session(map, &cache, nullptr);
+  const SessionResult b = map_session.run();
+  ASSERT_EQ(b.status, SessionStatus::kDone);
+  EXPECT_EQ(b.cache, "design-hit");
+  EXPECT_EQ(b.digest, a.digest);
+}
+
+TEST(DesignCache, UsageReturnsToBaselineAfterFullEviction) {
+  // Regression: the byte gauge is maintained incrementally, so eviction
+  // must release exactly what insertion charged — including the lazily
+  // attached lookahead table — or usage() drifts away from reality.
+  DesignCache cache(2, 2);
+  const DesignCache::Usage empty = cache.usage();
+  EXPECT_EQ(empty.dataset_entries, 0);
+  EXPECT_EQ(empty.dataset_bytes, 0);
+  EXPECT_EQ(empty.result_entries, 0);
+  EXPECT_EQ(empty.result_bytes, 0);
+
+  // Overfill both levels so the LRU evicts while we insert.
+  for (std::uint64_t seed = 20; seed < 25; ++seed) {
+    const std::string text = small_design_text(seed);
+    const auto dataset = cache.dataset_for_text(text, "test");
+    (void)cache.lookahead_for(DesignCache::text_key(text), *dataset);
+    cache.store_result(seed, std::make_shared<const SessionResult>());
+  }
+  const DesignCache::Usage full = cache.usage();
+  EXPECT_EQ(full.dataset_entries, 2);
+  EXPECT_EQ(full.result_entries, 2);
+  EXPECT_GT(full.dataset_bytes, 0);
+  EXPECT_GT(full.result_bytes, 0);
+
+  cache.clear();
+  const DesignCache::Usage cleared = cache.usage();
+  EXPECT_EQ(cleared.dataset_entries, 0);
+  EXPECT_EQ(cleared.dataset_bytes, 0);
+  EXPECT_EQ(cleared.result_entries, 0);
+  EXPECT_EQ(cleared.result_bytes, 0);
+}
+
+TEST(DesignCache, LookaheadTableIsBuiltOncePerResidentDesign) {
+  DesignCache cache;
+  const std::string text = small_design_text(30);
+  const std::uint64_t key = DesignCache::text_key(text);
+  const auto dataset = cache.dataset_for_text(text, "test");
+
+  const DesignCache::Usage before = cache.usage();
+  const auto first = cache.lookahead_for(key, *dataset);
+  const auto second = cache.lookahead_for(key, *dataset);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // built once, then shared
+  const DesignCache::Usage after = cache.usage();
+  EXPECT_GT(after.dataset_bytes, before.dataset_bytes);
+  EXPECT_EQ(cache.usage().dataset_bytes, after.dataset_bytes);
+
+  // A design that is not resident still gets a (private) table.
+  const auto orphan =
+      cache.lookahead_for(DesignCache::text_key("absent"), *dataset);
+  ASSERT_NE(orphan, nullptr);
+  EXPECT_NE(orphan.get(), first.get());
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bgr/obs/metrics.hpp"
@@ -111,6 +112,52 @@ TEST(SlidingHistogram, NegativeValuesClampToZero) {
   const SlidingHistogram::Snapshot snap = h.snapshot();
   EXPECT_EQ(snap.count, 1);
   EXPECT_EQ(snap.min, 0);
+}
+
+TEST(SlidingHistogram, ConcurrentRotationNeverTearsASnapshot) {
+  // Stress the rotation path: writers hammer record() while one thread
+  // rotates the ring as fast as it can and the main thread scrapes.
+  // Before the per-epoch writer gate, a recorder racing clear() could
+  // leave a torn epoch — count without its bucket, or min above max —
+  // which the invariants below catch (and TSan the memory-order side).
+  SlidingHistogram h(3);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&h, &stop] {
+      std::int64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(v);
+        v = v % 1000 + 1;
+      }
+    });
+  }
+  std::thread rotator([&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.advance();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    const SlidingHistogram::Snapshot snap = h.snapshot();
+    ASSERT_GE(snap.count, 0);
+    if (snap.count == 0) continue;
+    ASSERT_LE(snap.min, snap.max);
+    ASSERT_GE(snap.min, 1);
+    ASSERT_LE(snap.max, 1000);
+    ASSERT_LE(snap.p50, snap.p90);
+    ASSERT_LE(snap.p90, snap.p99);
+    ASSERT_GE(snap.p50, static_cast<double>(snap.min));
+    ASSERT_LE(snap.p99, static_cast<double>(snap.max));
+    // Every counted sample's bucket landed before its count did, so the
+    // merged bucket total can never run below the merged count.
+    std::int64_t bucket_total = 0;
+    for (const std::int64_t b : snap.buckets) bucket_total += b;
+    ASSERT_GE(bucket_total, snap.count);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+  rotator.join();
 }
 
 // ---- Watchdog predicate ---------------------------------------------------
@@ -262,6 +309,69 @@ TEST(AdminServer, ServesMetricsHealthAndReadiness) {
             std::string::npos);
 
   EXPECT_NE(http_get(admin.port(), "/nope").find("404"), std::string::npos);
+  admin.stop();
+}
+
+/// Connects without sending anything; returns the fd.
+int connect_only(std::int32_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string read_all(int fd) {
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(AdminServer, SilentClientTimesOutInsteadOfWedgingScrapes) {
+  // Regression: connections are served serially, so a client that
+  // connects and never sends used to park the admin thread in a blocking
+  // recv forever, starving every subsequent /metrics and /readyz scrape.
+  serve::AdminServer admin([] { return std::string("m 1\n"); },
+                           [] { return true; });
+  admin.set_request_timeout_ms(100);
+  ASSERT_TRUE(admin.start(0));
+
+  const int hang_fd = connect_only(admin.port());
+  ASSERT_GE(hang_fd, 0);
+  // A scrape queued behind the silent connection must still be answered
+  // (within the request timeout, not never).
+  EXPECT_NE(http_get(admin.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  // And the silent client was told why it was cut off.
+  EXPECT_NE(read_all(hang_fd).find("408"), std::string::npos);
+  ::close(hang_fd);
+  admin.stop();
+}
+
+TEST(AdminServer, OversizedRequestHeadIsRejected) {
+  serve::AdminServer admin([] { return std::string(); }, [] { return true; });
+  admin.set_request_timeout_ms(1000);
+  ASSERT_TRUE(admin.start(0));
+
+  const int fd = connect_only(admin.port());
+  ASSERT_GE(fd, 0);
+  // 20 KiB of head with no terminating blank line blows the 16 KiB cap.
+  const std::string junk(20 * 1024, 'A');
+  (void)!::send(fd, junk.data(), junk.size(), 0);
+  EXPECT_NE(read_all(fd).find("413"), std::string::npos);
+  ::close(fd);
   admin.stop();
 }
 

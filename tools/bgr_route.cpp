@@ -21,6 +21,17 @@
 //                         over a dial queue (astar, the default) or the
 //                         reference binary-heap Dijkstra; the routed
 //                         result is bit-identical either way
+//     --lookahead {exact,map}
+//                         source of the A* lower bounds: an exact
+//                         multi-source Dijkstra per routing graph (exact,
+//                         the default) or derivation from the chip-level
+//                         lookahead table built once per design (map);
+//                         the routed result is bit-identical either way
+//     --min-capacity-search
+//                         instead of routing once, binary-search the
+//                         minimum per-channel track capacity the design
+//                         still routes and verifies under; --metrics-out
+//                         then writes a bench.capacity report
 //     --threads N         exec/ worker threads (1 = serial, 0 = hardware);
 //                         the result is bit-identical for any N
 //     --repeat K          route K times (fresh design each run) and report
@@ -51,6 +62,7 @@
 #include "bgr/io/route_io.hpp"
 #include "bgr/io/ascii_art.hpp"
 #include "bgr/channel/geometry.hpp"
+#include "bgr/verify/capacity_search.hpp"
 #include "bgr/verify/verifier.hpp"
 #include "bgr/metrics/skew.hpp"
 #include "bgr/metrics/report.hpp"
@@ -67,6 +79,7 @@ void usage(std::FILE* out) {
                "[--rc] [--sequential] [--no-improve] "
                "[--incremental-sta on|off] [--shard-deletion on|off] "
                "[--path-search astar|dijkstra] "
+               "[--lookahead exact|map] [--min-capacity-search] "
                "[--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
                "[--skew] [--metrics-out FILE] [--trace-out FILE] "
@@ -117,6 +130,7 @@ int main(int argc, char** argv) {
   }
   RouterOptions options;
   bool constrained = true;
+  bool capacity_search = false;
   bool print_skew = false;
   bool print_map = false;
   bool run_verify = false;
@@ -166,6 +180,18 @@ int main(int argc, char** argv) {
                      "error: --path-search must be astar or dijkstra\n");
         return cli::kExitUsage;
       }
+    } else if (arg == "--lookahead" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "exact") {
+        options.lookahead = LookaheadMode::kExact;
+      } else if (mode == "map") {
+        options.lookahead = LookaheadMode::kMap;
+      } else {
+        std::fprintf(stderr, "error: --lookahead must be exact or map\n");
+        return cli::kExitUsage;
+      }
+    } else if (arg == "--min-capacity-search") {
+      capacity_search = true;
     } else if (arg == "--no-improve") {
       options.enable_violation_recovery = false;
       options.enable_delay_improvement = false;
@@ -215,6 +241,39 @@ int main(int argc, char** argv) {
       return input.rfind('@', 0) == 0 ? make_dataset(input.substr(1))
                                       : load_design(input);
     };
+
+    if (capacity_search) {
+      MetricsRegistry::global().reset();
+      Dataset d = load();
+      std::printf("design %s: %d cells, %d nets, %zu constraints "
+                  "(threads %d)\n",
+                  d.name.c_str(), d.netlist.cell_count(),
+                  d.netlist.net_count(), d.constraints.size(),
+                  options.threads == 0 ? bgr::ExecContext::hardware_threads()
+                                       : options.threads);
+      options.use_constraints = constrained;
+      Stopwatch watch;
+      const CapacitySearchResult result = min_capacity_search(
+          d.netlist, d.placement, d.tech, d.constraints, options);
+      const double seconds = watch.seconds();
+      for (const CapacityProbe& probe : result.probes) {
+        std::printf("probe W=%-4d max tracks %4d  reroute passes %d  "
+                    "verify errors %d  -> %s\n",
+                    probe.tracks, probe.max_tracks, probe.reroute_passes,
+                    probe.verify_errors,
+                    probe.feasible ? "feasible" : "infeasible");
+      }
+      std::printf("minimum capacity: %d tracks (unconstrained %d, "
+                  "%zu probes, %.2f s)\n",
+                  result.min_tracks, result.unconstrained_tracks,
+                  result.probes.size(), seconds);
+      if (!metrics_out_path.empty()) {
+        make_capacity_report(d.name, constrained, result, seconds)
+            .save(metrics_out_path);
+        std::printf("run report written to %s\n", metrics_out_path.c_str());
+      }
+      return cli::kExitOk;
+    }
 
     // The router inserts feed cells into the netlist it routes, so every
     // repeat starts from a freshly loaded design.

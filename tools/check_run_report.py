@@ -47,6 +47,9 @@ ROUTE_SEMANTIC_METRICS = (
     "path.cache_builds",
     "path.cache_hits",
     "path.cone_repairs",
+    "lookahead.builds",
+    "lookahead.derivations",
+    "lookahead.vertices",
     "sta.full_sweeps",
     "shard.components",
     "shard.commits",
@@ -59,6 +62,11 @@ SCALE_SECTIONS = ("design", "route", "shards", "result", "run")
 SCALE_SHARD_FIELDS = ("count", "scan_work", "commits", "lpt")
 SCALE_RESULT_FIELDS = ("nets_per_second_floor", "parallel_ratio_8",
                        "sharded", "pass")
+# The capacity bench (bench_capacity / bgr_route --min-capacity-search)
+# records the binary search's full probe transcript.
+CAPACITY_SECTIONS = ("design", "options", "capacity", "run")
+CAPACITY_PROBE_FIELDS = ("tracks", "feasible", "max_tracks",
+                         "reroute_passes", "verify_errors")
 # Daemon reports ("bgr_serve" and the in-process "bench.serve") carry the
 # serve/totals sections plus the admission/cache/cancellation counters —
 # all semantic: for a given request stream they are functions of the
@@ -122,8 +130,9 @@ def check_report(report, path):
         for name in ROUTE_SEMANTIC_METRICS:
             if name not in report["metrics"]["semantic"]:
                 fail(f"{path}: metrics.semantic lacks '{name}'")
-        if "path_search" not in report["options"]:
-            fail(f"{path}: options lacks 'path_search'")
+        for option in ("path_search", "lookahead"):
+            if option not in report["options"]:
+                fail(f"{path}: options lacks '{option}'")
         if not isinstance(report["phases"], list) or not report["phases"]:
             fail(f"{path}: 'phases' must be a non-empty array")
         for ph in report["phases"]:
@@ -154,6 +163,27 @@ def check_report(report, path):
         # registry: shard.components counts one increment per sharded run.
         if shards["count"] >= 0 and shards["scan_work"] < shards["commits"]:
             fail(f"{path}: shards.scan_work < shards.commits")
+    if kind == "bench.capacity":
+        for section in CAPACITY_SECTIONS:
+            if section not in report:
+                fail(f"{path}: missing '{section}' section")
+        capacity = report["capacity"]
+        for field in ("min_tracks", "unconstrained_tracks", "probes"):
+            if field not in capacity:
+                fail(f"{path}: capacity.{field} missing")
+        probes = capacity["probes"]
+        if not isinstance(probes, list) or not probes:
+            fail(f"{path}: capacity.probes must be a non-empty array")
+        for probe in probes:
+            for field in CAPACITY_PROBE_FIELDS:
+                if field not in probe:
+                    fail(f"{path}: probe lacks '{field}': {probe}")
+        # The unconstrained probe leads the transcript and bounds the
+        # search: the answer must land inside [1, unconstrained].
+        if probes[0]["tracks"] != capacity["unconstrained_tracks"]:
+            fail(f"{path}: first probe is not the unconstrained bound")
+        if not 1 <= capacity["min_tracks"] <= capacity["unconstrained_tracks"]:
+            fail(f"{path}: min_tracks outside [1, unconstrained_tracks]")
     if kind in SERVE_KINDS:
         for section in SERVE_SECTIONS:
             if section not in report:
