@@ -118,9 +118,7 @@ RunReport make_run_report(const GlobalRouter& router,
                                                        : "lumped_c");
   options.set("concurrent_initial", opt.concurrent_initial);
   options.set("incremental_sta", opt.incremental_sta);
-  options.set("path_search",
-              opt.path_search == PathSearchBackend::kAstar ? "astar"
-                                                           : "dijkstra");
+  options.set("path_search", path_search_backend_name(opt.path_search));
   options.set("lookahead",
               opt.lookahead == LookaheadMode::kMap ? "map" : "exact");
   options.set("improvement_passes",

@@ -24,7 +24,17 @@ class ExecContext;
 /// both settle, and the tree is derived from distances alone (see
 /// derive_tree), so the resulting tentative trees — and therefore every
 /// score, every deletion and the final RouteOutcome — are bit-identical.
-enum class PathSearchBackend { kDijkstra, kAstar };
+/// kSteiner is the cost-distance tree construction (DESIGN.md §16): it
+/// greedily merges sink paths under cost(T) + Σ_s w_s · dist_T(root, s)
+/// with per-sink weights derived from constraint slack. It is the one
+/// backend *allowed* to produce different trees than the reference — its
+/// correctness contract is "deterministic, verifier-clean and
+/// margin-dominant", enforced by the test_steiner oracle battery rather
+/// than bit-identity with Dijkstra.
+enum class PathSearchBackend { kDijkstra, kAstar, kSteiner };
+
+/// Canonical CLI/serve/report spelling of a backend.
+[[nodiscard]] const char* path_search_backend_name(PathSearchBackend backend);
 
 /// Per-net goal-oriented lower bound: h[v] = exact shortest distance from
 /// v to the nearest non-driver terminal, computed once per routing graph
@@ -269,23 +279,34 @@ class PathSearchEngine {
   /// graph's serial mutation points only — the cache is read lock-free by
   /// concurrent scorers. The build's pops/relaxations fold into the effort
   /// totals, but it is not counted as a search: `searches` stays the query
-  /// count, identical across backends.
+  /// count, identical across backends. The Steiner backend memoizes its
+  /// no-skip tree instead (built with exactly the live query
+  /// configuration: same heuristic, same sink weights), leaving
+  /// dist/seq/settle_order empty — cone repair is unsound for it, so
+  /// skip-edge queries always run a full construction.
   void refresh_cache(const SmallGraph& graph, std::int32_t source,
                      const std::vector<std::int32_t>& terminals,
-                     SearchCache* cache);
+                     SearchCache* cache,
+                     const GoalHeuristic* heuristic = nullptr,
+                     const std::vector<double>* sink_weights = nullptr);
 
   /// Runs one tentative-tree search using the calling thread's scratch.
   /// `heuristic` is ignored by the Dijkstra backend and may be null for
-  /// A* (which then degrades to h = 0, plain Dijkstra in a dial queue).
-  /// `cache` may be null; a valid cache lets the goal-oriented backend
-  /// answer the query from the cached labels (cone repair) instead of a
-  /// full search — bit-identically, see SearchCache. The reference
-  /// backend never consults it.
+  /// A* (which then degrades to h = 0, plain Dijkstra in a dial queue) and
+  /// for Steiner (full searches, no pruning). `cache` may be null; a valid
+  /// cache lets the goal-oriented backend answer the query from the cached
+  /// labels (cone repair) instead of a full search — bit-identically, see
+  /// SearchCache — and lets the Steiner backend return its memoized
+  /// no-skip tree. The reference backend never consults it.
+  /// `sink_weights` (Steiner only) aligns index-for-index with
+  /// `terminals`; null or empty means w = 0 everywhere (pure length
+  /// minimization).
   void tentative_tree(const SmallGraph& graph, const GoalHeuristic* heuristic,
                       const SearchCache* cache, std::int32_t source,
                       const std::vector<std::int32_t>& terminals,
                       std::int32_t skip_edge,
-                      std::vector<std::int32_t>* out);
+                      std::vector<std::int32_t>* out,
+                      const std::vector<double>* sink_weights = nullptr);
 
   [[nodiscard]] PathSearchStats stats() const;
 

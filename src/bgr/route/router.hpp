@@ -77,7 +77,11 @@ struct RouterOptions {
   /// A* dial-queue search (default) or the reference binary-heap Dijkstra.
   /// Both reach the same distance fixpoint and the tree is derived from
   /// distances alone, so the RouteOutcome is bit-identical either way —
-  /// A* just settles far fewer vertices per candidate evaluation.
+  /// A* just settles far fewer vertices per candidate evaluation. The
+  /// third backend, kSteiner, builds cost-distance trees (DESIGN.md §16)
+  /// and is *allowed* to produce a different RouteOutcome: its contract is
+  /// deterministic, verifier-clean and margin-dominant vs the Dijkstra
+  /// baseline, enforced by the test_steiner oracle battery.
   PathSearchBackend path_search = PathSearchBackend::kAstar;
   /// Source of the A* lower bounds (DESIGN.md §15): the exact per-graph
   /// multi-source Dijkstra (default) or derivation from the chip-level
@@ -227,6 +231,10 @@ class GlobalRouter {
   };
 
   void build_all_graphs();
+  /// Uniform per-sink weight vector for one net's steiner constructions
+  /// (empty unless the steiner backend is active), sized to the graph's
+  /// terminal list from net_sink_weight_.
+  [[nodiscard]] std::vector<double> sink_weights_for(NetId net) const;
   /// The table graphs derive their A* bounds from, or null in kExact mode
   /// (each graph then runs its own multi-source Dijkstra build).
   [[nodiscard]] const ChipLookahead* graph_lookahead() const;
@@ -291,6 +299,11 @@ class GlobalRouter {
   IdVector<NetId, std::uint64_t> net_version_;
   IdVector<NetId, double> net_budget_ps_;  // kNetBudgets mode only
   IdVector<NetId, double> extra_um_;       // back-annotated length corrections
+  /// Per-net cost-distance sink weight (steiner backend only): derived once
+  /// in run() from the static zero-capacitance slacks, so every later
+  /// rebuild (refine, reroute) sees the same weights — a relabeling- and
+  /// thread-invariant input.
+  IdVector<NetId, double> net_sink_weight_;
   ShardDecomposition shards_;
   CriteriaOrder order_ = CriteriaOrder::kDelayFirst;
   RunState run_state_ = RunState::kIdle;

@@ -201,9 +201,10 @@ RoutingGraph::DeletionResult RoutingGraph::delete_edge(std::int32_t e) {
   // answers skip-edge queries against. delete_edge runs only at serial
   // commit points, so no scorer is reading the cache concurrently.
   if (path_engine_ != nullptr &&
-      path_engine_->backend() == PathSearchBackend::kAstar) {
+      (path_engine_->backend() == PathSearchBackend::kAstar ||
+       path_engine_->backend() == PathSearchBackend::kSteiner)) {
     path_engine_->refresh_cache(graph_, driver_vertex_, terminal_vertices_,
-                                &search_cache_);
+                                &search_cache_, &heuristic_, &sink_weights_);
   }
   return result;
 }
@@ -240,16 +241,24 @@ double RoutingGraph::estimated_length_um(std::int32_t skip_edge) const {
 }
 
 void RoutingGraph::set_path_search(PathSearchEngine* engine,
-                                   const ChipLookahead* lookahead) {
+                                   const ChipLookahead* lookahead,
+                                   const std::vector<double>* sink_weights) {
   path_engine_ = engine;
-  if (engine != nullptr && engine->backend() == PathSearchBackend::kAstar) {
+  if (engine != nullptr &&
+      (engine->backend() == PathSearchBackend::kAstar ||
+       engine->backend() == PathSearchBackend::kSteiner)) {
     heuristic_ =
         lookahead != nullptr
             ? lookahead->derive(graph_, vertices_, driver_vertex_,
                                 terminal_vertices_)
             : build_goal_heuristic(graph_, driver_vertex_, terminal_vertices_);
+    sink_weights_.clear();
+    if (sink_weights != nullptr &&
+        engine->backend() == PathSearchBackend::kSteiner) {
+      sink_weights_ = *sink_weights;
+    }
     engine->refresh_cache(graph_, driver_vertex_, terminal_vertices_,
-                          &search_cache_);
+                          &search_cache_, &heuristic_, &sink_weights_);
   }
 }
 
@@ -259,7 +268,7 @@ std::vector<std::int32_t> RoutingGraph::tentative_tree_edges(
   if (path_engine_ != nullptr) {
     path_engine_->tentative_tree(graph_, &heuristic_, &search_cache_,
                                  driver_vertex_, terminal_vertices_, skip_edge,
-                                 &out);
+                                 &out, &sink_weights_);
     return out;
   }
   // Standalone graphs (unit tests, diagnostics) never see an engine: run

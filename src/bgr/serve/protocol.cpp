@@ -61,8 +61,11 @@ void parse_options(const JsonValue& node, JobRequest* out) {
         out->options.path_search = PathSearchBackend::kAstar;
       } else if (backend == "dijkstra") {
         out->options.path_search = PathSearchBackend::kDijkstra;
+      } else if (backend == "steiner") {
+        out->options.path_search = PathSearchBackend::kSteiner;
       } else {
-        bad("'path_search' must be \"astar\" or \"dijkstra\", got \"" +
+        bad("'path_search' must be \"astar\", \"dijkstra\" or \"steiner\", "
+            "got \"" +
             backend + "\"");
       }
     } else if (key == "lookahead") {

@@ -252,7 +252,8 @@ SessionResult RoutingSession::run_pipeline() {
     options.shared_pool = pool_;
     options.cancel_requested = [this] { return cancel_requested(); };
     if (options.lookahead == LookaheadMode::kMap &&
-        options.path_search == PathSearchBackend::kAstar &&
+        (options.path_search == PathSearchBackend::kAstar ||
+         options.path_search == PathSearchBackend::kSteiner) &&
         cache_ != nullptr) {
       // Chip geometry never changes mid-pipeline, so the lookahead table
       // is cached at the parsed-dataset level: a warm job skips the build

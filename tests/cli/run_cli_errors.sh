@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regression for the checked-choice CLI parses: a typo'd --path-search
+# engine must exit with the usage code (2) and the diagnostic must name
+# every registered engine, so the error doubles as documentation and a
+# newly added backend cannot be forgotten in the message.
+set -u
+
+cli="$1"
+fail() {
+  echo "FAIL: $1" >&2
+  echo "--- output ---" >&2
+  echo "$out" >&2
+  exit 1
+}
+
+out=$("$cli" @C1P1 --path-search bogus 2>&1)
+status=$?
+[ "$status" -eq 2 ] || fail "expected exit 2 for unknown engine, got $status"
+case "$out" in
+  *"--path-search"*) ;;
+  *) fail "diagnostic does not name the flag" ;;
+esac
+for engine in astar dijkstra steiner; do
+  case "$out" in
+    *"$engine"*) ;;
+    *) fail "diagnostic does not list engine '$engine'" ;;
+  esac
+done
+case "$out" in
+  *"bogus"*) ;;
+  *) fail "diagnostic does not echo the rejected value" ;;
+esac
+
+# A missing value is rejected the same way, not read past argv.
+out=$("$cli" @C1P1 --path-search 2>&1)
+status=$?
+[ "$status" -eq 2 ] || fail "expected exit 2 for missing value, got $status"
+
+echo "cli_errors: ok"

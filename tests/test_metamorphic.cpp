@@ -18,6 +18,7 @@
 #include "bgr/gen/generator.hpp"
 #include "bgr/route/router.hpp"
 #include "bgr/route/shard.hpp"
+#include "test_util.hpp"
 
 namespace bgr {
 namespace {
@@ -37,106 +38,8 @@ CircuitSpec meta_spec(std::uint64_t seed) {
   return spec;
 }
 
-/// Rebuilds the dataset with cells and nets renumbered by the given
-/// permutations (new id i holds what old id perm[i] held). Terminals are
-/// renumbered implicitly by the rebuild order; constraints and pad sites
-/// are remapped. The result describes the *same* physical design.
-Dataset relabel(const Dataset& d, const std::vector<std::int32_t>& cell_perm,
-                const std::vector<std::int32_t>& net_perm) {
-  const Netlist& old = d.netlist;
-  Netlist netlist(old.library());
-  std::vector<CellId> cell_map(static_cast<std::size_t>(old.cell_count()));
-  for (const std::int32_t o : cell_perm) {
-    const CellId old_id{o};
-    cell_map[static_cast<std::size_t>(o)] =
-        netlist.add_cell(old.cell(old_id).name, old.cell(old_id).type);
-  }
-  std::vector<NetId> net_map(static_cast<std::size_t>(old.net_count()));
-  for (const std::int32_t o : net_perm) {
-    const NetId old_id{o};
-    net_map[static_cast<std::size_t>(o)] =
-        netlist.add_net(old.net(old_id).name, old.net(old_id).pitch_width);
-  }
-
-  // Terminals in their *original global creation order* so each keeps its
-  // TerminalId (the pad-assignment pass processes pads in TerminalId order,
-  // a documented processing order, not an identity the relabeling is meant
-  // to scramble). Only the nets and cells they attach to are renumbered.
-  std::vector<TerminalId> term_map(static_cast<std::size_t>(old.terminal_count()),
-                                   TerminalId::invalid());
-  for (std::int32_t ti = 0; ti < old.terminal_count(); ++ti) {
-    const TerminalId t{ti};
-    const Terminal& term = old.terminal(t);
-    const NetId new_net = net_map[static_cast<std::size_t>(term.net.value())];
-    TerminalId mapped = TerminalId::invalid();
-    switch (term.kind) {
-      case TerminalKind::kCellPin:
-        mapped = netlist.connect(new_net,
-                                 cell_map[static_cast<std::size_t>(
-                                     term.cell.value())],
-                                 term.pin);
-        break;
-      case TerminalKind::kPadIn:
-        mapped = netlist.add_pad_input(term.pad_name, new_net,
-                                       term.pad_tf_ps_per_pf,
-                                       term.pad_td_ps_per_pf);
-        break;
-      case TerminalKind::kPadOut:
-        mapped = netlist.add_pad_output(term.pad_name, new_net,
-                                        term.pad_cap_pf);
-        break;
-    }
-    term_map[static_cast<std::size_t>(t.value())] = mapped;
-  }
-  for (const NetId n : old.nets()) {
-    const Net& net = old.net(n);
-    if (net.is_differential() && net.diff_primary) {
-      netlist.make_differential(net_map[static_cast<std::size_t>(n.value())],
-                                net_map[static_cast<std::size_t>(
-                                    net.diff_partner.value())]);
-    }
-  }
-
-  Placement placement(d.placement.row_count(), d.placement.width());
-  for (const CellId c : old.cells()) {
-    const PlacedCell& pc = d.placement.placed(c);
-    placement.place(netlist, cell_map[static_cast<std::size_t>(c.value())],
-                    pc.row, pc.x);
-  }
-  for (const auto& [pad, site] : d.placement.pad_sites()) {
-    placement.place_pad(term_map[static_cast<std::size_t>(pad.value())],
-                        site.top, site.window);
-  }
-
-  std::vector<PathConstraint> constraints;
-  for (const PathConstraint& pc : d.constraints) {
-    PathConstraint mapped;
-    mapped.name = pc.name;
-    mapped.limit_ps = pc.limit_ps;
-    for (const TerminalId t : pc.sources) {
-      mapped.sources.push_back(term_map[static_cast<std::size_t>(t.value())]);
-    }
-    for (const TerminalId t : pc.sinks) {
-      mapped.sinks.push_back(term_map[static_cast<std::size_t>(t.value())]);
-    }
-    constraints.push_back(std::move(mapped));
-  }
-
-  return Dataset{d.name + "_relabel", d.spec,
-                 std::move(netlist), std::move(placement),
-                 std::move(constraints), d.tech};
-}
-
-std::vector<std::int32_t> random_permutation(std::int32_t n, Rng& rng) {
-  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
-  std::iota(perm.begin(), perm.end(), 0);
-  for (std::int32_t i = n - 1; i > 0; --i) {
-    const std::int32_t j = rng.uniform_i32(0, i);
-    std::swap(perm[static_cast<std::size_t>(i)],
-              perm[static_cast<std::size_t>(j)]);
-  }
-  return perm;
-}
+using testutil::relabel;
+using testutil::random_permutation;
 
 struct Routed {
   RouteOutcome outcome;

@@ -250,6 +250,40 @@ TEST(RequestResultKey, SeparatesOptionsAndDesigns) {
             request_result_key(a, design_key));
 }
 
+TEST(RoutingSession, SteinerEngineGetsItsOwnResultCacheEntry) {
+  // Two jobs differing only in `--path-search steiner` vs `astar` must
+  // land in distinct result-cache slots (the key mixes the engine) and
+  // produce distinct digests — the steiner backend is *allowed* to route
+  // differently, so serving it an astar result would be a wrong answer.
+  DesignCache cache;
+  const JobRequest astar = small_request("a", 12);
+  JobRequest steiner = astar;
+  steiner.options.path_search = PathSearchBackend::kSteiner;
+
+  const std::uint64_t design_key = DesignCache::text_key(astar.design_text);
+  EXPECT_NE(request_result_key(astar, design_key),
+            request_result_key(steiner, design_key));
+
+  RoutingSession first(astar, &cache, nullptr);
+  const SessionResult a = first.run();
+  ASSERT_EQ(a.status, SessionStatus::kDone);
+  EXPECT_EQ(a.cache, "miss");
+
+  // Same design text: the parsed dataset is reused, the result is not.
+  RoutingSession second(steiner, &cache, nullptr);
+  const SessionResult s = second.run();
+  ASSERT_EQ(s.status, SessionStatus::kDone);
+  EXPECT_EQ(s.cache, "design-hit");
+  EXPECT_NE(s.digest, a.digest);
+
+  // Resubmitting the steiner job hits its own (steiner-built) entry.
+  RoutingSession repeat(steiner, &cache, nullptr);
+  const SessionResult again = repeat.run();
+  ASSERT_EQ(again.status, SessionStatus::kDone);
+  EXPECT_EQ(again.cache, "result-hit");
+  EXPECT_EQ(again.digest, s.digest);
+}
+
 TEST(RoutingSession, MapLookaheadMatchesExactThroughTheCache) {
   // `--lookahead map` through the serve path: different result key (no
   // false result-hit), shared parsed design, cached lookahead table — and

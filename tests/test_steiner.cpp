@@ -1,0 +1,180 @@
+// Oracle battery for the cost-distance steiner backend (DESIGN.md §16).
+// The steiner engine is the first backend *allowed* to produce different
+// trees than the reference Dijkstra, so its contract is property-based
+// instead of bit-identity:
+//  * verifier-clean — the independent signoff checks find nothing on any
+//    of 50 fuzz-sampled designs;
+//  * margin-dominant — no constraint ends up worse than the serial
+//    Dijkstra baseline beyond the shared steiner_dominance_tol_ps bound,
+//    and in aggregate the trees are shorter (that is the point);
+//  * deterministic — bit-identical route text, margins and effort
+//    counters across --threads 1 and 8, and invariant under cell/net
+//    relabeling (the shared metamorphic harness of test_metamorphic);
+//  * the bgr_fuzz steiner-dominance oracle that CI sweeps over seeds
+//    1..200 stays wired to the same checks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgr/channel/channel_router.hpp"
+#include "bgr/common/rng.hpp"
+#include "bgr/fuzz/oracles.hpp"
+#include "bgr/fuzz/spec_sampler.hpp"
+#include "bgr/gen/generator.hpp"
+#include "bgr/io/route_io.hpp"
+#include "bgr/route/router.hpp"
+#include "bgr/verify/verifier.hpp"
+#include "test_util.hpp"
+
+namespace bgr {
+namespace {
+
+struct RunResult {
+  RouteOutcome outcome;
+  std::vector<double> margins;
+  std::string route_text;
+  std::int64_t verify_errors = 0;
+};
+
+/// generate → route → channel → verify, mirroring the fuzz oracle's
+/// pipeline so the battery and bgr_fuzz see the same artifacts.
+RunResult route_full(const CircuitSpec& spec, PathSearchBackend backend,
+                     std::int32_t threads) {
+  Dataset design = generate_circuit(spec);
+  RouterOptions options;
+  options.path_search = backend;
+  options.threads = threads;
+  GlobalRouter router(design.netlist, std::move(design.placement), design.tech,
+                      design.constraints, options);
+  RunResult run;
+  run.outcome = router.run();
+  for (const ConstraintId p : router.analyzer().constraints()) {
+    run.margins.push_back(router.analyzer().margin_ps(p));
+  }
+  ChannelStage channel(router);
+  channel.run();
+  const RouteVerifier verifier(router, &channel);
+  for (const VerifyIssue& issue : verifier.run()) {
+    if (issue.severity == VerifyIssue::Severity::kError) ++run.verify_errors;
+  }
+  std::ostringstream os;
+  write_route(os, router, channel);
+  run.route_text = os.str();
+  return run;
+}
+
+TEST(Steiner, VerifierCleanAndMarginDominantOn50Designs) {
+  const FuzzOptions tol_options;
+  double steiner_total_um = 0.0;
+  double dijkstra_total_um = 0.0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const CircuitSpec spec = sample_spec(seed);
+    const RunResult steiner = route_full(spec, PathSearchBackend::kSteiner, 1);
+    EXPECT_EQ(steiner.verify_errors, 0);
+
+    const RunResult baseline = route_full(spec, PathSearchBackend::kDijkstra, 1);
+    steiner_total_um += steiner.outcome.total_length_um;
+    dijkstra_total_um += baseline.outcome.total_length_um;
+    const double tol = steiner_dominance_tol_ps(
+        baseline.outcome.critical_delay_ps, tol_options);
+    ASSERT_EQ(steiner.margins.size(), baseline.margins.size());
+    for (std::size_t i = 0; i < steiner.margins.size(); ++i) {
+      EXPECT_GE(steiner.margins[i], baseline.margins[i] - tol)
+          << "constraint " << i << " (wirelength steiner "
+          << steiner.outcome.total_length_um << " um vs dijkstra "
+          << baseline.outcome.total_length_um << " um)";
+    }
+  }
+  // Wirelength is reported, not gated sign-wise: on this extreme-corner
+  // corpus the slack weights deliberately spend wire on tight nets, and
+  // individual designs go either way (the realistic C1–C3 front lives in
+  // bench_steiner). What is gated is that the trade never degenerates
+  // into a corpus-wide wirelength blowup.
+  EXPECT_LT(steiner_total_um, 1.05 * dijkstra_total_um)
+      << "steiner corpus wirelength blew up vs dijkstra";
+  ::testing::Test::RecordProperty("steiner_total_um", steiner_total_um);
+  ::testing::Test::RecordProperty("dijkstra_total_um", dijkstra_total_um);
+}
+
+TEST(Steiner, BitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {3u, 7u, 12u, 19u, 26u, 33u, 41u, 48u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const CircuitSpec spec = sample_spec(seed);
+    const RunResult serial = route_full(spec, PathSearchBackend::kSteiner, 1);
+    const RunResult threaded = route_full(spec, PathSearchBackend::kSteiner, 8);
+    EXPECT_EQ(serial.route_text, threaded.route_text);
+    EXPECT_EQ(serial.margins, threaded.margins);
+    EXPECT_EQ(serial.outcome.critical_delay_ps,
+              threaded.outcome.critical_delay_ps);
+    EXPECT_EQ(serial.outcome.total_length_um, threaded.outcome.total_length_um);
+    ASSERT_EQ(serial.outcome.phases.size(), threaded.outcome.phases.size());
+    for (std::size_t i = 0; i < serial.outcome.phases.size(); ++i) {
+      const PhaseStats& pa = serial.outcome.phases[i];
+      const PhaseStats& pb = threaded.outcome.phases[i];
+      EXPECT_EQ(pa.deletions, pb.deletions) << pa.name;
+      // The steiner searches themselves must be schedule-independent, so
+      // even the effort counters match across thread counts.
+      EXPECT_EQ(pa.path_searches, pb.path_searches) << pa.name;
+      EXPECT_EQ(pa.path_pops, pb.path_pops) << pa.name;
+      EXPECT_EQ(pa.path_relaxations, pb.path_relaxations) << pa.name;
+    }
+  }
+}
+
+TEST(Steiner, RelabelingYieldsIsomorphicRouteOutcome) {
+  // Sink weights derive from constraint slacks and tree construction from
+  // vertex geometry — none of which a cell/net renumbering moves, so the
+  // routed result must be isomorphic (same shared harness and contract as
+  // test_metamorphic, with the steiner engine selected).
+  for (const std::uint64_t seed : {2u, 9u, 14u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const Dataset design = generate_circuit(testutil::small_spec(seed));
+    Rng rng(seed * 1000 + 7);
+    const auto cell_perm =
+        testutil::random_permutation(design.netlist.cell_count(), rng);
+    const auto net_perm =
+        testutil::random_permutation(design.netlist.net_count(), rng);
+    const Dataset relabeled = testutil::relabel(design, cell_perm, net_perm);
+
+    auto route = [](Dataset d) {
+      RouterOptions options;
+      options.path_search = PathSearchBackend::kSteiner;
+      GlobalRouter router(d.netlist, std::move(d.placement), d.tech,
+                          d.constraints, options);
+      RunResult r;
+      r.outcome = router.run();
+      for (const ConstraintId p : router.analyzer().constraints()) {
+        r.margins.push_back(router.analyzer().margin_ps(p));
+      }
+      return r;
+    };
+    const RunResult a = route(design);
+    const RunResult b = route(relabeled);
+    EXPECT_EQ(a.outcome.total_length_um, b.outcome.total_length_um);
+    EXPECT_EQ(a.outcome.critical_delay_ps, b.outcome.critical_delay_ps);
+    EXPECT_EQ(a.outcome.worst_margin_ps, b.outcome.worst_margin_ps);
+    EXPECT_EQ(a.outcome.violated_constraints, b.outcome.violated_constraints);
+    EXPECT_EQ(a.margins, b.margins);
+  }
+}
+
+TEST(Steiner, FuzzOracleStaysWired) {
+  // The full check_steiner_spec battery (crash / sta-recompute / verify /
+  // thread-divergence / steiner-dominance) that CI fuzzes over seeds
+  // 1..200 — a handful of seeds here so a wiring regression fails fast in
+  // the unit suite, not first in the fuzz job.
+  for (const std::uint64_t seed : {1u, 4u, 9u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto failure = check_steiner_spec(sample_spec(seed));
+    EXPECT_FALSE(failure) << (failure ? failure->oracle + ": " +
+                                            failure->detail
+                                      : "");
+  }
+}
+
+}  // namespace
+}  // namespace bgr

@@ -5,14 +5,43 @@
 //   BUF1: T0 70, Tf 120, Td 260, Fin 0.025
 //   NOR2: T0 95, Tf 150, Td 300, Fin 0.030
 //   DFF:  CK→Q T0 180, Q Tf 140 / Td 300, Fin(D) 0.035, Fin(CK) 0.030
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bgr/common/rng.hpp"
 #include "bgr/gen/generator.hpp"
 #include "bgr/layout/placement.hpp"
 #include "bgr/netlist/netlist.hpp"
+#include "bgr/route/path_search.hpp"
 #include "bgr/timing/analyzer.hpp"
 
 namespace bgr::testutil {
+
+/// One registered path-search engine, for test sweeps. Listing an engine
+/// here is what gets it picked up by the differential batteries — add new
+/// backends to all_path_search_engines() instead of hardcoding backend
+/// lists in individual tests.
+struct EngineInfo {
+  PathSearchBackend backend;
+  const char* name;
+  /// Engines in the bit-identical family must reproduce the reference
+  /// Dijkstra trees and RouteOutcome exactly (DESIGN.md §11); engines
+  /// outside it (steiner) are only swept for thread-count identity here —
+  /// the rest of their contract lives in their own oracle battery
+  /// (test_steiner, DESIGN.md §16).
+  bool bit_identical_to_reference;
+};
+
+inline std::vector<EngineInfo> all_path_search_engines() {
+  return {
+      {PathSearchBackend::kDijkstra, "dijkstra", true},
+      {PathSearchBackend::kAstar, "astar", true},
+      {PathSearchBackend::kSteiner, "steiner", false},
+  };
+}
 
 /// PI A → g0(BUF1) → g1(NOR2, second input PI B) → ff(DFF).D;
 /// pad CK → ff.CK; ff.Q → pad PO.
@@ -77,6 +106,110 @@ struct ChainCircuit {
   static constexpr double kPathADelayPs = 176.35;  // A → ff.D
   static constexpr double kPathCkDelayPs = 187.0;  // CK → PO
 };
+
+/// Rebuilds the dataset with cells and nets renumbered by the given
+/// permutations (new id i holds what old id perm[i] held). Terminals are
+/// renumbered implicitly by the rebuild order; constraints and pad sites
+/// are remapped. The result describes the *same* physical design — the
+/// shared harness of the metamorphic relabeling batteries
+/// (test_metamorphic, test_steiner).
+inline Dataset relabel(const Dataset& d,
+                       const std::vector<std::int32_t>& cell_perm,
+                       const std::vector<std::int32_t>& net_perm) {
+  const Netlist& old = d.netlist;
+  Netlist netlist(old.library());
+  std::vector<CellId> cell_map(static_cast<std::size_t>(old.cell_count()));
+  for (const std::int32_t o : cell_perm) {
+    const CellId old_id{o};
+    cell_map[static_cast<std::size_t>(o)] =
+        netlist.add_cell(old.cell(old_id).name, old.cell(old_id).type);
+  }
+  std::vector<NetId> net_map(static_cast<std::size_t>(old.net_count()));
+  for (const std::int32_t o : net_perm) {
+    const NetId old_id{o};
+    net_map[static_cast<std::size_t>(o)] =
+        netlist.add_net(old.net(old_id).name, old.net(old_id).pitch_width);
+  }
+
+  // Terminals in their *original global creation order* so each keeps its
+  // TerminalId (the pad-assignment pass processes pads in TerminalId order,
+  // a documented processing order, not an identity the relabeling is meant
+  // to scramble). Only the nets and cells they attach to are renumbered.
+  std::vector<TerminalId> term_map(
+      static_cast<std::size_t>(old.terminal_count()), TerminalId::invalid());
+  for (std::int32_t ti = 0; ti < old.terminal_count(); ++ti) {
+    const TerminalId t{ti};
+    const Terminal& term = old.terminal(t);
+    const NetId new_net = net_map[static_cast<std::size_t>(term.net.value())];
+    TerminalId mapped = TerminalId::invalid();
+    switch (term.kind) {
+      case TerminalKind::kCellPin:
+        mapped = netlist.connect(new_net,
+                                 cell_map[static_cast<std::size_t>(
+                                     term.cell.value())],
+                                 term.pin);
+        break;
+      case TerminalKind::kPadIn:
+        mapped = netlist.add_pad_input(term.pad_name, new_net,
+                                       term.pad_tf_ps_per_pf,
+                                       term.pad_td_ps_per_pf);
+        break;
+      case TerminalKind::kPadOut:
+        mapped = netlist.add_pad_output(term.pad_name, new_net,
+                                        term.pad_cap_pf);
+        break;
+    }
+    term_map[static_cast<std::size_t>(t.value())] = mapped;
+  }
+  for (const NetId n : old.nets()) {
+    const Net& net = old.net(n);
+    if (net.is_differential() && net.diff_primary) {
+      netlist.make_differential(net_map[static_cast<std::size_t>(n.value())],
+                                net_map[static_cast<std::size_t>(
+                                    net.diff_partner.value())]);
+    }
+  }
+
+  Placement placement(d.placement.row_count(), d.placement.width());
+  for (const CellId c : old.cells()) {
+    const PlacedCell& pc = d.placement.placed(c);
+    placement.place(netlist, cell_map[static_cast<std::size_t>(c.value())],
+                    pc.row, pc.x);
+  }
+  for (const auto& [pad, site] : d.placement.pad_sites()) {
+    placement.place_pad(term_map[static_cast<std::size_t>(pad.value())],
+                        site.top, site.window);
+  }
+
+  std::vector<PathConstraint> constraints;
+  for (const PathConstraint& pc : d.constraints) {
+    PathConstraint mapped;
+    mapped.name = pc.name;
+    mapped.limit_ps = pc.limit_ps;
+    for (const TerminalId t : pc.sources) {
+      mapped.sources.push_back(term_map[static_cast<std::size_t>(t.value())]);
+    }
+    for (const TerminalId t : pc.sinks) {
+      mapped.sinks.push_back(term_map[static_cast<std::size_t>(t.value())]);
+    }
+    constraints.push_back(std::move(mapped));
+  }
+
+  return Dataset{d.name + "_relabel", d.spec,
+                 std::move(netlist), std::move(placement),
+                 std::move(constraints), d.tech};
+}
+
+inline std::vector<std::int32_t> random_permutation(std::int32_t n, Rng& rng) {
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::int32_t i = n - 1; i > 0; --i) {
+    const std::int32_t j = rng.uniform_i32(0, i);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
 
 /// Small generator spec for fast end-to-end property tests.
 inline CircuitSpec small_spec(std::uint64_t seed) {

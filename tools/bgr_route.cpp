@@ -16,11 +16,15 @@
 //                         sharded concurrent edge deletion (on, the
 //                         default) or the single global scan loop (off);
 //                         the routed result is bit-identical either way
-//     --path-search {astar,dijkstra}
+//     --path-search {astar,dijkstra,steiner}
 //                         tentative-tree search backend: goal-oriented A*
 //                         over a dial queue (astar, the default) or the
-//                         reference binary-heap Dijkstra; the routed
-//                         result is bit-identical either way
+//                         reference binary-heap Dijkstra — bit-identical
+//                         results either way — or the cost-distance
+//                         Steiner construction (steiner), which trades
+//                         wirelength against slack-weighted source–sink
+//                         paths and is allowed to differ (deterministic,
+//                         verifier-clean, margin-dominant; DESIGN.md §16)
 //     --lookahead {exact,map}
 //                         source of the A* lower bounds: an exact
 //                         multi-source Dijkstra per routing graph (exact,
@@ -78,7 +82,7 @@ void usage(std::FILE* out) {
                "usage: bgr_route <design.txt | @C1P1> [--unconstrained] "
                "[--rc] [--sequential] [--no-improve] "
                "[--incremental-sta on|off] [--shard-deletion on|off] "
-               "[--path-search astar|dijkstra] "
+               "[--path-search astar|dijkstra|steiner] "
                "[--lookahead exact|map] [--min-capacity-search] "
                "[--threads N] "
                "[--repeat K] [--save-route FILE] [--save-design FILE] "
@@ -170,16 +174,15 @@ int main(int argc, char** argv) {
         return cli::kExitUsage;
       }
     } else if (arg == "--path-search" && i + 1 < argc) {
-      const std::string backend = argv[++i];
-      if (backend == "astar") {
-        options.path_search = PathSearchBackend::kAstar;
-      } else if (backend == "dijkstra") {
-        options.path_search = PathSearchBackend::kDijkstra;
-      } else {
-        std::fprintf(stderr,
-                     "error: --path-search must be astar or dijkstra\n");
+      std::size_t choice = 0;
+      if (!cli::parse_choice_option("--path-search", argv[++i],
+                                    {"astar", "dijkstra", "steiner"},
+                                    &choice)) {
         return cli::kExitUsage;
       }
+      options.path_search = choice == 0   ? PathSearchBackend::kAstar
+                            : choice == 1 ? PathSearchBackend::kDijkstra
+                                          : PathSearchBackend::kSteiner;
     } else if (arg == "--lookahead" && i + 1 < argc) {
       const std::string mode = argv[++i];
       if (mode == "exact") {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -41,6 +42,36 @@ inline constexpr int kExitUsage = 2;
   }
   *out = *value;
   return true;
+}
+
+/// Checked enumeration option value: matches `text` against the accepted
+/// spellings and writes the matching index to `out`. An unknown or missing
+/// value gets a diagnostic that *lists every valid value*, so adding a new
+/// engine/mode automatically fixes the error text of every tool using it.
+[[nodiscard]] inline bool parse_choice_option(
+    const char* flag, const char* text,
+    std::initializer_list<const char*> choices, std::size_t* out) {
+  const std::string value = text != nullptr ? text : "";
+  std::size_t index = 0;
+  for (const char* choice : choices) {
+    if (value == choice) {
+      *out = index;
+      return true;
+    }
+    ++index;
+  }
+  std::string expected;
+  index = 0;
+  for (const char* choice : choices) {
+    if (index > 0) {
+      expected += index + 1 == choices.size() ? " or " : ", ";
+    }
+    expected += choice;
+    ++index;
+  }
+  std::fprintf(stderr, "error: %s must be %s, got '%s'\n", flag,
+               expected.c_str(), text != nullptr ? text : "<missing>");
+  return false;
 }
 
 /// `--log-format {text,json}` — every tool that logs offers it with the
